@@ -1,0 +1,50 @@
+"""Ablation: does the local-search step of the independent-task heuristic pay off?
+
+DESIGN.md describes the independent-task heuristic as LPT balanced grouping
+followed by local search (single-task moves and pairwise swaps).  This
+ablation quantifies both halves:
+
+* quality: on instances small enough for the exhaustive optimum, LPT alone is
+  already close, and local search closes most of the remaining gap;
+* cost: the local-search pass is the expensive part, so its benefit must be
+  visible to justify the default.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.independent import (
+    exhaustive_independent_schedule,
+    schedule_independent_tasks,
+)
+
+RNG = np.random.default_rng(201)
+WORKS = list(RNG.uniform(1.0, 10.0, size=9))
+CHECKPOINT, DOWNTIME, RATE = 1.0, 0.0, 0.08
+OPTIMUM = exhaustive_independent_schedule(WORKS, CHECKPOINT, CHECKPOINT, DOWNTIME, RATE)
+
+
+@pytest.mark.experiment("ablation-local-search")
+def test_ablation_lpt_only(benchmark):
+    result = benchmark(
+        schedule_independent_tasks,
+        WORKS, CHECKPOINT, CHECKPOINT, DOWNTIME, RATE,
+        local_search_iterations=0,
+    )
+    # LPT alone is within 5% of the optimum on this instance family.
+    assert result.expected_makespan <= OPTIMUM.expected_makespan * 1.05
+
+
+@pytest.mark.experiment("ablation-local-search")
+def test_ablation_lpt_plus_local_search(benchmark):
+    result = benchmark(
+        schedule_independent_tasks,
+        WORKS, CHECKPOINT, CHECKPOINT, DOWNTIME, RATE,
+        local_search_iterations=200,
+    )
+    lpt_only = schedule_independent_tasks(
+        WORKS, CHECKPOINT, CHECKPOINT, DOWNTIME, RATE, local_search_iterations=0
+    )
+    # Local search can only improve on the LPT seed, and lands within 2% of optimal.
+    assert result.expected_makespan <= lpt_only.expected_makespan + 1e-9
+    assert result.expected_makespan <= OPTIMUM.expected_makespan * 1.02

@@ -1,0 +1,38 @@
+"""E10 -- Frontier-dependent checkpoint costs on DAG linearisations (Section 6, ext. 1).
+
+Regenerates the comparison between the paper's base cost model (a checkpoint
+costs the C of the task just executed) and the generalised frontier model (a
+checkpoint must save every live task executed since the previous checkpoint).
+
+Shape expected:
+* on DAGs with wide fan-out (fork-join, Montage), the frontier model makes
+  mid-fan-out checkpoints more expensive, so the expected makespan under it is
+  at least as large as under the base model for the same instance;
+* the heuristic scheduler stays close to the exhaustive optimum on the small
+  fork-join instance where enumeration is feasible.
+"""
+
+import pytest
+
+from repro.experiments.registry import experiment_e10_dag_frontier
+
+
+@pytest.mark.experiment("E10")
+def test_e10_dag_frontier(benchmark, print_table):
+    table = benchmark(experiment_e10_dag_frontier, seed=7)
+    print_table(table)
+
+    def value(dag, rate, cost_model):
+        return next(
+            row["E_makespan"] for row in table.rows
+            if row["dag"] == dag and row["rate"] == rate and row["cost_model"] == cost_model
+        )
+
+    for dag in ("fork_join(6)", "montage(4)"):
+        for rate in (0.01, 0.1):
+            assert value(dag, rate, "frontier_sum") >= value(dag, rate, "per_task") - 1e-9
+
+    # Where the exhaustive optimum is available, the heuristic is within 5%.
+    for row in table.rows:
+        if row.get("exact_optimal") is not None:
+            assert row["E_makespan"] <= row["exact_optimal"] * 1.05 + 1e-9

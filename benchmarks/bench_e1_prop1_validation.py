@@ -1,0 +1,26 @@
+"""E1 -- Proposition 1 closed form vs Monte-Carlo simulation.
+
+Regenerates the validation table for the paper's central formula::
+
+    E[T(W, C, D, R, lambda)] = e^{lambda R} (1/lambda + D) (e^{lambda (W+C)} - 1)
+
+For every scenario in the grid the Monte-Carlo estimate must agree with the
+closed form within a few percent (and within its own 95% confidence interval
+for almost every row).
+"""
+
+import pytest
+
+from repro.experiments.registry import experiment_e1_prop1_validation
+
+
+@pytest.mark.experiment("E1")
+def test_e1_prop1_validation(benchmark, print_table):
+    table = benchmark(experiment_e1_prop1_validation, num_runs=4000, seed=1)
+    print_table(table)
+    assert len(table) >= 6
+    # Every scenario must be reproduced to within 5% by simulation.
+    assert all(row["rel_error"] < 0.05 for row in table.rows)
+    # And the overwhelming majority must fall inside the 95% CI.
+    within = sum(1 for row in table.rows if row["within_ci95"])
+    assert within >= len(table) - 1

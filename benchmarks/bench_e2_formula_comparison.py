@@ -1,0 +1,29 @@
+"""E2 -- Exact periodic optimum vs Young/Daly approximations and the inexact formula.
+
+Regenerates the comparison the paper makes in Section 3 / related work:
+
+* the Young and Daly periods are near-optimal in the standard regime
+  (checkpoint cost well below the MTBF) but measurably sub-optimal when
+  failures become frequent;
+* the Bouguerra-style formula (recovery charged before every attempt) strictly
+  over-estimates the exact Proposition 1 value whenever R > 0.
+"""
+
+import pytest
+
+from repro.experiments.registry import experiment_e2_formula_comparison
+
+
+@pytest.mark.experiment("E2")
+def test_e2_formula_comparison(benchmark, print_table):
+    table = benchmark(experiment_e2_formula_comparison)
+    print_table(table)
+    assert len(table) >= 5
+    for row in table.rows:
+        # The approximate periods can never beat the exact optimum.
+        assert row["young_overhead_pct"] >= -1e-6
+        assert row["daly_overhead_pct"] >= -1e-6
+        # The inexact formula over-estimates (R > 0 in this experiment).
+        assert row["bouguerra_bias_pct"] > 0.0
+    # In the rare-failure regime (first row) Daly is within 1% of optimal.
+    assert table.rows[0]["daly_overhead_pct"] < 1.0

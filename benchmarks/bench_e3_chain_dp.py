@@ -1,0 +1,41 @@
+"""E3 -- The linear-chain DP (Algorithm 1) is optimal and scales quadratically.
+
+Two claims of Proposition 3 are regenerated:
+
+* exactness: on chains small enough for exhaustive enumeration, the DP's
+  expected makespan equals the brute-force optimum;
+* complexity: the measured runtime grows roughly quadratically with the chain
+  length (the benchmark also times a mid-size DP solve directly).
+"""
+
+import pytest
+
+from repro.core.chain_dp import optimal_chain_checkpoints
+from repro.experiments.registry import experiment_e3_chain_dp
+from repro.workflows.generators import uniform_random_chain
+
+
+@pytest.mark.experiment("E3")
+def test_e3_chain_dp_exactness(benchmark, print_table):
+    table = benchmark(
+        experiment_e3_chain_dp,
+        brute_force_sizes=(4, 6, 8, 10),
+        scaling_sizes=(100, 200, 400),
+        seed=2,
+    )
+    print_table(table)
+    exact_rows = [row for row in table.rows if row["mode"] == "exactness"]
+    assert exact_rows and all(row["match"] for row in exact_rows)
+    scaling_rows = [row for row in table.rows if row["mode"] == "scaling"]
+    # Quadratic scaling: quadrupling n from 100 to 400 should cost clearly
+    # more than 4x but far less than 64x (which cubic growth would approach).
+    t100 = next(r["dp_seconds"] for r in scaling_rows if r["n"] == 100)
+    t400 = next(r["dp_seconds"] for r in scaling_rows if r["n"] == 400)
+    assert t400 / max(t100, 1e-9) < 64.0
+
+
+@pytest.mark.experiment("E3")
+def test_e3_chain_dp_solve_time(benchmark):
+    chain = uniform_random_chain(400, seed=3)
+    result = benchmark(optimal_chain_checkpoints, chain, 0.5, 0.01)
+    assert result.expected_makespan > chain.total_work()

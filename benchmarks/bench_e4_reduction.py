@@ -1,0 +1,22 @@
+"""E4 -- The 3-PARTITION reduction of Proposition 2 behaves exactly as proved.
+
+YES 3-PARTITION instances map to scheduling instances whose optimal expected
+makespan equals the bound K (achieved by n balanced, checkpointed groups);
+NO instances map to instances where even the optimal schedule exceeds K.
+"""
+
+import pytest
+
+from repro.experiments.registry import experiment_e4_reduction
+
+
+@pytest.mark.experiment("E4")
+def test_e4_reduction(benchmark, print_table):
+    table = benchmark(experiment_e4_reduction, num_yes=3, num_no=2, seed=3)
+    print_table(table)
+    yes_rows = [row for row in table.rows if row["kind"] == "YES"]
+    no_rows = [row for row in table.rows if row["kind"] == "NO"]
+    assert yes_rows and no_rows
+    assert all(row["meets_bound"] for row in yes_rows)
+    assert all(row["recovered_partition"] for row in yes_rows)
+    assert all(not row["meets_bound"] for row in no_rows)

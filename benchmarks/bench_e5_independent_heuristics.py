@@ -1,0 +1,28 @@
+"""E5 -- Independent-task heuristics vs the exhaustive optimum.
+
+The scheduling problem for independent tasks is strongly NP-complete
+(Proposition 2), so the library ships a balanced-grouping + local-search
+heuristic.  This benchmark regenerates its quality table: within a couple of
+percent of the exhaustive optimum on small instances, and never worse than the
+trivial "one group" / "all singletons" placements on larger ones.
+"""
+
+import pytest
+
+from repro.experiments.registry import experiment_e5_independent_heuristics
+
+
+@pytest.mark.experiment("E5")
+def test_e5_independent_heuristics(benchmark, print_table):
+    table = benchmark(
+        experiment_e5_independent_heuristics,
+        exact_sizes=(5, 7, 9),
+        heuristic_sizes=(30,),
+        seed=4,
+    )
+    print_table(table)
+    for row in table.rows:
+        if row["ratio_to_optimal"] is not None:
+            assert row["ratio_to_optimal"] <= 1.03
+        assert row["E_heuristic"] <= row["E_one_group"] + 1e-9
+        assert row["E_heuristic"] <= row["E_singletons"] + 1e-9

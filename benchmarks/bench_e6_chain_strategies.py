@@ -1,0 +1,38 @@
+"""E6 -- Value of the optimal DP placement on chains, across failure rates.
+
+Regenerates the strategy-comparison series: the expected makespan of
+checkpoint-after-every-task, never-checkpoint, every-k and Young/Daly-period
+placements relative to the DP optimum, as the platform failure rate sweeps
+from "failures are negligible" to "MTBF comparable to a single task".
+
+Shape expected from the paper's analysis:
+* the DP dominates every strategy at every rate (ratio >= 1);
+* never-checkpoint is near-optimal for tiny rates but blows up for large ones;
+* checkpoint-everything is near-optimal for large rates but wasteful for tiny
+  ones; the crossover sits in between.
+"""
+
+import pytest
+
+from repro.experiments.registry import experiment_e6_chain_strategies
+
+
+@pytest.mark.experiment("E6")
+def test_e6_chain_strategies(benchmark, print_table):
+    table = benchmark(experiment_e6_chain_strategies, n=50, seed=5)
+    print_table(table)
+    assert len(table) >= 6
+    for row in table.rows:
+        for key in ("ratio_all", "ratio_none", "ratio_every_2", "ratio_every_5",
+                    "ratio_daly", "ratio_young"):
+            if row[key] is not None:
+                assert row[key] >= 1.0 - 1e-9
+    lowest_rate = table.rows[0]
+    highest_rate = table.rows[-1]
+    # Rare failures: skipping checkpoints is the right call, checkpointing
+    # everywhere pays every checkpoint for nothing.
+    assert lowest_rate["ratio_none"] < lowest_rate["ratio_all"]
+    # Frequent failures: the ranking flips.
+    assert highest_rate["ratio_all"] < highest_rate["ratio_none"]
+    # The optimal number of checkpoints grows with the failure rate.
+    assert highest_rate["optimal_checkpoints"] > lowest_rate["optimal_checkpoints"]

@@ -1,0 +1,43 @@
+"""E7 -- Workload and checkpoint scaling with the platform size (Section 3).
+
+Regenerates the series "expected makespan of the best periodic policy versus
+the number of processors p", for the three W(p) workload models crossed with
+the two C(p) checkpoint-cost models the paper lists.
+
+Shape expected:
+* with the perfectly-parallel workload and a proportional checkpoint cost,
+  more processors keep helping across the whole sweep;
+* with a constant checkpoint cost (storage-bound I/O) or an Amdahl workload,
+  the benefit of extra processors saturates or reverses as the platform
+  failure rate p * lambda_proc grows.
+"""
+
+import pytest
+
+from repro.experiments.registry import experiment_e7_scaling_models
+
+
+@pytest.mark.experiment("E7")
+def test_e7_scaling_models(benchmark, print_table):
+    table = benchmark(experiment_e7_scaling_models)
+    print_table(table)
+
+    def series(workload, checkpoint):
+        rows = [
+            row for row in table.rows
+            if row["workload_model"] == workload and row["checkpoint_model"] == checkpoint
+        ]
+        return sorted(rows, key=lambda r: r["p"])
+
+    perfect_prop = series("perfect", "proportional")
+    assert perfect_prop[0]["E_best_periodic"] > perfect_prop[-1]["E_best_periodic"]
+
+    # Amdahl with a constant checkpoint cost: the largest platform is NOT the
+    # fastest once the sequential fraction and the failure rate dominate.
+    amdahl_const = series("amdahl(g=0.01)", "constant")
+    best = min(row["E_best_periodic"] for row in amdahl_const)
+    assert amdahl_const[-1]["E_best_periodic"] > best * 0.999
+    assert amdahl_const[-1]["E_best_periodic"] >= amdahl_const[-2]["E_best_periodic"] * 0.5
+
+    # The number of chunks (checkpoints) grows with the platform failure rate.
+    assert perfect_prop[-1]["chunks"] >= perfect_prop[0]["chunks"]

@@ -1,0 +1,37 @@
+"""E8 -- Non-Exponential failures: simulation-evaluated placement heuristics.
+
+The paper's third extension (Section 6) notes that for Weibull or log-normal
+failures no closed form exists and heuristics must be evaluated by simulation.
+This benchmark regenerates that study on a synthetic chain: the placement from
+the Exponential DP (using the equivalent MTBF), the work-maximisation
+placement of Bouguerra-Trystram-Wagner, checkpoint-everywhere and
+never-checkpoint are all simulated under each failure law.
+
+Shape expected: under every law with an MTBF comparable to the total work, the
+informed placements (exp-DP and work-max) beat never-checkpoint; and no
+strategy beats the informed ones by a large margin.
+"""
+
+import pytest
+
+from repro.experiments.registry import experiment_e8_general_failures
+
+
+@pytest.mark.experiment("E8")
+def test_e8_general_failures(benchmark, print_table):
+    table = benchmark(
+        experiment_e8_general_failures, n=15, num_runs=200, seed=6, platform_mtbf=150.0
+    )
+    print_table(table)
+    laws = {row["law"] for row in table.rows}
+    assert {"exponential", "weibull(k=0.7)", "weibull(k=1.5)", "lognormal(s=1.0)"} <= laws
+
+    def mean(law, strategy):
+        return next(
+            row["mean_makespan"] for row in table.rows
+            if row["law"] == law and row["strategy"] == strategy
+        )
+
+    for law in laws:
+        assert mean(law, "exp_dp") < mean(law, "none")
+        assert mean(law, "work_max") < mean(law, "none") * 1.1

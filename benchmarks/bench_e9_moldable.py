@@ -1,0 +1,37 @@
+"""E9 -- Moldable tasks: best per-task processor allocation under failures.
+
+Regenerates the moldable-task study of the second extension (Section 6): for
+each workload scaling model and each per-processor failure rate, the processor
+count minimising the Proposition 1 expectation is compared against simply
+using the whole platform.
+
+Shape expected:
+* for negligible failure rates, using (nearly) the whole platform is best;
+* as the failure rate grows, the optimal allocation shrinks and the gain over
+  the full-platform allocation becomes strictly positive, especially for the
+  Amdahl workload (whose sequential fraction makes extra processors pure risk).
+"""
+
+import pytest
+
+from repro.experiments.registry import experiment_e9_moldable
+
+
+@pytest.mark.experiment("E9")
+def test_e9_moldable(benchmark, print_table):
+    table = benchmark(experiment_e9_moldable, max_processors=1024)
+    print_table(table)
+    for row in table.rows:
+        # The optimal allocation can never lose to the full platform.
+        assert row["gain_pct"] >= -1e-6
+        assert 1 <= row["best_p"] <= 1024
+
+    def series(workload):
+        rows = [r for r in table.rows if r["workload_model"] == workload]
+        return sorted(rows, key=lambda r: r["lambda_proc"])
+
+    amdahl = series("amdahl(g=0.001)")
+    # The best allocation shrinks as the failure rate grows.
+    assert amdahl[-1]["best_p"] <= amdahl[0]["best_p"]
+    # And at the highest rate the full platform is strictly worse.
+    assert amdahl[-1]["gain_pct"] > 0.0

@@ -1,0 +1,34 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark module wraps one experiment of the reproduction (E1-E10, see
+DESIGN.md section 7 and EXPERIMENTS.md).  The benchmarked callable both runs
+the experiment and asserts its headline claim, so ``pytest benchmarks/
+--benchmark-only`` doubles as a slow validation pass; the produced tables are
+printed when running with ``-s``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    # Benchmarks are defined as pytest-benchmark fixtures; nothing special to do,
+    # but keep a marker so plain `pytest benchmarks/` (without --benchmark-only)
+    # still works if pytest-benchmark is absent.
+    config.addinivalue_line("markers", "experiment(id): maps a benchmark to an experiment id")
+
+
+@pytest.fixture
+def print_table(request):
+    """Return a helper that prints a ResultTable under -s and stores it on the node."""
+
+    def _print(table):
+        request.node.experiment_table = table
+        capmanager = request.config.pluginmanager.getplugin("capturemanager")
+        if capmanager is not None and request.config.getoption("capture") == "no":
+            print()
+            print(table.to_text())
+        return table
+
+    return _print

@@ -1,0 +1,107 @@
+"""Scenario: how many processors should a moldable solver use on a flaky machine?
+
+Section 6 of the paper (second extension) sketches the moldable-task problem:
+each task can run on any number of processors, the work scales following one
+of the Section 3 workload models, checkpoints scale following one of the
+Section 3 cost models, and the failure rate grows linearly with the number of
+processors used (``lambda = q * lambda_proc``).  More processors mean less
+work per attempt but more frequent failures -- so "use the whole machine" is
+not always right.
+
+This example instantiates Equation 6 for a three-stage numerical campaign
+(mesh generation, an iterative solver, post-processing) and shows:
+
+* the per-task optimal processor counts under three workload models;
+* how the optimum shrinks as the per-node failure rate grows;
+* what the chain-DP refinement does to the checkpoint placement once each
+  task has its allocation.
+
+Run with ``python examples/moldable_solver.py``.
+"""
+
+from repro import (
+    AmdahlWorkload,
+    ConstantCheckpointCost,
+    MoldableScheduler,
+    MoldableTask,
+    NumericalKernelWorkload,
+    PerfectlyParallelWorkload,
+)
+from repro.core.moldable import best_allocation_single_task
+from repro.experiments.reporting import ResultTable
+
+
+def build_campaign():
+    return [
+        MoldableTask(
+            "mesh_generation",
+            sequential_work=8_000.0,
+            memory_footprint=50.0,
+            workload=AmdahlWorkload(gamma=0.02),
+        ),
+        MoldableTask(
+            "implicit_solver",
+            sequential_work=200_000.0,
+            memory_footprint=400.0,
+            workload=NumericalKernelWorkload(gamma=0.25),
+        ),
+        MoldableTask(
+            "post_processing",
+            sequential_work=5_000.0,
+            memory_footprint=20.0,
+            workload=PerfectlyParallelWorkload(),
+        ),
+    ]
+
+
+def main() -> None:
+    max_processors = 4096
+    checkpoint_model = ConstantCheckpointCost(alpha=0.05)
+    tasks = build_campaign()
+
+    # ------------------------------------------------------------------
+    # Optimal allocation of the solver stage as the node failure rate grows.
+    # ------------------------------------------------------------------
+    solver = tasks[1]
+    table = ResultTable(
+        title="Best processor count for the solver stage vs per-node failure rate",
+        columns=["lambda_proc", "node_MTBF_h", "best_p", "E_best", "E_all_4096", "penalty_pct"],
+    )
+    for lambda_proc in (1e-8, 1e-7, 1e-6, 1e-5):
+        best_p, e_best = best_allocation_single_task(
+            solver, lambda_proc, 5.0, checkpoint_model, max_processors=max_processors
+        )
+        _, e_full = best_allocation_single_task(
+            solver, lambda_proc, 5.0, checkpoint_model,
+            max_processors=max_processors, min_processors=max_processors,
+        )
+        table.add_row(
+            lambda_proc=lambda_proc,
+            node_MTBF_h=1.0 / lambda_proc / 3600.0,
+            best_p=best_p,
+            E_best=e_best,
+            E_all_4096=e_full,
+            penalty_pct=100.0 * (e_full / e_best - 1.0),
+        )
+    print(table.to_text())
+    print()
+
+    # ------------------------------------------------------------------
+    # Whole-campaign allocation and checkpoint placement.
+    # ------------------------------------------------------------------
+    scheduler = MoldableScheduler(
+        lambda_proc=1e-6, downtime=5.0,
+        checkpoint_model=checkpoint_model, max_processors=max_processors,
+    )
+    per_task = scheduler.allocate_checkpoint_everywhere(tasks)
+    refined = scheduler.allocate_with_chain_dp(tasks)
+    print("Campaign allocation (lambda_proc = 1e-6)")
+    for task, q, expected in zip(tasks, per_task.allocations, per_task.per_task_expected):
+        print(f"  {task.name:<16s}: {q:5d} processors, E[T] = {expected:10.1f}")
+    print(f"  checkpoint after every task : E[makespan] = {per_task.expected_makespan:10.1f}")
+    print(f"  chain-DP refined placement  : E[makespan] = {refined.expected_makespan:10.1f} "
+          f"(checkpoints after tasks {[i + 1 for i in refined.checkpoint_after]})")
+
+
+if __name__ == "__main__":
+    main()

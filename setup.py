@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file only exists so
+that editable installs (``pip install -e .``) work on environments whose
+setuptools/pip combination cannot build editable wheels (e.g. offline
+machines without the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,231 @@
+"""repro -- checkpoint scheduling for computational workflows under failures.
+
+A production-quality reproduction of
+
+    Yves Robert, Frédéric Vivien, Dounia Zaidouni.
+    "On the complexity of scheduling checkpoints for computational workflows."
+    INRIA Research Report RR-7907 / DSN 2012 workshops.
+
+The library provides:
+
+* the exact expected-time formula of Proposition 1
+  (:func:`expected_completion_time`) and the approximations it supersedes;
+* the optimal O(n^2) dynamic program for linear chains of Proposition 3
+  (:func:`optimal_chain_checkpoints`);
+* exact and heuristic schedulers for independent tasks (the strongly
+  NP-complete case of Proposition 2) and arbitrary DAGs;
+* the executable 3-PARTITION reduction from the NP-completeness proof;
+* workload / checkpoint-cost scaling models, moldable-task allocation, and
+  work-maximisation heuristics for non-Exponential failure laws (the
+  extensions of Section 6);
+* a discrete-event simulator and Monte-Carlo estimator used to validate the
+  analytic results;
+* classical baselines (Young / Daly periodic checkpointing, trivial
+  placements).
+
+Quick start::
+
+    from repro import LinearChain, optimal_chain_checkpoints
+
+    chain = LinearChain(
+        works=[10.0, 4.0, 7.0],
+        checkpoint_costs=[1.0, 0.5, 2.0],
+        recovery_costs=[1.0, 0.5, 2.0],
+    )
+    result = optimal_chain_checkpoints(chain, downtime=0.5, rate=0.01)
+    print(result.expected_makespan, result.checkpoint_after)
+"""
+
+from repro.failures import (
+    ExponentialFailure,
+    FailureTrace,
+    LogNormalFailure,
+    Platform,
+    WeibullFailure,
+    generate_trace,
+)
+from repro.workflows import (
+    LinearChain,
+    Task,
+    Workflow,
+    fork_join,
+    in_tree,
+    load_chain,
+    load_workflow,
+    make_chain,
+    make_independent,
+    montage_like,
+    out_tree,
+    random_layered_dag,
+    save_chain,
+    save_workflow,
+    uniform_random_chain,
+    workflow_to_dot,
+)
+from repro.models import (
+    AmdahlWorkload,
+    ConstantCheckpointCost,
+    FrontierCheckpointCost,
+    NumericalKernelWorkload,
+    PerfectlyParallelWorkload,
+    ProportionalCheckpointCost,
+)
+from repro.core import (
+    AllocationResult,
+    ChainDPResult,
+    CheckpointPlan,
+    DagScheduleResult,
+    IndependentScheduleResult,
+    MoldableScheduler,
+    MoldableTask,
+    Schedule,
+    Segment,
+    bouguerra_expected_time,
+    daly_first_order_period,
+    daly_higher_order_period,
+    exhaustive_dag_schedule,
+    exhaustive_independent_schedule,
+    expected_completion_time,
+    expected_lost_time,
+    expected_makespan,
+    expected_recovery_time,
+    expected_segments_time,
+    linearize,
+    optimal_chain_checkpoints,
+    optimal_chain_checkpoints_budget,
+    schedule_dag,
+    schedule_independent_tasks,
+    young_period,
+)
+from repro.analysis import (
+    PlacementPenalty,
+    ThreePartitionInstance,
+    WasteBreakdown,
+    brute_force_chain_checkpoints,
+    brute_force_independent_schedule,
+    generate_no_instance,
+    generate_yes_instance,
+    placement_penalty,
+    rate_sensitivity_sweep,
+    schedule_to_three_partition,
+    simulated_waste_breakdown,
+    solve_three_partition,
+    three_partition_to_schedule,
+    waste_breakdown,
+)
+from repro.simulation import (
+    CampaignResult,
+    CampaignRunner,
+    MonteCarloEstimate,
+    MonteCarloEstimator,
+    SimulationResult,
+    estimate_expected_completion_time,
+    simulate_schedule,
+)
+from repro.baselines import (
+    checkpoint_all_chain,
+    checkpoint_every_k_chain,
+    checkpoint_none_chain,
+    daly_period_chain,
+    divisible_expected_makespan,
+    evaluate_chain_strategies,
+    optimal_periodic_policy,
+    periodic_expected_time,
+    work_maximization_chain,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # failures
+    "ExponentialFailure",
+    "WeibullFailure",
+    "LogNormalFailure",
+    "Platform",
+    "FailureTrace",
+    "generate_trace",
+    # workflows
+    "Task",
+    "Workflow",
+    "LinearChain",
+    "make_chain",
+    "make_independent",
+    "uniform_random_chain",
+    "fork_join",
+    "in_tree",
+    "out_tree",
+    "random_layered_dag",
+    "montage_like",
+    "save_workflow",
+    "load_workflow",
+    "save_chain",
+    "load_chain",
+    "workflow_to_dot",
+    # models
+    "PerfectlyParallelWorkload",
+    "AmdahlWorkload",
+    "NumericalKernelWorkload",
+    "ConstantCheckpointCost",
+    "ProportionalCheckpointCost",
+    "FrontierCheckpointCost",
+    # core
+    "expected_completion_time",
+    "expected_lost_time",
+    "expected_recovery_time",
+    "expected_segments_time",
+    "bouguerra_expected_time",
+    "young_period",
+    "daly_first_order_period",
+    "daly_higher_order_period",
+    "Schedule",
+    "Segment",
+    "CheckpointPlan",
+    "expected_makespan",
+    "ChainDPResult",
+    "optimal_chain_checkpoints",
+    "optimal_chain_checkpoints_budget",
+    "IndependentScheduleResult",
+    "schedule_independent_tasks",
+    "exhaustive_independent_schedule",
+    "DagScheduleResult",
+    "schedule_dag",
+    "exhaustive_dag_schedule",
+    "linearize",
+    "MoldableScheduler",
+    "MoldableTask",
+    "AllocationResult",
+    # analysis
+    "ThreePartitionInstance",
+    "three_partition_to_schedule",
+    "schedule_to_three_partition",
+    "solve_three_partition",
+    "generate_yes_instance",
+    "generate_no_instance",
+    "brute_force_chain_checkpoints",
+    "brute_force_independent_schedule",
+    "WasteBreakdown",
+    "waste_breakdown",
+    "simulated_waste_breakdown",
+    "PlacementPenalty",
+    "placement_penalty",
+    "rate_sensitivity_sweep",
+    # simulation
+    "simulate_schedule",
+    "SimulationResult",
+    "MonteCarloEstimator",
+    "MonteCarloEstimate",
+    "estimate_expected_completion_time",
+    "CampaignRunner",
+    "CampaignResult",
+    # baselines
+    "periodic_expected_time",
+    "optimal_periodic_policy",
+    "divisible_expected_makespan",
+    "checkpoint_all_chain",
+    "checkpoint_none_chain",
+    "checkpoint_every_k_chain",
+    "daly_period_chain",
+    "evaluate_chain_strategies",
+    "work_maximization_chain",
+]

@@ -1,0 +1,58 @@
+"""Proof machinery made executable: the NP-hardness reduction, its convexity
+analysis, and brute-force optima used as ground truth in tests and experiments."""
+
+from repro.analysis.reduction import (
+    ThreePartitionInstance,
+    ReducedSchedulingInstance,
+    three_partition_to_schedule,
+    schedule_to_three_partition,
+    solve_three_partition,
+    generate_yes_instance,
+    generate_no_instance,
+)
+from repro.analysis.convexity import (
+    balanced_group_expectation,
+    g_function,
+    g_derivative,
+    g_second_derivative,
+    optimal_continuous_group_count,
+    proof_parameters,
+)
+from repro.analysis.bruteforce import (
+    brute_force_chain_checkpoints,
+    brute_force_independent_schedule,
+)
+from repro.analysis.waste import (
+    WasteBreakdown,
+    simulated_waste_breakdown,
+    waste_breakdown,
+)
+from repro.analysis.sensitivity import (
+    PlacementPenalty,
+    placement_penalty,
+    rate_sensitivity_sweep,
+)
+
+__all__ = [
+    "ThreePartitionInstance",
+    "ReducedSchedulingInstance",
+    "three_partition_to_schedule",
+    "schedule_to_three_partition",
+    "solve_three_partition",
+    "generate_yes_instance",
+    "generate_no_instance",
+    "balanced_group_expectation",
+    "g_function",
+    "g_derivative",
+    "g_second_derivative",
+    "optimal_continuous_group_count",
+    "proof_parameters",
+    "brute_force_chain_checkpoints",
+    "brute_force_independent_schedule",
+    "WasteBreakdown",
+    "waste_breakdown",
+    "simulated_waste_breakdown",
+    "PlacementPenalty",
+    "placement_penalty",
+    "rate_sensitivity_sweep",
+]

@@ -1,0 +1,320 @@
+"""The 3-PARTITION reduction of Proposition 2, made executable.
+
+The proof of Proposition 2 reduces 3-PARTITION to the independent-task
+checkpoint-scheduling decision problem:
+
+* given 3-PARTITION integers ``a_1 .. a_{3n}`` summing to ``n T`` with
+  ``T/4 < a_i < T/2``, build ``3n`` independent tasks of weights ``w_i =
+  a_i``, set ``lambda = 1/(2T)``, ``C = R = (ln 2 - 1/2)/lambda``, ``D = 0``
+  and the bound ``K = n e^{lambda C}/lambda (e^{lambda (T + C)} - 1)``;
+* the 3-PARTITION instance is a YES instance **iff** the scheduling instance
+  admits a schedule of expected makespan at most ``K`` -- and the proof shows
+  any such schedule must use exactly ``n`` checkpoints delimiting groups of
+  total work exactly ``T``.
+
+This module builds the reduced instance (:func:`three_partition_to_schedule`),
+converts a schedule meeting the bound back into a 3-partition
+(:func:`schedule_to_three_partition`), solves small 3-PARTITION instances
+exactly (:func:`solve_three_partition`), and generates YES / NO instances for
+the experiments.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._validation import check_positive_int
+from repro.analysis.convexity import proof_parameters
+from repro.core.independent import IndependentScheduleResult, grouping_expected_time
+
+__all__ = [
+    "ThreePartitionInstance",
+    "ReducedSchedulingInstance",
+    "three_partition_to_schedule",
+    "schedule_to_three_partition",
+    "solve_three_partition",
+    "generate_yes_instance",
+    "generate_no_instance",
+]
+
+
+@dataclass(frozen=True)
+class ThreePartitionInstance:
+    """A 3-PARTITION instance: ``3n`` integers to split into ``n`` triples of sum ``T``.
+
+    Attributes
+    ----------
+    values:
+        The ``3n`` integers ``a_1 .. a_{3n}``.
+    target:
+        The target sum ``T``; the values must sum to ``n * T``.
+    strict:
+        When True (default), enforce the canonical constraint
+        ``T/4 < a_i < T/2`` which guarantees that every subset of a solution
+        has cardinality exactly 3.
+    """
+
+    values: Tuple[int, ...]
+    target: int
+    strict: bool = True
+
+    def __post_init__(self) -> None:
+        values = tuple(int(v) for v in self.values)
+        if len(values) == 0 or len(values) % 3 != 0:
+            raise ValueError(
+                f"a 3-PARTITION instance needs 3n values, got {len(values)}"
+            )
+        if any(v <= 0 for v in values):
+            raise ValueError("all values must be positive integers")
+        target = int(self.target)
+        check_positive_int("target", target)
+        n = len(values) // 3
+        if sum(values) != n * target:
+            raise ValueError(
+                f"values must sum to n*T = {n * target}, got {sum(values)}"
+            )
+        if self.strict:
+            for v in values:
+                if not (4 * v > target and 2 * v < target):
+                    raise ValueError(
+                        f"value {v} violates the constraint T/4 < a_i < T/2 (T={target}); "
+                        "pass strict=False to allow it"
+                    )
+        object.__setattr__(self, "values", values)
+        object.__setattr__(self, "target", target)
+
+    @property
+    def num_subsets(self) -> int:
+        """The number ``n`` of subsets a solution must form."""
+        return len(self.values) // 3
+
+    def is_solution(self, partition: Sequence[Sequence[int]]) -> bool:
+        """Check that ``partition`` (groups of 0-based indices) solves the instance."""
+        indices = [i for group in partition for i in group]
+        if sorted(indices) != list(range(len(self.values))):
+            return False
+        if len(partition) != self.num_subsets:
+            return False
+        return all(
+            sum(self.values[i] for i in group) == self.target for group in partition
+        )
+
+
+@dataclass(frozen=True)
+class ReducedSchedulingInstance:
+    """The independent-task scheduling instance produced by the Prop. 2 reduction.
+
+    Attributes
+    ----------
+    works:
+        Task durations ``w_i = a_i``.
+    checkpoint_cost, recovery_cost:
+        The common cost ``C = R = (ln 2 - 1/2) / lambda``.
+    rate:
+        The failure rate ``lambda = 1 / (2T)``.
+    downtime:
+        Zero, as in the proof.
+    bound:
+        The decision bound ``K``.
+    source:
+        The 3-PARTITION instance the reduction started from.
+    """
+
+    works: Tuple[float, ...]
+    checkpoint_cost: float
+    recovery_cost: float
+    rate: float
+    downtime: float
+    bound: float
+    source: ThreePartitionInstance
+
+    def grouping_expected_time(self, groups: Sequence[Sequence[int]]) -> float:
+        """Expected makespan of a partition of the tasks into checkpointed groups."""
+        return grouping_expected_time(
+            groups,
+            self.works,
+            self.checkpoint_cost,
+            self.recovery_cost,
+            self.downtime,
+            self.rate,
+            initial_recovery=self.recovery_cost,
+        )
+
+    def meets_bound(self, groups: Sequence[Sequence[int]], *, tolerance: float = 1e-9) -> bool:
+        """True when the partition's expected makespan is at most ``K`` (within tolerance)."""
+        return self.grouping_expected_time(groups) <= self.bound * (1.0 + tolerance)
+
+
+def three_partition_to_schedule(instance: ThreePartitionInstance) -> ReducedSchedulingInstance:
+    """Build the scheduling instance ``I2`` of the Prop. 2 proof from a 3-PARTITION instance ``I1``.
+
+    The construction is linear in the size of the input, as required for a
+    polynomial (indeed strong) reduction.
+    """
+    params = proof_parameters(float(instance.target), instance.num_subsets)
+    return ReducedSchedulingInstance(
+        works=tuple(float(v) for v in instance.values),
+        checkpoint_cost=params.checkpoint_cost,
+        recovery_cost=params.checkpoint_cost,
+        rate=params.rate,
+        downtime=params.downtime,
+        bound=params.bound,
+        source=instance,
+    )
+
+
+def schedule_to_three_partition(
+    reduced: ReducedSchedulingInstance,
+    groups: Sequence[Sequence[int]],
+    *,
+    tolerance: float = 1e-9,
+) -> Optional[List[List[int]]]:
+    """Convert a schedule meeting the bound ``K`` into a 3-partition, if possible.
+
+    Implements the "suppose now that I2 has a solution" direction of the
+    proof: if the partition's expected makespan is at most ``K``, the
+    convexity argument forces exactly ``n`` groups of total work exactly
+    ``T``, which is a valid 3-partition.  Returns the groups (as lists of
+    indices) when they form a 3-partition, ``None`` otherwise.
+    """
+    if not reduced.meets_bound(groups, tolerance=tolerance):
+        return None
+    partition = [sorted(group) for group in groups]
+    if reduced.source.is_solution(partition):
+        return partition
+    # The bound was met but the groups do not form an exact 3-partition; this
+    # can only happen through numerical round-off, so check group sums with a
+    # small tolerance before giving up.
+    target = float(reduced.source.target)
+    if len(partition) != reduced.source.num_subsets:
+        return None
+    for group in partition:
+        if abs(sum(reduced.works[i] for i in group) - target) > 1e-6 * target:
+            return None
+    return partition
+
+
+def solve_three_partition(instance: ThreePartitionInstance) -> Optional[List[List[int]]]:
+    """Exact solver for small 3-PARTITION instances (backtracking over triples).
+
+    3-PARTITION is strongly NP-complete, so this is exponential in general; it
+    is intended for the small instances used in tests and experiment E4
+    (up to ``n`` around 6-8, i.e. 18-24 values).
+    """
+    values = instance.values
+    n = instance.num_subsets
+    target = instance.target
+    indices = sorted(range(len(values)), key=lambda i: values[i], reverse=True)
+    used = [False] * len(values)
+    solution: List[List[int]] = []
+
+    def backtrack(groups_formed: int) -> bool:
+        if groups_formed == n:
+            return True
+        # Find the first unused index (largest remaining value) to anchor the
+        # next triple; this avoids exploring permutations of the same triple.
+        first = next(i for i in indices if not used[i])
+        used[first] = True
+        remaining = [i for i in indices if not used[i]]
+        for a, b in itertools.combinations(remaining, 2):
+            if values[first] + values[a] + values[b] == target:
+                used[a] = used[b] = True
+                solution.append(sorted([first, a, b]))
+                if backtrack(groups_formed + 1):
+                    return True
+                solution.pop()
+                used[a] = used[b] = False
+        used[first] = False
+        return False
+
+    if backtrack(0):
+        return [list(group) for group in solution]
+    return None
+
+
+def generate_yes_instance(
+    num_subsets: int,
+    *,
+    target: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+) -> ThreePartitionInstance:
+    """Generate a YES 3-PARTITION instance by construction.
+
+    Each of the ``num_subsets`` triples is built to sum exactly to the target
+    while respecting ``T/4 < a_i < T/2``, so a solution exists by
+    construction.  The values are shuffled before being returned so solvers
+    cannot exploit their order.
+    """
+    check_positive_int("num_subsets", num_subsets)
+    generator = rng if rng is not None else np.random.default_rng(seed)
+    # A comfortably large even target leaves room to pick triples in (T/4, T/2).
+    t = int(target) if target is not None else 120
+    if t < 12 or t % 3 != 0:
+        raise ValueError("target must be a multiple of 3 and at least 12")
+    values: List[int] = []
+    third = t // 3
+    lo = t // 4 + 1
+    hi = (t - 1) // 2
+    for _ in range(num_subsets):
+        # Pick a, then b, then force c = T - a - b, retrying until all three
+        # fall in the open interval (T/4, T/2).
+        while True:
+            a = int(generator.integers(lo, min(hi, third) + 1))
+            b = int(generator.integers(lo, hi + 1))
+            c = t - a - b
+            if lo <= c <= hi:
+                values.extend([a, b, c])
+                break
+    generator.shuffle(values)  # type: ignore[arg-type]
+    return ThreePartitionInstance(values=tuple(int(v) for v in values), target=t)
+
+
+def generate_no_instance(
+    num_subsets: int,
+    *,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+    max_attempts: int = 5_000,
+) -> ThreePartitionInstance:
+    """Generate a NO 3-PARTITION instance (verified by the exact solver).
+
+    Random instances with the right total sum are drawn until one with no
+    solution is found; the exact solver certifies the absence of a solution,
+    so this is only practical for small ``num_subsets`` (tests use 2-4).
+    """
+    check_positive_int("num_subsets", num_subsets)
+    generator = rng if rng is not None else np.random.default_rng(seed)
+    t = 120
+    lo, hi = t // 4 + 1, (t - 1) // 2
+    for _ in range(max_attempts):
+        values = [int(generator.integers(lo, hi + 1)) for _ in range(3 * num_subsets)]
+        total = sum(values)
+        deficit = num_subsets * t - total
+        # Repair the total sum by nudging values while staying inside (T/4, T/2).
+        index = 0
+        guard = 0
+        while deficit != 0 and guard < 10_000:
+            step = 1 if deficit > 0 else -1
+            candidate = values[index] + step
+            if lo <= candidate <= hi:
+                values[index] = candidate
+                deficit -= step
+            index = (index + 1) % len(values)
+            guard += 1
+        if deficit != 0:
+            continue
+        try:
+            instance = ThreePartitionInstance(values=tuple(values), target=t)
+        except ValueError:
+            continue
+        if solve_three_partition(instance) is None:
+            return instance
+    raise RuntimeError(
+        f"could not generate a NO instance with n={num_subsets} in {max_attempts} attempts"
+    )

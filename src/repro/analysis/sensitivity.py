@@ -1,0 +1,137 @@
+"""Sensitivity of checkpoint decisions to mis-estimated parameters.
+
+The failure rate ``lambda`` and the checkpoint cost ``C`` are never known
+exactly in practice: the MTBF is estimated from noisy logs and the checkpoint
+duration varies with I/O contention.  Daly's follow-up work (the paper's
+reference [23], Jones, Daly, DeBardeleben, "Impact of sub-optimal checkpoint
+intervals...") studies how much a wrong period costs; the same question is
+natural for the paper's task-level placements, and answering it requires
+nothing beyond Proposition 1.
+
+Two tools are provided:
+
+* :func:`placement_penalty` -- given a chain and the *true* parameters, how
+  much worse is the placement computed with *assumed* (wrong) parameters than
+  the truly optimal placement?  This is the task-level analogue of [23].
+* :func:`rate_sensitivity_sweep` -- sweep the assumed-to-true failure-rate
+  ratio over a grid and tabulate the penalty, producing the classic
+  "asymmetric U" curve (over-estimating the failure rate is much cheaper than
+  under-estimating it, because superfluous checkpoints cost little compared to
+  lost re-execution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro._validation import check_non_negative, check_positive
+from repro.core.chain_dp import optimal_chain_checkpoints
+from repro.core.schedule import Schedule
+from repro.experiments.reporting import ResultTable
+from repro.workflows.chain import LinearChain
+
+__all__ = ["PlacementPenalty", "placement_penalty", "rate_sensitivity_sweep"]
+
+
+@dataclass(frozen=True)
+class PlacementPenalty:
+    """Cost of planning with wrong parameters.
+
+    Attributes
+    ----------
+    expected_with_assumed_plan:
+        Expected makespan (under the *true* parameters) of the placement that
+        was computed with the assumed parameters.
+    expected_optimal:
+        Expected makespan of the truly optimal placement (computed and
+        evaluated under the true parameters).
+    penalty:
+        Relative excess, ``expected_with_assumed_plan / expected_optimal - 1``
+        (always >= 0).
+    assumed_checkpoints, optimal_checkpoints:
+        Number of checkpoints in the two placements.
+    """
+
+    expected_with_assumed_plan: float
+    expected_optimal: float
+    penalty: float
+    assumed_checkpoints: int
+    optimal_checkpoints: int
+
+
+def placement_penalty(
+    chain: LinearChain,
+    true_rate: float,
+    assumed_rate: float,
+    downtime: float,
+    *,
+    true_downtime: Optional[float] = None,
+    final_checkpoint: bool = True,
+) -> PlacementPenalty:
+    """Penalty of planning a chain with an assumed failure rate.
+
+    The placement is computed by Algorithm 1 using ``assumed_rate`` (and
+    ``downtime``), then evaluated exactly under ``true_rate`` (and
+    ``true_downtime``, defaulting to ``downtime``); the result is compared to
+    the placement that Algorithm 1 would produce with the true parameters.
+    """
+    check_positive("true_rate", true_rate)
+    check_positive("assumed_rate", assumed_rate)
+    check_non_negative("downtime", downtime)
+    evaluation_downtime = downtime if true_downtime is None else check_non_negative(
+        "true_downtime", true_downtime
+    )
+
+    assumed = optimal_chain_checkpoints(
+        chain, downtime, assumed_rate, final_checkpoint=final_checkpoint
+    )
+    optimal = optimal_chain_checkpoints(
+        chain, evaluation_downtime, true_rate, final_checkpoint=final_checkpoint
+    )
+    assumed_under_truth = Schedule.for_chain(chain, assumed.checkpoint_after).expected_makespan(
+        evaluation_downtime, true_rate
+    )
+    penalty = assumed_under_truth / optimal.expected_makespan - 1.0
+    return PlacementPenalty(
+        expected_with_assumed_plan=assumed_under_truth,
+        expected_optimal=optimal.expected_makespan,
+        penalty=max(penalty, 0.0),
+        assumed_checkpoints=assumed.num_checkpoints,
+        optimal_checkpoints=optimal.num_checkpoints,
+    )
+
+
+def rate_sensitivity_sweep(
+    chain: LinearChain,
+    true_rate: float,
+    downtime: float,
+    *,
+    ratios: Sequence[float] = (0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0),
+    final_checkpoint: bool = True,
+) -> ResultTable:
+    """Tabulate the penalty of assuming ``ratio * true_rate`` instead of ``true_rate``.
+
+    Returns a :class:`ResultTable` with one row per ratio; the ``penalty_pct``
+    column is 0 at ratio 1 and grows on both sides, typically much faster on
+    the under-estimation side (ratio < 1).
+    """
+    check_positive("true_rate", true_rate)
+    table = ResultTable(
+        title="Sensitivity of the chain placement to a mis-estimated failure rate",
+        columns=["assumed_over_true", "assumed_rate", "penalty_pct",
+                 "assumed_checkpoints", "optimal_checkpoints"],
+    )
+    for ratio in ratios:
+        check_positive("ratio", ratio)
+        result = placement_penalty(
+            chain, true_rate, ratio * true_rate, downtime, final_checkpoint=final_checkpoint
+        )
+        table.add_row(
+            assumed_over_true=ratio,
+            assumed_rate=ratio * true_rate,
+            penalty_pct=100.0 * result.penalty,
+            assumed_checkpoints=result.assumed_checkpoints,
+            optimal_checkpoints=result.optimal_checkpoints,
+        )
+    return table

@@ -1,0 +1,35 @@
+"""Baseline checkpointing strategies the paper compares against or builds upon."""
+
+from repro.baselines.periodic import (
+    PeriodicPolicy,
+    divisible_expected_makespan,
+    optimal_periodic_policy,
+    periodic_expected_time,
+)
+from repro.baselines.strategies import (
+    checkpoint_all_chain,
+    checkpoint_every_k_chain,
+    checkpoint_none_chain,
+    daly_period_chain,
+    evaluate_chain_strategies,
+)
+from repro.baselines.work_maximization import (
+    WorkMaximizationResult,
+    expected_work_before_failure,
+    work_maximization_chain,
+)
+
+__all__ = [
+    "PeriodicPolicy",
+    "periodic_expected_time",
+    "optimal_periodic_policy",
+    "divisible_expected_makespan",
+    "checkpoint_all_chain",
+    "checkpoint_none_chain",
+    "checkpoint_every_k_chain",
+    "daly_period_chain",
+    "evaluate_chain_strategies",
+    "WorkMaximizationResult",
+    "expected_work_before_failure",
+    "work_maximization_chain",
+]

@@ -1,0 +1,176 @@
+"""Periodic checkpointing of divisible jobs (Young, Daly, and exact policies).
+
+The related-work section of the paper recalls the large body of literature on
+checkpointing *divisible* jobs: the job can be cut anywhere into chunks, a
+checkpoint is taken after each chunk, and for Exponential failures the optimal
+policy is periodic (same-size chunks).  Young [22] and Daly [7] give
+first-order and higher-order approximations of the optimal period; the exact
+expected makespan of any periodic policy follows from Proposition 1 applied to
+each chunk.
+
+These divisible-job policies serve two purposes in the reproduction:
+
+* experiment E2 compares the approximate periods against the exact optimum
+  obtained by minimising the Prop.-1-based expected makespan over the number
+  of chunks;
+* experiment E6 uses the Daly period as a baseline placement rule on task
+  chains (checkpoint after the task that makes the elapsed work exceed the
+  period), to quantify the benefit of the paper's DP, which respects task
+  boundaries.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro._validation import check_non_negative, check_positive, check_positive_int
+from repro.core.expected_time import (
+    daly_higher_order_period,
+    expected_completion_time,
+    young_period,
+)
+
+__all__ = [
+    "PeriodicPolicy",
+    "periodic_expected_time",
+    "optimal_periodic_policy",
+    "divisible_expected_makespan",
+]
+
+
+@dataclass(frozen=True)
+class PeriodicPolicy:
+    """A periodic checkpointing policy for a divisible job.
+
+    Attributes
+    ----------
+    num_chunks:
+        Number of equal chunks the job is cut into (one checkpoint per chunk).
+    chunk_work:
+        Work per chunk.
+    expected_makespan:
+        Exact expected makespan of the policy (Prop. 1 per chunk).
+    """
+
+    num_chunks: int
+    chunk_work: float
+    expected_makespan: float
+
+    @property
+    def period(self) -> float:
+        """The checkpointing period (work between two checkpoints)."""
+        return self.chunk_work
+
+
+def periodic_expected_time(
+    total_work: float,
+    num_chunks: int,
+    checkpoint: float,
+    downtime: float,
+    recovery: float,
+    rate: float,
+    *,
+    initial_recovery: Optional[float] = None,
+) -> float:
+    """Exact expected makespan of cutting ``total_work`` into ``num_chunks`` equal chunks.
+
+    Each chunk of work ``total_work / num_chunks`` is followed by a checkpoint
+    of duration ``checkpoint``; failures roll back to the previous chunk's
+    checkpoint (cost ``recovery``), or to the initial state for the first
+    chunk (cost ``initial_recovery``, default ``0``).
+    """
+    check_positive("total_work", total_work)
+    check_positive_int("num_chunks", num_chunks)
+    chunk = total_work / num_chunks
+    first_recovery = 0.0 if initial_recovery is None else initial_recovery
+    total = expected_completion_time(chunk, checkpoint, downtime, first_recovery, rate)
+    if num_chunks > 1:
+        total += (num_chunks - 1) * expected_completion_time(
+            chunk, checkpoint, downtime, recovery, rate
+        )
+    return total
+
+
+def optimal_periodic_policy(
+    total_work: float,
+    checkpoint: float,
+    downtime: float,
+    recovery: float,
+    rate: float,
+    *,
+    initial_recovery: Optional[float] = None,
+    max_chunks: Optional[int] = None,
+) -> PeriodicPolicy:
+    """Best periodic policy by exact evaluation over the number of chunks.
+
+    The expected makespan as a function of the (integer) number of chunks is
+    convex (same argument as the ``g(m)`` analysis of the NP-hardness proof),
+    so the search scans increasing chunk counts and stops at the first local
+    minimum; ``max_chunks`` bounds the scan defensively.
+    """
+    check_positive("total_work", total_work)
+    check_non_negative("checkpoint", checkpoint)
+    check_positive("rate", rate)
+    if max_chunks is None:
+        # The optimum is near total_work / young_period; scan a generous range.
+        if checkpoint > 0:
+            guess = total_work / young_period(checkpoint, rate)
+        else:
+            guess = total_work * rate
+        max_chunks = max(int(4 * guess) + 10, 64)
+
+    best_policy: Optional[PeriodicPolicy] = None
+    previous_value = math.inf
+    for m in range(1, max_chunks + 1):
+        try:
+            value = periodic_expected_time(
+                total_work, m, checkpoint, downtime, recovery, rate,
+                initial_recovery=initial_recovery,
+            )
+        except OverflowError:
+            value = math.inf
+        if best_policy is None or value < best_policy.expected_makespan:
+            best_policy = PeriodicPolicy(
+                num_chunks=m, chunk_work=total_work / m, expected_makespan=value
+            )
+        if value > previous_value and best_policy.num_chunks < m - 1:
+            # Convexity: once the value starts increasing past the minimum we can stop.
+            break
+        previous_value = value
+    assert best_policy is not None
+    return best_policy
+
+
+def divisible_expected_makespan(
+    total_work: float,
+    period: float,
+    checkpoint: float,
+    downtime: float,
+    recovery: float,
+    rate: float,
+    *,
+    initial_recovery: Optional[float] = None,
+) -> float:
+    """Expected makespan of a divisible job checkpointed every ``period`` units of work.
+
+    The job is cut into ``ceil(total_work / period)`` chunks: all full-size
+    except possibly the last one.  This evaluates the approximate policies of
+    Young and Daly exactly so they can be compared to the optimum.
+    """
+    check_positive("total_work", total_work)
+    check_positive("period", period)
+    num_full = int(total_work // period)
+    remainder = total_work - num_full * period
+    chunks = [period] * num_full
+    if remainder > 1e-12 * total_work:
+        chunks.append(remainder)
+    if not chunks:
+        chunks = [total_work]
+    first_recovery = 0.0 if initial_recovery is None else initial_recovery
+    total = 0.0
+    for index, chunk in enumerate(chunks):
+        rec = first_recovery if index == 0 else recovery
+        total += expected_completion_time(chunk, checkpoint, downtime, rec, rate)
+    return total

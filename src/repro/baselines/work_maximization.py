@@ -1,0 +1,236 @@
+"""Work-maximisation checkpoint placement for general failure laws.
+
+When failures are not Exponential, no closed form exists for the expected
+makespan (Section 6, third extension), so minimising it directly is out of
+reach.  Bouguerra, Trystram and Wagner [20] -- the work that motivated the
+paper -- instead *maximise the expected amount of work saved before the first
+failure*, a natural greedy surrogate: the more progress is safely committed by
+checkpoints before the failure strikes, the less will have to be re-executed.
+
+For a chain executed from time 0 with checkpoints after a chosen set of tasks,
+the work of a segment is saved iff the first failure strikes after that
+segment's checkpoint has committed.  Hence, writing ``tau_k`` for the absolute
+completion time of the ``k``-th checkpointed segment and ``S`` for the
+survival function of the time to the first failure::
+
+    E[saved work] = sum_k  W_k * S(tau_k)
+
+This module provides the exact evaluation of that objective for any
+:class:`~repro.failures.distributions.FailureDistribution`
+(:func:`expected_work_before_failure`) and two solvers
+(:func:`work_maximization_chain`):
+
+* exhaustive enumeration of the ``2^{n-1}`` placements for small chains
+  (exact);
+* a dynamic program over (position of the last checkpoint, number of
+  checkpoints placed) for longer chains -- exact whenever all checkpoint
+  costs are equal (the elapsed time then only depends on those two state
+  variables), and a documented approximation using the mean checkpoint cost
+  otherwise.  This mirrors the pseudo-polynomial DP of [20].
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro._validation import check_non_negative
+from repro.core.schedule import Schedule
+from repro.failures.distributions import FailureDistribution
+from repro.workflows.chain import LinearChain
+
+__all__ = [
+    "WorkMaximizationResult",
+    "expected_work_before_failure",
+    "work_maximization_chain",
+]
+
+
+@dataclass(frozen=True)
+class WorkMaximizationResult:
+    """Result of the work-maximisation placement.
+
+    Attributes
+    ----------
+    checkpoint_after:
+        0-based positions of the checkpoints.
+    expected_saved_work:
+        Value of the objective (expected work committed before the first
+        failure) for this placement.
+    exact:
+        True when the placement is the exact maximiser (exhaustive search, or
+        DP with equal checkpoint costs).
+    """
+
+    chain: LinearChain
+    checkpoint_after: Tuple[int, ...]
+    expected_saved_work: float
+    exact: bool
+
+    @property
+    def num_checkpoints(self) -> int:
+        """Number of checkpoints in the placement."""
+        return len(self.checkpoint_after)
+
+    def to_schedule(self) -> Schedule:
+        """Materialise the placement as a :class:`Schedule` for simulation."""
+        return Schedule.for_chain(self.chain, self.checkpoint_after)
+
+
+def expected_work_before_failure(
+    chain: LinearChain,
+    checkpoint_after: Sequence[int],
+    law: FailureDistribution,
+) -> float:
+    """Expected work saved before the first failure, for an explicit placement.
+
+    ``checkpoint_after`` lists the 0-based task indices followed by a
+    checkpoint.  Work that is executed but not yet protected by a committed
+    checkpoint when the first failure strikes counts for nothing (it will have
+    to be re-executed), matching the objective of [20].
+    """
+    positions = sorted(set(checkpoint_after))
+    for position in positions:
+        if not 0 <= position < chain.n:
+            raise ValueError(f"checkpoint position {position} out of range 0..{chain.n - 1}")
+    prefix = chain.prefix_work()
+    total = 0.0
+    elapsed = 0.0
+    previous = -1
+    for position in positions:
+        segment_work = prefix[position + 1] - prefix[previous + 1]
+        elapsed += segment_work + chain.checkpoint_costs[position]
+        total += segment_work * law.survival(elapsed)
+        previous = position
+    return total
+
+
+def _exhaustive(
+    chain: LinearChain, law: FailureDistribution, final_checkpoint: bool
+) -> WorkMaximizationResult:
+    n = chain.n
+    # With a forced final checkpoint only the first n-1 positions are free;
+    # otherwise every position (including the last) is a free choice.
+    free = list(range(n - 1)) if final_checkpoint else list(range(n))
+    best_positions: Tuple[int, ...] = ()
+    best_value = -math.inf
+    for r in range(len(free) + 1):
+        for subset in itertools.combinations(free, r):
+            positions = list(subset)
+            if final_checkpoint:
+                positions.append(n - 1)
+            value = expected_work_before_failure(chain, positions, law)
+            if value > best_value:
+                best_value = value
+                best_positions = tuple(sorted(positions))
+    return WorkMaximizationResult(
+        chain=chain,
+        checkpoint_after=best_positions,
+        expected_saved_work=best_value,
+        exact=True,
+    )
+
+
+def _dynamic_program(
+    chain: LinearChain, law: FailureDistribution, final_checkpoint: bool
+) -> WorkMaximizationResult:
+    n = chain.n
+    prefix = chain.prefix_work()
+    costs = chain.checkpoint_costs
+    uniform = len(set(costs)) == 1
+    mean_cost = sum(costs) / n
+
+    def elapsed_at(position: int, num_checkpoints: int) -> float:
+        # Absolute time at which the checkpoint after `position` commits,
+        # assuming `num_checkpoints` checkpoints (including this one) have
+        # been taken so far.  Exact when all costs are equal; otherwise the
+        # mean cost is used as an approximation.
+        if uniform:
+            return prefix[position + 1] + num_checkpoints * costs[0]
+        return prefix[position + 1] + num_checkpoints * mean_cost
+
+    # value[i][m] = best expected saved work when the m-th checkpoint is taken
+    # right after task i (0-based), considering tasks 0..i only.
+    value: List[List[float]] = [[-math.inf] * (n + 1) for _ in range(n)]
+    parent: List[List[Optional[Tuple[int, int]]]] = [[None] * (n + 1) for _ in range(n)]
+    for i in range(n):
+        work = prefix[i + 1]
+        value[i][1] = work * law.survival(elapsed_at(i, 1))
+    for m in range(2, n + 1):
+        for i in range(m - 1, n):
+            gain_time = elapsed_at(i, m)
+            for j in range(m - 2, i):
+                if value[j][m - 1] == -math.inf:
+                    continue
+                segment_work = prefix[i + 1] - prefix[j + 1]
+                candidate = value[j][m - 1] + segment_work * law.survival(gain_time)
+                if candidate > value[i][m]:
+                    value[i][m] = candidate
+                    parent[i][m] = (j, m - 1)
+
+    best_value = 0.0
+    best_state: Optional[Tuple[int, int]] = None
+    if final_checkpoint:
+        # The last checkpoint must sit after the final task.
+        for m in range(1, n + 1):
+            if value[n - 1][m] > best_value:
+                best_value = value[n - 1][m]
+                best_state = (n - 1, m)
+    else:
+        for i in range(n):
+            for m in range(1, n + 1):
+                if value[i][m] > best_value:
+                    best_value = value[i][m]
+                    best_state = (i, m)
+
+    positions: List[int] = []
+    state = best_state
+    while state is not None:
+        i, m = state
+        positions.append(i)
+        state = parent[i][m]
+    positions.sort()
+    if final_checkpoint and (n - 1) not in positions:
+        positions.append(n - 1)
+
+    # Re-evaluate the placement exactly (the DP may have used the mean cost).
+    exact_value = expected_work_before_failure(chain, positions, law)
+    return WorkMaximizationResult(
+        chain=chain,
+        checkpoint_after=tuple(positions),
+        expected_saved_work=exact_value,
+        exact=uniform,
+    )
+
+
+def work_maximization_chain(
+    chain: LinearChain,
+    law: FailureDistribution,
+    *,
+    final_checkpoint: bool = True,
+    exhaustive_limit: int = 16,
+) -> WorkMaximizationResult:
+    """Checkpoint placement maximising the expected work saved before the first failure.
+
+    Parameters
+    ----------
+    chain:
+        The task chain.
+    law:
+        Distribution of the time to the platform's first failure (for a
+        platform of ``p`` processors with per-processor law ``F``, the time to
+        the first failure is the minimum of ``p`` draws; pass that
+        superposed law, or the per-processor law for ``p = 1`` as in [20]).
+    final_checkpoint:
+        Whether a checkpoint after the last task is mandatory (default True,
+        consistent with the rest of the library).
+    exhaustive_limit:
+        Chains with at most this many tasks are solved exactly by exhaustive
+        enumeration; longer chains use the dynamic program.
+    """
+    check_non_negative("exhaustive_limit", exhaustive_limit)
+    if chain.n <= exhaustive_limit:
+        return _exhaustive(chain, law, final_checkpoint)
+    return _dynamic_program(chain, law, final_checkpoint)

@@ -1,0 +1,185 @@
+"""Command-line interface for the checkpoint-scheduling library.
+
+Four sub-commands cover the everyday uses of the library without writing any
+Python:
+
+* ``repro solve-chain``   -- optimal checkpoint placement for a chain stored
+  as JSON (``repro-chain`` format, see :mod:`repro.workflows.serialization`);
+* ``repro solve-dag``     -- heuristic checkpoint scheduling for a workflow
+  DAG stored as JSON (``repro-workflow`` format);
+* ``repro simulate``      -- Monte-Carlo estimate of the expected makespan of
+  a chain under a given placement;
+* ``repro experiment``    -- run one of the E1-E10 experiments and print its
+  table (optionally as CSV).
+
+The CLI is intentionally thin: every sub-command parses arguments, calls the
+corresponding library entry point, and prints a human-readable (or CSV)
+summary.  It is installed as the ``repro`` console script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.strategies import evaluate_chain_strategies
+from repro.core.chain_dp import optimal_chain_checkpoints, optimal_chain_checkpoints_budget
+from repro.core.dag_scheduling import schedule_dag
+from repro.core.schedule import Schedule
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.simulation.monte_carlo import MonteCarloEstimator
+from repro.workflows.serialization import load_chain, load_workflow, workflow_to_dot
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Checkpoint scheduling for computational workflows under failures "
+        "(reproduction of Robert, Vivien, Zaidouni, RR-7907).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    solve_chain = subparsers.add_parser(
+        "solve-chain", help="optimal checkpoint placement for a linear chain (Algorithm 1)"
+    )
+    solve_chain.add_argument("chain", help="path to a repro-chain JSON file")
+    solve_chain.add_argument("--rate", type=float, required=True,
+                             help="platform failure rate lambda")
+    solve_chain.add_argument("--downtime", type=float, default=0.0, help="downtime D per failure")
+    solve_chain.add_argument("--max-checkpoints", type=int, default=None,
+                             help="optional upper bound on the number of checkpoints")
+    solve_chain.add_argument("--no-final-checkpoint", action="store_true",
+                             help="do not force a checkpoint after the last task")
+    solve_chain.add_argument("--compare", action="store_true",
+                             help="also print the baseline strategies for comparison")
+
+    solve_dag = subparsers.add_parser(
+        "solve-dag", help="heuristic checkpoint scheduling for a workflow DAG"
+    )
+    solve_dag.add_argument("workflow", help="path to a repro-workflow JSON file")
+    solve_dag.add_argument("--rate", type=float, required=True)
+    solve_dag.add_argument("--downtime", type=float, default=0.0)
+    solve_dag.add_argument("--seed", type=int, default=0, help="seed for the random linearisations")
+    solve_dag.add_argument("--dot", action="store_true",
+                           help="print a Graphviz DOT rendering with checkpoints highlighted")
+
+    simulate = subparsers.add_parser(
+        "simulate", help="Monte-Carlo estimate of a chain schedule's expected makespan"
+    )
+    simulate.add_argument("chain", help="path to a repro-chain JSON file")
+    simulate.add_argument("--rate", type=float, required=True)
+    simulate.add_argument("--downtime", type=float, default=0.0)
+    simulate.add_argument("--checkpoint-after", type=str, default=None,
+                          help="comma-separated 0-based positions; default: optimal placement")
+    simulate.add_argument("--runs", type=int, default=5000)
+    simulate.add_argument("--seed", type=int, default=0)
+
+    experiment = subparsers.add_parser(
+        "experiment", help="run one of the reproduction experiments (E1-E10)"
+    )
+    experiment.add_argument("id", choices=sorted(EXPERIMENTS, key=lambda k: int(k[1:])),
+                            help="experiment identifier")
+    experiment.add_argument("--csv", action="store_true", help="print CSV instead of a table")
+
+    return parser
+
+
+def _cmd_solve_chain(args: argparse.Namespace) -> int:
+    chain = load_chain(args.chain)
+    final_checkpoint = not args.no_final_checkpoint
+    if args.max_checkpoints is not None:
+        result = optimal_chain_checkpoints_budget(
+            chain, args.downtime, args.rate, args.max_checkpoints,
+            final_checkpoint=final_checkpoint,
+        )
+    else:
+        result = optimal_chain_checkpoints(
+            chain, args.downtime, args.rate, final_checkpoint=final_checkpoint
+        )
+    print(f"chain              : {args.chain} ({chain.n} tasks, total work {chain.total_work():g})")
+    print(f"expected makespan  : {result.expected_makespan:.6g}")
+    print(f"checkpoints        : {result.num_checkpoints}")
+    print(f"checkpoint after   : {[chain.names[i] for i in result.checkpoint_after]}")
+    if args.compare:
+        strategies = evaluate_chain_strategies(chain, args.downtime, args.rate)
+        print("baseline comparison (expected makespan):")
+        for name in sorted(strategies):
+            value = strategies[name].expected_makespan
+            print(f"  {name:<18s}: {value:.6g}")
+    return 0
+
+
+def _cmd_solve_dag(args: argparse.Namespace) -> int:
+    workflow = load_workflow(args.workflow)
+    result = schedule_dag(workflow, args.downtime, args.rate, seed=args.seed)
+    print(f"workflow           : {args.workflow} ({len(workflow)} tasks)")
+    print(f"linearisation      : {result.strategy}")
+    print(f"expected makespan  : {result.expected_makespan:.6g}")
+    checkpoint_names = [result.order[i] for i in result.checkpoint_after]
+    print(f"checkpoint after   : {checkpoint_names}")
+    if args.dot:
+        print(workflow_to_dot(workflow, checkpoint_after=checkpoint_names))
+    return 0
+
+
+def _parse_positions(text: Optional[str], n: int) -> Optional[List[int]]:
+    if text is None:
+        return None
+    positions = []
+    for piece in text.split(","):
+        piece = piece.strip()
+        if not piece:
+            continue
+        value = int(piece)
+        if not 0 <= value < n:
+            raise SystemExit(f"checkpoint position {value} out of range 0..{n - 1}")
+        positions.append(value)
+    return positions
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    chain = load_chain(args.chain)
+    positions = _parse_positions(args.checkpoint_after, chain.n)
+    if positions is None:
+        dp = optimal_chain_checkpoints(chain, args.downtime, args.rate)
+        positions = list(dp.checkpoint_after)
+        print(f"using optimal placement: {positions}")
+    schedule = Schedule.for_chain(chain, positions)
+    analytic = schedule.expected_makespan(args.downtime, args.rate)
+    rng = np.random.default_rng(args.seed)
+    estimate = MonteCarloEstimator(schedule, args.rate, args.downtime).estimate(args.runs, rng=rng)
+    print(f"analytic expectation : {analytic:.6g}")
+    print(f"simulated mean       : {estimate.mean:.6g} "
+          f"(95% CI [{estimate.ci95_low:.6g}, {estimate.ci95_high:.6g}], {args.runs} runs)")
+    print(f"mean failures / run  : {estimate.mean_failures:.3g}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    table = run_experiment(args.id)
+    print(table.to_csv() if args.csv else table.to_text())
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the ``repro`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "solve-chain": _cmd_solve_chain,
+        "solve-dag": _cmd_solve_dag,
+        "simulate": _cmd_simulate,
+        "experiment": _cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised through the console script
+    sys.exit(main())

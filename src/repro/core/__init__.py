@@ -1,0 +1,64 @@
+"""The paper's primary contribution: expected-time formula and checkpoint schedulers."""
+
+from repro.core.expected_time import (
+    bouguerra_expected_time,
+    daly_first_order_period,
+    daly_higher_order_period,
+    expected_completion_time,
+    expected_lost_time,
+    expected_recovery_time,
+    expected_segments_time,
+    young_period,
+)
+from repro.core.schedule import CheckpointPlan, Schedule, Segment, expected_makespan
+from repro.core.chain_dp import (
+    ChainDPResult,
+    dp_makespan_recursive,
+    optimal_chain_checkpoints,
+    optimal_chain_checkpoints_budget,
+)
+from repro.core.independent import (
+    IndependentScheduleResult,
+    balanced_grouping,
+    exhaustive_independent_schedule,
+    optimal_group_count,
+    schedule_independent_tasks,
+)
+from repro.core.dag_scheduling import (
+    DagScheduleResult,
+    linearize,
+    schedule_dag,
+    exhaustive_dag_schedule,
+)
+from repro.core.moldable import MoldableScheduler, MoldableTask, AllocationResult
+
+__all__ = [
+    "expected_completion_time",
+    "expected_lost_time",
+    "expected_recovery_time",
+    "expected_segments_time",
+    "bouguerra_expected_time",
+    "young_period",
+    "daly_first_order_period",
+    "daly_higher_order_period",
+    "Schedule",
+    "Segment",
+    "CheckpointPlan",
+    "expected_makespan",
+    "ChainDPResult",
+    "optimal_chain_checkpoints",
+    "optimal_chain_checkpoints_budget",
+    "dp_makespan_recursive",
+    "IndependentScheduleResult",
+    "schedule_independent_tasks",
+    "exhaustive_independent_schedule",
+    "balanced_grouping",
+    "optimal_group_count",
+    "DagScheduleResult",
+    "schedule_dag",
+    "linearize",
+    "exhaustive_dag_schedule",
+    "MoldableScheduler",
+    "MoldableTask",
+    "AllocationResult",
+]

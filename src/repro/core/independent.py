@@ -1,0 +1,448 @@
+"""Scheduling independent tasks with checkpoints (the strongly NP-complete case).
+
+Proposition 2 of the paper shows that deciding an order and checkpoint
+positions for ``n`` independent tasks -- even with all checkpoint and recovery
+costs equal to a constant ``C`` and no downtime -- is NP-complete in the
+strong sense (reduction from 3-PARTITION).  With independent tasks and
+constant costs, the execution order inside a group and the order of the groups
+do not matter (the memoryless property makes groups exchangeable); all that
+matters is the *partition of the tasks into checkpointed groups*: a group of
+total work ``W_g`` costs ``e^{lambda R} (1/lambda + D)(e^{lambda (W_g + C)} -
+1)`` by Proposition 1, and the convexity argument in the proof shows the best
+partition into ``m`` groups balances the group works.
+
+This module provides:
+
+* :func:`exhaustive_independent_schedule` -- exact optimum by enumerating all
+  set partitions (Bell-number many, practical up to n ~ 11-12), used as the
+  ground truth in experiments E4/E5;
+* :func:`optimal_group_count` -- the number of groups ``m`` minimising the
+  relaxed (perfectly balanced, divisible) objective ``g(m)`` analysed in the
+  NP-completeness proof;
+* :func:`balanced_grouping` -- LPT-style balanced partition of the works into
+  ``m`` groups;
+* :func:`schedule_independent_tasks` -- the production heuristic: try every
+  candidate group count, balance with LPT, then improve by local search
+  (single-task moves and pairwise swaps).  For instances coming from a YES
+  3-PARTITION instance this recovers the optimal partition in most cases,
+  and it is never worse than checkpoint-after-every-task or a single final
+  checkpoint because those placements are included in the candidate set.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro._validation import (
+    check_non_negative,
+    check_positive,
+    check_sequence_of_positive,
+)
+from repro.core.expected_time import expected_completion_time
+from repro.core.schedule import CheckpointPlan, Schedule
+from repro.workflows.dag import Workflow
+from repro.workflows.generators import make_independent
+
+__all__ = [
+    "IndependentScheduleResult",
+    "grouping_expected_time",
+    "exhaustive_independent_schedule",
+    "optimal_group_count",
+    "balanced_grouping",
+    "schedule_independent_tasks",
+]
+
+
+@dataclass(frozen=True)
+class IndependentScheduleResult:
+    """Result of an independent-task scheduling run.
+
+    Attributes
+    ----------
+    groups:
+        The partition of task indices (0-based) into checkpointed groups, in
+        execution order.
+    expected_makespan:
+        Expected execution time of the partition.
+    works:
+        The task works the instance was built from.
+    checkpoint_cost, recovery_cost, downtime, rate, initial_recovery:
+        The instance parameters.
+    exact:
+        True when the result comes from exhaustive enumeration (guaranteed
+        optimal), False for heuristics.
+    """
+
+    groups: Tuple[Tuple[int, ...], ...]
+    expected_makespan: float
+    works: Tuple[float, ...]
+    checkpoint_cost: float
+    recovery_cost: float
+    downtime: float
+    rate: float
+    initial_recovery: float
+    exact: bool
+
+    @property
+    def num_checkpoints(self) -> int:
+        """Number of checkpoints (one per group)."""
+        return len(self.groups)
+
+    def group_works(self) -> List[float]:
+        """Total work of each group, in execution order."""
+        return [sum(self.works[i] for i in group) for group in self.groups]
+
+    def to_schedule(self) -> Schedule:
+        """Materialise the partition as a :class:`Schedule` over an independent workflow."""
+        workflow = make_independent(
+            list(self.works),
+            checkpoint_cost=self.checkpoint_cost,
+            recovery_cost=self.recovery_cost,
+        )
+        names = workflow.task_names()
+        order = [names[i] for group in self.groups for i in group]
+        positions = []
+        offset = 0
+        for group in self.groups:
+            offset += len(group)
+            positions.append(offset - 1)
+        plan = CheckpointPlan.from_positions(len(order), positions)
+        return Schedule(workflow, order, plan, initial_recovery=self.initial_recovery)
+
+
+def grouping_expected_time(
+    groups: Sequence[Sequence[int]],
+    works: Sequence[float],
+    checkpoint_cost: float,
+    recovery_cost: float,
+    downtime: float,
+    rate: float,
+    *,
+    initial_recovery: Optional[float] = None,
+) -> float:
+    """Expected makespan of a given partition of independent tasks into groups.
+
+    Each group ends with a checkpoint of duration ``checkpoint_cost``.  A
+    failure inside group ``i > 0`` rolls back to the previous group's
+    checkpoint (recovery ``recovery_cost``); a failure inside the first group
+    rolls back to the initial state (recovery ``initial_recovery``, defaulting
+    to ``recovery_cost`` to match the symmetric setting of the NP-hardness
+    proof).
+    """
+    works = list(works)
+    check_non_negative("checkpoint_cost", checkpoint_cost)
+    check_non_negative("recovery_cost", recovery_cost)
+    check_non_negative("downtime", downtime)
+    check_positive("rate", rate)
+    first_recovery = recovery_cost if initial_recovery is None else initial_recovery
+    check_non_negative("initial_recovery", first_recovery)
+
+    seen: set = set()
+    for group in groups:
+        for index in group:
+            if index in seen:
+                raise ValueError(f"task index {index} appears in more than one group")
+            if not 0 <= index < len(works):
+                raise ValueError(f"task index {index} out of range 0..{len(works) - 1}")
+            seen.add(index)
+    if len(seen) != len(works):
+        missing = sorted(set(range(len(works))) - seen)
+        raise ValueError(f"tasks {missing} are not assigned to any group")
+    if any(len(group) == 0 for group in groups):
+        raise ValueError("groups must not be empty")
+
+    total = 0.0
+    for position, group in enumerate(groups):
+        group_work = sum(works[i] for i in group)
+        recovery = first_recovery if position == 0 else recovery_cost
+        total += expected_completion_time(
+            group_work, checkpoint_cost, downtime, recovery, rate
+        )
+    return total
+
+
+def _set_partitions(items: Sequence[int]) -> Iterable[List[List[int]]]:
+    """Enumerate all set partitions of ``items`` (Bell-number many)."""
+    items = list(items)
+    if not items:
+        yield []
+        return
+    first, rest = items[0], items[1:]
+    for partition in _set_partitions(rest):
+        # Put `first` in its own new block...
+        yield [[first]] + [list(block) for block in partition]
+        # ...or add it to each existing block.
+        for index in range(len(partition)):
+            new_partition = [list(block) for block in partition]
+            new_partition[index].insert(0, first)
+            yield new_partition
+
+
+def exhaustive_independent_schedule(
+    works: Sequence[float],
+    checkpoint_cost: float,
+    recovery_cost: float,
+    downtime: float,
+    rate: float,
+    *,
+    initial_recovery: Optional[float] = None,
+    max_tasks: int = 13,
+) -> IndependentScheduleResult:
+    """Exact optimal partition of independent tasks by exhaustive enumeration.
+
+    Enumerates every set partition of the task indices (the order of groups
+    and of tasks within a group is irrelevant with constant costs) and keeps
+    the one with the smallest expected makespan.  The number of set partitions
+    is the Bell number ``B_n`` (e.g. ``B_12 = 4 213 597``), so the function
+    refuses instances larger than ``max_tasks``.
+    """
+    works = check_sequence_of_positive("works", works)
+    n = len(works)
+    if n > max_tasks:
+        raise ValueError(
+            f"exhaustive enumeration over {n} tasks would explore B_{n} partitions; "
+            f"the limit is max_tasks={max_tasks}. Use schedule_independent_tasks() instead."
+        )
+    best_groups: Optional[List[List[int]]] = None
+    best_value = math.inf
+    for partition in _set_partitions(list(range(n))):
+        value = grouping_expected_time(
+            partition,
+            works,
+            checkpoint_cost,
+            recovery_cost,
+            downtime,
+            rate,
+            initial_recovery=initial_recovery,
+        )
+        if value < best_value:
+            best_value = value
+            best_groups = [sorted(block) for block in partition]
+    assert best_groups is not None
+    first_recovery = recovery_cost if initial_recovery is None else initial_recovery
+    return IndependentScheduleResult(
+        groups=tuple(tuple(g) for g in best_groups),
+        expected_makespan=best_value,
+        works=tuple(works),
+        checkpoint_cost=float(checkpoint_cost),
+        recovery_cost=float(recovery_cost),
+        downtime=float(downtime),
+        rate=float(rate),
+        initial_recovery=float(first_recovery),
+        exact=True,
+    )
+
+
+def optimal_group_count(
+    total_work: float,
+    checkpoint_cost: float,
+    rate: float,
+    *,
+    max_groups: int,
+) -> int:
+    """Group count ``m`` minimising the relaxed objective ``g(m)`` of the proof.
+
+    The NP-completeness proof shows that, for a perfectly balanced partition
+    of a divisible total work ``nT`` into ``m`` groups, the expectation is
+    proportional to ``g(m) = m (e^{lambda (W_total / m + C)} - 1)``, a convex
+    function of ``m``.  This helper minimises ``g`` over the integers
+    ``1..max_groups``; it is used to seed the heuristic search with a good
+    candidate group count.
+    """
+    check_positive("total_work", total_work)
+    check_non_negative("checkpoint_cost", checkpoint_cost)
+    check_positive("rate", rate)
+    if max_groups < 1:
+        raise ValueError(f"max_groups must be >= 1, got {max_groups}")
+
+    def g(m: int) -> float:
+        exponent = rate * (total_work / m + checkpoint_cost)
+        if exponent > 600.0:
+            return math.inf
+        return m * math.expm1(exponent)
+
+    best_m = 1
+    best_value = g(1)
+    for m in range(2, max_groups + 1):
+        value = g(m)
+        if value < best_value:
+            best_value = value
+            best_m = m
+    return best_m
+
+
+def balanced_grouping(works: Sequence[float], num_groups: int) -> List[List[int]]:
+    """Partition task indices into ``num_groups`` groups with balanced total works.
+
+    Uses the Longest-Processing-Time (LPT) greedy rule: sort tasks by
+    decreasing work and always assign the next task to the currently lightest
+    group.  Groups are returned sorted by their indices for determinism.
+    """
+    works = check_sequence_of_positive("works", works)
+    n = len(works)
+    if not 1 <= num_groups <= n:
+        raise ValueError(f"num_groups must be in 1..{n}, got {num_groups}")
+    order = sorted(range(n), key=lambda i: works[i], reverse=True)
+    groups: List[List[int]] = [[] for _ in range(num_groups)]
+    loads = [0.0] * num_groups
+    for index in order:
+        lightest = min(range(num_groups), key=lambda g: loads[g])
+        groups[lightest].append(index)
+        loads[lightest] += works[index]
+    return [sorted(group) for group in groups if group]
+
+
+def _local_search(
+    groups: List[List[int]],
+    works: Sequence[float],
+    checkpoint_cost: float,
+    recovery_cost: float,
+    downtime: float,
+    rate: float,
+    initial_recovery: Optional[float],
+    max_iterations: int,
+) -> Tuple[List[List[int]], float]:
+    """Improve a partition by single-task moves and pairwise swaps."""
+
+    def evaluate(candidate: List[List[int]]) -> float:
+        cleaned = [g for g in candidate if g]
+        return grouping_expected_time(
+            cleaned,
+            works,
+            checkpoint_cost,
+            recovery_cost,
+            downtime,
+            rate,
+            initial_recovery=initial_recovery,
+        )
+
+    current = [list(g) for g in groups]
+    current_value = evaluate(current)
+    for _ in range(max_iterations):
+        improved = False
+        # Single-task moves between groups.
+        for src in range(len(current)):
+            for task_pos in range(len(current[src])):
+                for dst in range(len(current)):
+                    if dst == src or len(current[src]) == 1:
+                        continue
+                    candidate = [list(g) for g in current]
+                    task = candidate[src].pop(task_pos)
+                    candidate[dst].append(task)
+                    value = evaluate(candidate)
+                    if value < current_value - 1e-15:
+                        current = [sorted(g) for g in candidate if g]
+                        current_value = value
+                        improved = True
+                        break
+                if improved:
+                    break
+            if improved:
+                break
+        if improved:
+            continue
+        # Pairwise swaps between groups.
+        for src, dst in itertools.combinations(range(len(current)), 2):
+            for i in range(len(current[src])):
+                for j in range(len(current[dst])):
+                    candidate = [list(g) for g in current]
+                    candidate[src][i], candidate[dst][j] = (
+                        candidate[dst][j],
+                        candidate[src][i],
+                    )
+                    value = evaluate(candidate)
+                    if value < current_value - 1e-15:
+                        current = [sorted(g) for g in candidate]
+                        current_value = value
+                        improved = True
+                        break
+                if improved:
+                    break
+            if improved:
+                break
+        if not improved:
+            break
+    return [sorted(g) for g in current if g], current_value
+
+
+def schedule_independent_tasks(
+    works: Sequence[float],
+    checkpoint_cost: float,
+    recovery_cost: float,
+    downtime: float,
+    rate: float,
+    *,
+    initial_recovery: Optional[float] = None,
+    group_counts: Optional[Iterable[int]] = None,
+    local_search_iterations: int = 200,
+) -> IndependentScheduleResult:
+    """Heuristic scheduler for independent tasks with constant checkpoint costs.
+
+    The strategy follows the structure revealed by the NP-completeness proof:
+    the optimum partitions the tasks into groups of near-equal works, with a
+    group count close to the minimiser of the convex relaxed objective
+    ``g(m)``.  For each candidate group count (by default, all of ``1..n``),
+    an LPT balanced partition is built and then improved by local search; the
+    best partition over all candidates is returned.
+
+    This is a heuristic -- the problem is strongly NP-hard -- but it always
+    dominates the trivial strategies (a single checkpoint at the end, and a
+    checkpoint after every task) because both are among the candidates.
+    """
+    works = check_sequence_of_positive("works", works)
+    n = len(works)
+    if group_counts is None:
+        if n <= 20:
+            candidates = list(range(1, n + 1))
+        else:
+            # For larger instances, trying every group count with local search
+            # is wasteful: the convexity analysis of the proof says the optimum
+            # sits near the minimiser of g(m), so search a window around it
+            # (plus the two trivial extremes so the heuristic always dominates
+            # "one group" and "all singletons").
+            centre = optimal_group_count(
+                sum(works), checkpoint_cost, rate, max_groups=n
+            )
+            window = range(max(1, centre - 5), min(n, centre + 5) + 1)
+            candidates = sorted(set(window) | {1, n})
+    else:
+        candidates = sorted(set(group_counts))
+        for m in candidates:
+            if not 1 <= m <= n:
+                raise ValueError(f"group count {m} out of range 1..{n}")
+        if not candidates:
+            raise ValueError("group_counts must not be empty")
+
+    best_groups: Optional[List[List[int]]] = None
+    best_value = math.inf
+    for m in candidates:
+        groups = balanced_grouping(works, m)
+        groups, value = _local_search(
+            groups,
+            works,
+            checkpoint_cost,
+            recovery_cost,
+            downtime,
+            rate,
+            initial_recovery,
+            local_search_iterations,
+        )
+        if value < best_value:
+            best_value = value
+            best_groups = groups
+    assert best_groups is not None
+    first_recovery = recovery_cost if initial_recovery is None else initial_recovery
+    return IndependentScheduleResult(
+        groups=tuple(tuple(g) for g in best_groups),
+        expected_makespan=best_value,
+        works=tuple(works),
+        checkpoint_cost=float(checkpoint_cost),
+        recovery_cost=float(recovery_cost),
+        downtime=float(downtime),
+        rate=float(rate),
+        initial_recovery=float(first_recovery),
+        exact=False,
+    )

@@ -1,0 +1,252 @@
+"""Moldable tasks: choosing how many processors to give each task (Section 6, ext. 2).
+
+The paper's core model is *rigid* ("full parallelism"): every task runs on all
+``p`` processors.  The second extension discussed in Section 6 allows
+*moldable* tasks, which can execute on an arbitrary number of processors; the
+expected time of a task on ``q`` processors is obtained by instantiating
+Equation 6 with the workload models of Section 3 (``W(q)``), the checkpoint
+cost models (``C(q) = R(q)``), and the failure rate ``lambda = q *
+lambda_proc``.  The paper notes that the resulting resource-allocation problem
+is difficult (approximation algorithms exist only for failure-free platforms)
+and leaves it open; this module provides the direct instantiation of
+Equation 6 plus sensible heuristics, which is what experiment E9 exercises.
+
+Provided functionality:
+
+* :class:`MoldableTask` -- a task described by its total sequential work, its
+  memory footprint and a workload model;
+* :func:`best_allocation_single_task` -- exhaustive search of the processor
+  count minimising the Proposition 1 expectation of one task followed by its
+  checkpoint (exact, since the search space is ``1..p_max``);
+* :class:`MoldableScheduler` -- per-task allocation for a chain of moldable
+  tasks, with either a checkpoint after every task (each task is then an
+  independent Proposition 1 segment, so per-task optimisation is exact), or a
+  checkpoint placement refined by the chain DP under the conservative
+  platform-wide failure rate (a documented heuristic).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro._validation import check_non_negative, check_positive, check_positive_int
+from repro.core.chain_dp import optimal_chain_checkpoints
+from repro.core.expected_time import expected_completion_time
+from repro.models.checkpoint import CheckpointCostModel, ConstantCheckpointCost
+from repro.models.workload import PerfectlyParallelWorkload, WorkloadModel
+from repro.workflows.chain import LinearChain
+
+__all__ = [
+    "MoldableTask",
+    "AllocationResult",
+    "best_allocation_single_task",
+    "MoldableScheduler",
+]
+
+
+@dataclass(frozen=True)
+class MoldableTask:
+    """A task that can run on any number of processors.
+
+    Parameters
+    ----------
+    name:
+        Task identifier.
+    sequential_work:
+        Total sequential load ``W_total`` of the task.
+    memory_footprint:
+        Size ``V`` of the data a checkpoint after this task must save.
+    workload:
+        The ``W(q)`` scaling model (perfectly parallel by default).
+    """
+
+    name: str
+    sequential_work: float
+    memory_footprint: float = 0.0
+    workload: WorkloadModel = PerfectlyParallelWorkload()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ValueError(f"task name must be a non-empty string, got {self.name!r}")
+        check_positive("sequential_work", self.sequential_work)
+        check_non_negative("memory_footprint", self.memory_footprint)
+
+    def time_on(self, num_processors: int) -> float:
+        """Failure-free execution time on ``num_processors`` processors."""
+        return self.workload.time(self.sequential_work, num_processors)
+
+
+@dataclass(frozen=True)
+class AllocationResult:
+    """Processor allocations and expected times for a sequence of moldable tasks."""
+
+    allocations: Tuple[int, ...]
+    per_task_expected: Tuple[float, ...]
+    expected_makespan: float
+    checkpoint_after: Tuple[int, ...]
+
+    @property
+    def num_tasks(self) -> int:
+        """Number of tasks covered by the allocation."""
+        return len(self.allocations)
+
+
+def best_allocation_single_task(
+    task: MoldableTask,
+    lambda_proc: float,
+    downtime: float,
+    checkpoint_model: CheckpointCostModel,
+    *,
+    max_processors: int,
+    min_processors: int = 1,
+) -> Tuple[int, float]:
+    """Processor count minimising the Prop. 1 expectation of one checkpointed task.
+
+    For each candidate ``q`` in ``min_processors..max_processors`` the
+    expectation ``E[T(W(q), C(q), D, R(q), q * lambda_proc)]`` is evaluated
+    and the best ``q`` is returned together with its expectation.  Candidates
+    whose expectation overflows are skipped (they can never be optimal).
+    """
+    check_positive("lambda_proc", lambda_proc)
+    check_non_negative("downtime", downtime)
+    check_positive_int("max_processors", max_processors)
+    check_positive_int("min_processors", min_processors)
+    if min_processors > max_processors:
+        raise ValueError(
+            f"min_processors ({min_processors}) must not exceed max_processors ({max_processors})"
+        )
+    best_q = -1
+    best_value = math.inf
+    for q in range(min_processors, max_processors + 1):
+        work = task.time_on(q)
+        ckpt = checkpoint_model.checkpoint_time(task.memory_footprint, q)
+        rec = checkpoint_model.recovery_time(task.memory_footprint, q)
+        rate = lambda_proc * q
+        try:
+            value = expected_completion_time(work, ckpt, downtime, rec, rate)
+        except OverflowError:
+            continue
+        if value < best_value:
+            best_value = value
+            best_q = q
+    if best_q < 0:
+        raise OverflowError(
+            f"no processor count in {min_processors}..{max_processors} gives a finite "
+            f"expected time for task {task.name!r}; the instance parameters are extreme"
+        )
+    return best_q, best_value
+
+
+class MoldableScheduler:
+    """Allocate processors to a chain of moldable tasks on a failure-prone platform.
+
+    Parameters
+    ----------
+    lambda_proc:
+        Failure rate of a single processor.
+    downtime:
+        Downtime ``D`` after each failure.
+    checkpoint_model:
+        ``C(q) = R(q)`` scaling model (constant by default).
+    max_processors:
+        Total number of processors available; each task may use any number up
+        to this bound (tasks run one after another, so they do not compete).
+    """
+
+    def __init__(
+        self,
+        lambda_proc: float,
+        downtime: float,
+        *,
+        checkpoint_model: Optional[CheckpointCostModel] = None,
+        max_processors: int,
+    ) -> None:
+        self.lambda_proc = check_positive("lambda_proc", lambda_proc)
+        self.downtime = check_non_negative("downtime", downtime)
+        self.checkpoint_model = (
+            checkpoint_model if checkpoint_model is not None else ConstantCheckpointCost(alpha=1.0)
+        )
+        self.max_processors = check_positive_int("max_processors", max_processors)
+
+    def allocate_checkpoint_everywhere(
+        self, tasks: Sequence[MoldableTask]
+    ) -> AllocationResult:
+        """Give every task its individually optimal allocation; checkpoint after each task.
+
+        With a checkpoint after every task, each task is an independent
+        Proposition 1 segment whose only free parameter is its processor
+        count, so per-task exhaustive search is *exact* for this checkpoint
+        policy.  (Whether that policy itself is optimal is the open problem
+        the paper leaves for future work.)
+        """
+        tasks = list(tasks)
+        if not tasks:
+            raise ValueError("tasks must not be empty")
+        allocations: List[int] = []
+        expectations: List[float] = []
+        for task in tasks:
+            q, value = best_allocation_single_task(
+                task,
+                self.lambda_proc,
+                self.downtime,
+                self.checkpoint_model,
+                max_processors=self.max_processors,
+            )
+            allocations.append(q)
+            expectations.append(value)
+        return AllocationResult(
+            allocations=tuple(allocations),
+            per_task_expected=tuple(expectations),
+            expected_makespan=sum(expectations),
+            checkpoint_after=tuple(range(len(tasks))),
+        )
+
+    def allocate_with_chain_dp(
+        self,
+        tasks: Sequence[MoldableTask],
+        *,
+        final_checkpoint: bool = True,
+    ) -> AllocationResult:
+        """Per-task allocation followed by chain-DP checkpoint placement (heuristic).
+
+        First every task receives its individually optimal allocation (as in
+        :meth:`allocate_checkpoint_everywhere`).  Then the resulting concrete
+        chain -- with per-task durations ``W_i(q_i)`` and costs ``C_i(q_i)``
+        -- is handed to the chain DP of Section 5 using the *platform-wide*
+        failure rate ``max_processors * lambda_proc``.  Using the full
+        platform rate is conservative (failures of processors a task does not
+        use would not actually interrupt it), so the returned expectation is
+        an upper bound on the true expectation of the produced schedule; the
+        checkpoint placement itself remains a sensible heuristic.  This is the
+        construction the paper hints at when suggesting to "use the different
+        workload models ... and then instantiate Equation 6".
+        """
+        tasks = list(tasks)
+        if not tasks:
+            raise ValueError("tasks must not be empty")
+        per_task = self.allocate_checkpoint_everywhere(tasks)
+        works = []
+        ckpts = []
+        recs = []
+        for task, q in zip(tasks, per_task.allocations):
+            works.append(task.time_on(q))
+            ckpts.append(self.checkpoint_model.checkpoint_time(task.memory_footprint, q))
+            recs.append(self.checkpoint_model.recovery_time(task.memory_footprint, q))
+        chain = LinearChain(
+            works=works,
+            checkpoint_costs=ckpts,
+            recovery_costs=recs,
+            names=[task.name for task in tasks],
+        )
+        platform_rate = self.lambda_proc * self.max_processors
+        dp = optimal_chain_checkpoints(
+            chain, self.downtime, platform_rate, final_checkpoint=final_checkpoint
+        )
+        return AllocationResult(
+            allocations=per_task.allocations,
+            per_task_expected=per_task.per_task_expected,
+            expected_makespan=dp.expected_makespan,
+            checkpoint_after=dp.checkpoint_after,
+        )

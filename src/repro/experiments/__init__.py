@@ -1,0 +1,22 @@
+"""Experiment harness: parameter sweeps, result tables and the experiment registry.
+
+The paper contains no numerical tables or figures (it is a theory paper), so
+the reproduction defines its own validation experiments (E1-E10, see
+DESIGN.md section 7 and EXPERIMENTS.md).  Each experiment is a plain function
+returning a :class:`~repro.experiments.reporting.ResultTable`; the
+``benchmarks/`` directory wraps them with pytest-benchmark, and the functions
+can also be run directly (``python -m repro.experiments.registry``).
+"""
+
+from repro.experiments.reporting import ResultTable
+from repro.experiments.sweep import geometric_sweep, linear_sweep
+from repro.experiments.registry import EXPERIMENTS, run_experiment, run_all_experiments
+
+__all__ = [
+    "ResultTable",
+    "geometric_sweep",
+    "linear_sweep",
+    "EXPERIMENTS",
+    "run_experiment",
+    "run_all_experiments",
+]

@@ -1,0 +1,96 @@
+"""Result tables: the uniform output format of every experiment.
+
+A :class:`ResultTable` is a light, dependency-free tabular container (list of
+dict rows plus a column order) with pretty-printing, CSV export and small
+query helpers.  Experiments return tables so that the benchmark harness, the
+examples and EXPERIMENTS.md all render the same rows.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["ResultTable"]
+
+
+@dataclass
+class ResultTable:
+    """A titled table of experiment results.
+
+    Attributes
+    ----------
+    title:
+        Human-readable title (usually the experiment id and question).
+    columns:
+        Column names, in display order.
+    rows:
+        One dict per row; missing keys render as empty cells.
+    """
+
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        """Append a row; unknown columns are appended to the column list."""
+        for key in values:
+            if key not in self.columns:
+                self.columns.append(key)
+        self.rows.append(dict(values))
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column (missing entries become None)."""
+        if name not in self.columns:
+            raise KeyError(f"no column named {name!r} in table {self.title!r}")
+        return [row.get(name) for row in self.rows]
+
+    def filter(self, predicate: Callable[[Dict[str, Any]], bool]) -> "ResultTable":
+        """A new table containing only the rows matching ``predicate``."""
+        out = ResultTable(title=self.title, columns=list(self.columns))
+        out.rows = [dict(row) for row in self.rows if predicate(row)]
+        return out
+
+    def _format_cell(self, value: Any) -> str:
+        if value is None:
+            return ""
+        if isinstance(value, float):
+            if value == 0.0:
+                return "0"
+            magnitude = abs(value)
+            if magnitude >= 1e5 or magnitude < 1e-3:
+                return f"{value:.4g}"
+            return f"{value:.4f}".rstrip("0").rstrip(".")
+        return str(value)
+
+    def to_text(self) -> str:
+        """Fixed-width textual rendering of the table."""
+        header = list(self.columns)
+        body = [[self._format_cell(row.get(col)) for col in header] for row in self.rows]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [self.title, "-" * max(len(self.title), 1)]
+        lines.append("  ".join(header[i].ljust(widths[i]) for i in range(len(header))))
+        lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+        for row in body:
+            lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(header))))
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """CSV rendering of the table."""
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=self.columns, extrasaction="ignore")
+        writer.writeheader()
+        for row in self.rows:
+            writer.writerow({col: row.get(col, "") for col in self.columns})
+        return buffer.getvalue()
+
+    def __str__(self) -> str:
+        return self.to_text()

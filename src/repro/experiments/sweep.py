@@ -1,0 +1,35 @@
+"""Parameter-sweep helpers used by the experiments and benchmarks."""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro._validation import check_positive, check_positive_int
+
+__all__ = ["geometric_sweep", "linear_sweep"]
+
+
+def geometric_sweep(start: float, stop: float, num_points: int) -> List[float]:
+    """``num_points`` values geometrically spaced from ``start`` to ``stop`` (inclusive).
+
+    Failure rates, checkpoint costs and processor counts span several orders
+    of magnitude in the experiments, so geometric spacing is the natural
+    choice.
+    """
+    check_positive("start", start)
+    check_positive("stop", stop)
+    check_positive_int("num_points", num_points)
+    if num_points == 1:
+        return [start]
+    ratio = (stop / start) ** (1.0 / (num_points - 1))
+    return [start * ratio ** i for i in range(num_points)]
+
+
+def linear_sweep(start: float, stop: float, num_points: int) -> List[float]:
+    """``num_points`` values linearly spaced from ``start`` to ``stop`` (inclusive)."""
+    check_positive_int("num_points", num_points)
+    if num_points == 1:
+        return [start]
+    step = (stop - start) / (num_points - 1)
+    return [start + step * i for i in range(num_points)]

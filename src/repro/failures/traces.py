@@ -1,0 +1,289 @@
+"""Synthetic failure traces and trace statistics.
+
+The paper's companion work [13] evaluates heuristics "using either synthetic
+traces or failure logs of production clusters" from the Failure Trace Archive
+[21].  Production logs are not redistributable here, so this module provides a
+faithful synthetic substitute: traces are generated from any
+:class:`~repro.failures.distributions.FailureDistribution` (Exponential,
+Weibull with shape < 1 as reported by Schroeder & Gibson, or log-normal as
+advocated by Heien et al.) and can be replayed deterministically by the
+discrete-event simulator, exactly as archived logs would be.
+
+A :class:`FailureTrace` is simply a sorted sequence of absolute failure
+timestamps for a whole platform, together with per-event metadata (which
+processor failed).  :class:`TraceStatistics` computes the usual summary
+statistics (MTBF, coefficient of variation, empirical hazard behaviour) used
+to sanity-check that generated traces have the intended characteristics, and
+offers simple moment-based fitting back to each supported law.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._validation import check_positive, check_positive_int
+from repro.failures.distributions import (
+    ExponentialFailure,
+    FailureDistribution,
+    LogNormalFailure,
+    WeibullFailure,
+)
+
+__all__ = [
+    "FailureEvent",
+    "FailureTrace",
+    "TraceStatistics",
+    "generate_trace",
+    "merge_traces",
+]
+
+
+@dataclass(frozen=True, order=True)
+class FailureEvent:
+    """A single failure event in a trace.
+
+    Attributes
+    ----------
+    time:
+        Absolute timestamp of the failure (same unit as task durations).
+    processor:
+        Index of the processor that failed (0-based); ``-1`` when unknown.
+    """
+
+    time: float
+    processor: int = -1
+
+    def __post_init__(self) -> None:
+        if self.time < 0.0 or not math.isfinite(self.time):
+            raise ValueError(f"failure time must be finite and >= 0, got {self.time!r}")
+
+
+@dataclass(frozen=True)
+class FailureTrace:
+    """An immutable, time-sorted sequence of platform failure events."""
+
+    events: Tuple[FailureEvent, ...]
+    horizon: float
+    num_processors: int = 1
+
+    def __post_init__(self) -> None:
+        check_positive("horizon", self.horizon)
+        check_positive_int("num_processors", self.num_processors)
+        events = tuple(sorted(self.events, key=lambda e: e.time))
+        object.__setattr__(self, "events", events)
+        for event in events:
+            if event.time > self.horizon:
+                raise ValueError(
+                    f"event at t={event.time} exceeds trace horizon {self.horizon}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def times(self) -> List[float]:
+        """Absolute failure timestamps, sorted increasingly."""
+        return [e.time for e in self.events]
+
+    def inter_arrival_times(self) -> List[float]:
+        """Delays between consecutive platform failures (first delay from t=0)."""
+        times = self.times
+        if not times:
+            return []
+        deltas = [times[0]]
+        deltas.extend(b - a for a, b in zip(times, times[1:]))
+        return deltas
+
+    def failures_in(self, start: float, end: float) -> List[FailureEvent]:
+        """Events with ``start <= time < end``."""
+        if end < start:
+            raise ValueError(f"end ({end}) must be >= start ({start})")
+        return [e for e in self.events if start <= e.time < end]
+
+    def next_failure_after(self, t: float) -> Optional[FailureEvent]:
+        """First event strictly after time ``t``, or None if the trace is exhausted."""
+        for event in self.events:
+            if event.time > t:
+                return event
+        return None
+
+    def shifted(self, offset: float) -> "FailureTrace":
+        """Return a copy of the trace with all timestamps shifted by ``offset``."""
+        if offset < 0 and self.events and self.events[0].time + offset < 0:
+            raise ValueError("shift would produce negative timestamps")
+        events = tuple(
+            FailureEvent(time=e.time + offset, processor=e.processor) for e in self.events
+        )
+        return FailureTrace(
+            events=events, horizon=self.horizon + max(offset, 0.0),
+            num_processors=self.num_processors,
+        )
+
+    def statistics(self) -> "TraceStatistics":
+        """Summary statistics of the trace."""
+        return TraceStatistics.from_trace(self)
+
+
+@dataclass(frozen=True)
+class TraceStatistics:
+    """Summary statistics of a failure trace.
+
+    Attributes
+    ----------
+    count:
+        Number of failures in the trace.
+    mtbf:
+        Empirical mean inter-arrival time (platform level).
+    std:
+        Empirical standard deviation of inter-arrival times.
+    cv:
+        Coefficient of variation (std / mean); 1 for Exponential, > 1 for
+        Weibull shapes below one, typically < 1 for shapes above one.
+    min_gap, max_gap:
+        Extreme inter-arrival times.
+    """
+
+    count: int
+    mtbf: float
+    std: float
+    cv: float
+    min_gap: float
+    max_gap: float
+
+    @classmethod
+    def from_trace(cls, trace: FailureTrace) -> "TraceStatistics":
+        gaps = trace.inter_arrival_times()
+        if not gaps:
+            return cls(count=0, mtbf=math.inf, std=0.0, cv=0.0, min_gap=math.inf, max_gap=0.0)
+        arr = np.asarray(gaps, dtype=float)
+        mean = float(arr.mean())
+        std = float(arr.std(ddof=1)) if len(arr) > 1 else 0.0
+        cv = std / mean if mean > 0 else 0.0
+        return cls(
+            count=len(gaps),
+            mtbf=mean,
+            std=std,
+            cv=cv,
+            min_gap=float(arr.min()),
+            max_gap=float(arr.max()),
+        )
+
+    def fit_exponential(self) -> ExponentialFailure:
+        """Moment-fit an Exponential law to the trace (rate = 1 / MTBF)."""
+        if not math.isfinite(self.mtbf) or self.mtbf <= 0:
+            raise ValueError("cannot fit a law to an empty trace")
+        return ExponentialFailure(rate=1.0 / self.mtbf)
+
+    def fit_weibull(self) -> WeibullFailure:
+        """Moment-fit a Weibull law (matching mean and coefficient of variation).
+
+        Uses a bisection on the shape parameter: the Weibull CV is a strictly
+        decreasing function of the shape.
+        """
+        if not math.isfinite(self.mtbf) or self.mtbf <= 0:
+            raise ValueError("cannot fit a law to an empty trace")
+        if self.cv <= 0:
+            # Degenerate trace (constant gaps): return a high-shape Weibull.
+            return WeibullFailure.from_mtbf(self.mtbf, shape=10.0)
+        target_cv = self.cv
+
+        def weibull_cv(shape: float) -> float:
+            g1 = math.gamma(1.0 + 1.0 / shape)
+            g2 = math.gamma(1.0 + 2.0 / shape)
+            return math.sqrt(max(g2 / (g1 * g1) - 1.0, 0.0))
+
+        lo, hi = 0.05, 50.0
+        for _ in range(200):
+            mid = 0.5 * (lo + hi)
+            if weibull_cv(mid) > target_cv:
+                lo = mid
+            else:
+                hi = mid
+        shape = 0.5 * (lo + hi)
+        return WeibullFailure.from_mtbf(self.mtbf, shape=shape)
+
+    def fit_lognormal(self) -> LogNormalFailure:
+        """Moment-fit a log-normal law (matching mean and coefficient of variation)."""
+        if not math.isfinite(self.mtbf) or self.mtbf <= 0:
+            raise ValueError("cannot fit a law to an empty trace")
+        sigma2 = math.log(1.0 + self.cv * self.cv) if self.cv > 0 else 1e-6
+        sigma = math.sqrt(sigma2)
+        mu = math.log(self.mtbf) - 0.5 * sigma2
+        return LogNormalFailure(mu=mu, sigma=sigma)
+
+
+def generate_trace(
+    law: FailureDistribution,
+    horizon: float,
+    *,
+    num_processors: int = 1,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+) -> FailureTrace:
+    """Generate a synthetic platform failure trace.
+
+    Each of the ``num_processors`` processors fails according to an
+    independent renewal process with inter-arrival law ``law``; the platform
+    trace is the superposition of the per-processor traces (any single
+    processor failure interrupts the coordinated application).
+
+    Parameters
+    ----------
+    law:
+        Per-processor failure inter-arrival law.
+    horizon:
+        Length of the trace (absolute time).
+    num_processors:
+        Platform size ``p``.
+    rng, seed:
+        Randomness source; ``seed`` is ignored when ``rng`` is given.
+    """
+    check_positive("horizon", horizon)
+    check_positive_int("num_processors", num_processors)
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    events: List[FailureEvent] = []
+    for proc in range(num_processors):
+        t = 0.0
+        while True:
+            t += float(law.sample(rng))
+            if t >= horizon:
+                break
+            events.append(FailureEvent(time=t, processor=proc))
+            if len(events) > 5_000_000:
+                raise RuntimeError(
+                    "generate_trace produced more than 5e6 events; "
+                    "reduce the horizon or the failure rate"
+                )
+    return FailureTrace(events=tuple(events), horizon=horizon, num_processors=num_processors)
+
+
+def merge_traces(traces: Iterable[FailureTrace]) -> FailureTrace:
+    """Merge several traces into a single platform trace (superposition).
+
+    The merged horizon is the minimum of the input horizons (beyond which at
+    least one input trace carries no information), and processor indices are
+    re-numbered to remain unique.
+    """
+    traces = list(traces)
+    if not traces:
+        raise ValueError("merge_traces requires at least one trace")
+    horizon = min(t.horizon for t in traces)
+    events: List[FailureEvent] = []
+    offset = 0
+    total_procs = 0
+    for trace in traces:
+        for event in trace.events:
+            if event.time < horizon:
+                proc = event.processor + offset if event.processor >= 0 else -1
+                events.append(FailureEvent(time=event.time, processor=proc))
+        offset += trace.num_processors
+        total_procs += trace.num_processors
+    return FailureTrace(events=tuple(events), horizon=horizon, num_processors=total_procs)

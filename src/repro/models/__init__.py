@@ -1,0 +1,31 @@
+"""Scaling models: how work, checkpoint and recovery costs depend on ``p``.
+
+Section 3 of the paper instantiates Equation 6 under several scenarios for the
+workload ``W(p)`` and for the checkpoint/recovery overheads ``C(p), R(p)``.
+This subpackage implements those scenarios plus the frontier-dependent
+checkpoint-cost model of the first extension (Section 6).
+"""
+
+from repro.models.workload import (
+    AmdahlWorkload,
+    NumericalKernelWorkload,
+    PerfectlyParallelWorkload,
+    WorkloadModel,
+)
+from repro.models.checkpoint import (
+    CheckpointCostModel,
+    ConstantCheckpointCost,
+    FrontierCheckpointCost,
+    ProportionalCheckpointCost,
+)
+
+__all__ = [
+    "WorkloadModel",
+    "PerfectlyParallelWorkload",
+    "AmdahlWorkload",
+    "NumericalKernelWorkload",
+    "CheckpointCostModel",
+    "ConstantCheckpointCost",
+    "ProportionalCheckpointCost",
+    "FrontierCheckpointCost",
+]

@@ -1,0 +1,162 @@
+"""Checkpoint and recovery cost models.
+
+Section 3 of the paper lists two ``C(p) = R(p)`` scenarios for an application
+whose memory footprint is ``V`` bytes, each processor holding ``V / p``:
+
+* proportional overhead ``C(p) = alpha * V / p``: the network card/link of
+  each processor is the I/O bottleneck, so writing shrinks with ``p``;
+* constant overhead ``C(p) = alpha * V``: the bandwidth to/from the resilient
+  storage system is the bottleneck, so the cost does not depend on ``p``.
+
+Section 6 (first extension) generalises the per-task checkpoint cost to a
+function of *all* the tasks executed since the last checkpoint that still have
+an unexecuted successor (the "live frontier"); :class:`FrontierCheckpointCost`
+implements that model for general DAG linearisations.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro._validation import check_non_negative, check_positive, check_positive_int
+from repro.workflows.dag import Workflow
+from repro.workflows.task import Task
+
+__all__ = [
+    "CheckpointCostModel",
+    "ConstantCheckpointCost",
+    "ProportionalCheckpointCost",
+    "FrontierCheckpointCost",
+]
+
+
+class CheckpointCostModel(ABC):
+    """Abstract model of checkpoint (and recovery) durations versus platform size."""
+
+    @abstractmethod
+    def checkpoint_time(self, footprint: float, num_processors: int) -> float:
+        """Checkpoint duration for an application footprint of ``footprint`` bytes."""
+
+    def recovery_time(self, footprint: float, num_processors: int) -> float:
+        """Recovery duration; by default equal to the checkpoint duration (C = R)."""
+        return self.checkpoint_time(footprint, num_processors)
+
+    def _check(self, footprint: float, num_processors: int) -> None:
+        check_non_negative("footprint", footprint)
+        check_positive_int("num_processors", num_processors)
+
+
+@dataclass(frozen=True)
+class ProportionalCheckpointCost(CheckpointCostModel):
+    """Proportional overhead: ``C(p) = alpha * V / p``.
+
+    Models the case where each processor's network card/link is the I/O
+    bottleneck, so the per-processor share ``V / p`` determines the duration.
+    ``alpha`` is the write time per byte.
+    """
+
+    alpha: float
+
+    def __post_init__(self) -> None:
+        check_positive("alpha", self.alpha)
+        object.__setattr__(self, "alpha", float(self.alpha))
+
+    def checkpoint_time(self, footprint: float, num_processors: int) -> float:
+        self._check(footprint, num_processors)
+        return self.alpha * footprint / num_processors
+
+
+@dataclass(frozen=True)
+class ConstantCheckpointCost(CheckpointCostModel):
+    """Constant overhead: ``C(p) = alpha * V``.
+
+    Models the case where the bandwidth to/from the resilient storage system
+    is the I/O bottleneck, so adding processors does not help.
+    """
+
+    alpha: float
+
+    def __post_init__(self) -> None:
+        check_positive("alpha", self.alpha)
+        object.__setattr__(self, "alpha", float(self.alpha))
+
+    def checkpoint_time(self, footprint: float, num_processors: int) -> float:
+        self._check(footprint, num_processors)
+        return self.alpha * footprint
+
+
+@dataclass(frozen=True)
+class FrontierCheckpointCost:
+    """Frontier-dependent checkpoint cost for general DAG linearisations.
+
+    Section 6 (first extension): "the cost of a checkpoint should account for
+    all the tasks that have been executed since the last checkpoint and which
+    have at least a successor task which has not been executed yet".
+
+    Given a workflow, a linear execution order, the index of the last
+    checkpointed position and the current position, :meth:`cost` aggregates
+    the per-task checkpoint costs of the live tasks using ``combine``
+    (default: sum, i.e. all live outputs must be written).  For linear chains
+    the live set always contains exactly the last executed task, so this model
+    degenerates to the paper's base model ``C_j`` -- which is why the paper
+    notes the chain cost model is fully general.
+
+    Parameters
+    ----------
+    workflow:
+        The workflow being linearised.
+    combine:
+        Aggregation of the per-task checkpoint costs of live tasks.  The
+        default sums them; ``max`` models overlapping writes limited by the
+        largest object.
+    """
+
+    workflow: Workflow
+    combine: Callable[[Sequence[float]], float] = sum
+
+    def cost(self, order: Sequence[str], last_checkpoint: int, position: int) -> float:
+        """Checkpoint cost right after ``order[position]``.
+
+        ``last_checkpoint`` is the index (in ``order``) of the last task after
+        which a checkpoint was taken, or ``-1`` if no checkpoint was taken
+        yet.  Only tasks executed *after* that point contribute (earlier live
+        data is already part of the previous checkpoint image and is assumed
+        to be saved incrementally).
+        """
+        names = self.workflow.validate_order(order)
+        n = len(names)
+        if not -1 <= last_checkpoint < n:
+            raise ValueError(f"last_checkpoint must be in -1..{n - 1}, got {last_checkpoint}")
+        if not 0 <= position < n:
+            raise ValueError(f"position must be in 0..{n - 1}, got {position}")
+        if position <= last_checkpoint:
+            raise ValueError(
+                f"position ({position}) must be after last_checkpoint ({last_checkpoint})"
+            )
+        frontier = self.workflow.frontier_after(names, position)
+        window = set(names[last_checkpoint + 1 : position + 1])
+        live = frontier & window
+        costs = [self.workflow.task(name).checkpoint_cost for name in sorted(live)]
+        if not costs:
+            return 0.0
+        return float(self.combine(costs))
+
+    def recovery(self, order: Sequence[str], checkpoint_position: int) -> float:
+        """Recovery cost when rolling back to the checkpoint at ``checkpoint_position``.
+
+        Symmetric to :meth:`cost`: the data of every task that was live at the
+        checkpointed position must be read back.
+        """
+        names = self.workflow.validate_order(order)
+        n = len(names)
+        if not 0 <= checkpoint_position < n:
+            raise ValueError(
+                f"checkpoint_position must be in 0..{n - 1}, got {checkpoint_position}"
+            )
+        frontier = self.workflow.frontier_after(names, checkpoint_position)
+        costs = [self.workflow.task(name).recovery_cost for name in sorted(frontier)]
+        if not costs:
+            return 0.0
+        return float(self.combine(costs))

@@ -1,0 +1,110 @@
+"""Workload scaling models ``W(p)``.
+
+Section 3 of the paper lists three relevant scenarios for how the parallel
+execution time of a total sequential load ``W_total`` depends on the number of
+processors ``p``:
+
+* perfectly parallel jobs: ``W(p) = W_total / p``;
+* generic (Amdahl-law) parallel jobs: ``W(p) = (1 - gamma) W_total / p +
+  gamma W_total`` where ``gamma`` is the inherently sequential fraction;
+* numerical kernels (matrix product, LU/QR factorisation on a 2-D processor
+  grid): ``W(p) = W_total / p + gamma * W_total^{2/3} / sqrt(p)`` where
+  ``gamma`` is the communication-to-computation ratio of the platform.
+
+These models are used by the moldable-task extension (Section 6, second
+extension) and by the scaling experiments (E7, E9).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro._validation import check_in_range, check_non_negative, check_positive, check_positive_int
+
+__all__ = [
+    "WorkloadModel",
+    "PerfectlyParallelWorkload",
+    "AmdahlWorkload",
+    "NumericalKernelWorkload",
+]
+
+
+class WorkloadModel(ABC):
+    """Abstract model of the parallel execution time of a sequential load."""
+
+    @abstractmethod
+    def time(self, total_work: float, num_processors: int) -> float:
+        """Failure-free execution time of ``total_work`` on ``num_processors`` processors."""
+
+    def speedup(self, total_work: float, num_processors: int) -> float:
+        """Speedup relative to a single processor."""
+        t1 = self.time(total_work, 1)
+        tp = self.time(total_work, num_processors)
+        if tp <= 0.0:
+            return math.inf
+        return t1 / tp
+
+    def efficiency(self, total_work: float, num_processors: int) -> float:
+        """Parallel efficiency (speedup divided by the number of processors)."""
+        return self.speedup(total_work, num_processors) / num_processors
+
+    def _check(self, total_work: float, num_processors: int) -> None:
+        check_positive("total_work", total_work)
+        check_positive_int("num_processors", num_processors)
+
+
+@dataclass(frozen=True)
+class PerfectlyParallelWorkload(WorkloadModel):
+    """Perfectly parallel jobs: ``W(p) = W_total / p``."""
+
+    def time(self, total_work: float, num_processors: int) -> float:
+        self._check(total_work, num_processors)
+        return total_work / num_processors
+
+
+@dataclass(frozen=True)
+class AmdahlWorkload(WorkloadModel):
+    """Generic parallel jobs following Amdahl's law.
+
+    ``W(p) = (1 - gamma) * W_total / p + gamma * W_total`` where ``gamma`` in
+    ``[0, 1)`` is the inherently sequential fraction of the work.
+    """
+
+    gamma: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_in_range("gamma", self.gamma, 0.0, 1.0)
+        if self.gamma >= 1.0:
+            raise ValueError(f"gamma must be < 1, got {self.gamma}")
+        object.__setattr__(self, "gamma", float(self.gamma))
+
+    def time(self, total_work: float, num_processors: int) -> float:
+        self._check(total_work, num_processors)
+        return (1.0 - self.gamma) * total_work / num_processors + self.gamma * total_work
+
+
+@dataclass(frozen=True)
+class NumericalKernelWorkload(WorkloadModel):
+    """Numerical kernels on a 2-D processor grid.
+
+    ``W(p) = W_total / p + gamma * W_total^{2/3} / sqrt(p)`` where ``gamma``
+    is the communication-to-computation ratio of the platform.  This captures
+    ScaLAPACK-style matrix product and LU/QR factorisation, for which
+    ``W_total = O(N^3)`` and the per-processor communication volume scales as
+    ``N^2 / sqrt(p)``.
+    """
+
+    gamma: float = 0.1
+
+    def __post_init__(self) -> None:
+        check_non_negative("gamma", self.gamma)
+        object.__setattr__(self, "gamma", float(self.gamma))
+
+    def time(self, total_work: float, num_processors: int) -> float:
+        self._check(total_work, num_processors)
+        return (
+            total_work / num_processors
+            + self.gamma * total_work ** (2.0 / 3.0) / math.sqrt(num_processors)
+        )

@@ -1,0 +1,44 @@
+"""Discrete-event simulation of checkpointed executions under failures.
+
+The simulator is deliberately independent of the analytic formulas of
+:mod:`repro.core.expected_time`: it replays sampled (or traced) failure times
+against a schedule, applying the paper's execution model -- work, checkpoint,
+failure, downtime, recovery, rollback -- event by event.  Averaging many runs
+therefore provides an unbiased estimate of the expected makespan, which is how
+Proposition 1 and the schedulers are validated (experiments E1, E6, E8).
+"""
+
+from repro.simulation.engine import (
+    FailureSource,
+    PoissonFailureSource,
+    RenewalPlatformFailureSource,
+    TraceFailureSource,
+    failure_source_for,
+)
+from repro.simulation.events import EventType, ExecutionLog, SimulationEvent
+from repro.simulation.executor import SimulationResult, simulate_schedule, simulate_segments
+from repro.simulation.monte_carlo import (
+    MonteCarloEstimate,
+    MonteCarloEstimator,
+    estimate_expected_completion_time,
+)
+from repro.simulation.campaign import CampaignResult, CampaignRunner
+
+__all__ = [
+    "FailureSource",
+    "PoissonFailureSource",
+    "RenewalPlatformFailureSource",
+    "TraceFailureSource",
+    "failure_source_for",
+    "EventType",
+    "SimulationEvent",
+    "ExecutionLog",
+    "SimulationResult",
+    "simulate_schedule",
+    "simulate_segments",
+    "MonteCarloEstimate",
+    "MonteCarloEstimator",
+    "estimate_expected_completion_time",
+    "CampaignResult",
+    "CampaignRunner",
+]

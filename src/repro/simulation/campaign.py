@@ -1,0 +1,205 @@
+"""Paired comparison of several schedules under common random failures.
+
+When comparing checkpoint strategies by simulation (experiments E6/E8, the
+Weibull example), estimating each strategy's expected makespan independently
+wastes most of the statistical budget: the run-to-run variance of the failure
+process dwarfs the difference between two good strategies.  The standard fix
+is *common random numbers*: replay every candidate schedule against the same
+sampled failure trace, run after run, and compare the paired makespans.
+
+:class:`CampaignRunner` implements that protocol on top of the trace
+generator and the executor:
+
+* for each of ``num_runs`` rounds it draws one platform failure trace from the
+  configured law (or accepts a pre-generated list of traces);
+* every candidate schedule is executed against that same trace;
+* the result is a :class:`CampaignResult` holding the per-strategy makespan
+  samples, their summary statistics, and paired-difference statistics against
+  a chosen baseline strategy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro._validation import check_non_negative, check_positive, check_positive_int
+from repro.core.schedule import Schedule
+from repro.experiments.reporting import ResultTable
+from repro.failures.distributions import FailureDistribution
+from repro.failures.traces import FailureTrace, generate_trace
+from repro.simulation.engine import TraceFailureSource
+from repro.simulation.executor import simulate_segments
+
+__all__ = ["CampaignResult", "CampaignRunner"]
+
+_Z95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Outcome of a paired simulation campaign.
+
+    Attributes
+    ----------
+    makespans:
+        Mapping from strategy name to the list of simulated makespans, one per
+        round; all lists have the same length and index ``i`` of every list
+        was produced against the same failure trace.
+    num_runs:
+        Number of rounds (shared traces).
+    """
+
+    makespans: Mapping[str, Sequence[float]]
+    num_runs: int
+
+    def mean(self, strategy: str) -> float:
+        """Mean simulated makespan of one strategy."""
+        return float(np.mean(self._samples(strategy)))
+
+    def std(self, strategy: str) -> float:
+        """Sample standard deviation of one strategy's makespans."""
+        samples = self._samples(strategy)
+        return float(np.std(samples, ddof=1)) if len(samples) > 1 else 0.0
+
+    def _samples(self, strategy: str) -> np.ndarray:
+        try:
+            return np.asarray(self.makespans[strategy], dtype=float)
+        except KeyError as exc:
+            raise KeyError(
+                f"no strategy named {strategy!r}; available: {sorted(self.makespans)}"
+            ) from exc
+
+    def paired_difference(self, strategy: str, baseline: str) -> Dict[str, float]:
+        """Paired statistics of ``strategy - baseline`` makespans.
+
+        Returns the mean difference, its standard error, and a 95% normal
+        confidence interval.  A negative mean difference means ``strategy``
+        finished earlier than ``baseline`` on the shared traces.
+        """
+        a = self._samples(strategy)
+        b = self._samples(baseline)
+        diffs = a - b
+        mean = float(diffs.mean())
+        sem = float(diffs.std(ddof=1) / math.sqrt(len(diffs))) if len(diffs) > 1 else 0.0
+        return {
+            "mean_difference": mean,
+            "sem": sem,
+            "ci95_low": mean - _Z95 * sem,
+            "ci95_high": mean + _Z95 * sem,
+        }
+
+    def ranking(self) -> List[str]:
+        """Strategies sorted by mean makespan, best first."""
+        return sorted(self.makespans, key=self.mean)
+
+    def to_table(self, *, baseline: Optional[str] = None) -> ResultTable:
+        """Summarise the campaign as a :class:`ResultTable`."""
+        table = ResultTable(
+            title=f"Simulation campaign ({self.num_runs} shared traces)",
+            columns=["strategy", "mean_makespan", "std", "vs_baseline_mean_diff",
+                     "vs_baseline_ci95_low", "vs_baseline_ci95_high"],
+        )
+        reference = baseline if baseline is not None else self.ranking()[0]
+        for strategy in self.ranking():
+            row = {
+                "strategy": strategy,
+                "mean_makespan": self.mean(strategy),
+                "std": self.std(strategy),
+            }
+            if strategy != reference:
+                paired = self.paired_difference(strategy, reference)
+                row["vs_baseline_mean_diff"] = paired["mean_difference"]
+                row["vs_baseline_ci95_low"] = paired["ci95_low"]
+                row["vs_baseline_ci95_high"] = paired["ci95_high"]
+            table.add_row(**row)
+        return table
+
+
+class CampaignRunner:
+    """Run several schedules against shared failure traces (common random numbers).
+
+    Parameters
+    ----------
+    schedules:
+        Mapping from strategy name to the :class:`Schedule` it produces.  All
+        schedules are replayed against the same traces.
+    failure_law:
+        Per-processor failure inter-arrival law used to generate the shared
+        traces (ignored when explicit ``traces`` are passed to :meth:`run`).
+    num_processors:
+        Platform size used for trace generation.
+    downtime:
+        Downtime applied after every failure.
+    horizon_factor:
+        Each generated trace covers ``horizon_factor`` times the largest
+        failure-free makespan among the schedules, so that even heavily
+        delayed runs stay inside the trace.  Runs that exhaust the trace see
+        no further failures; a warning margin of 10x is the default.
+    """
+
+    def __init__(
+        self,
+        schedules: Mapping[str, Schedule],
+        failure_law: Optional[FailureDistribution] = None,
+        *,
+        num_processors: int = 1,
+        downtime: float = 0.0,
+        horizon_factor: float = 10.0,
+    ) -> None:
+        if not schedules:
+            raise ValueError("schedules must not be empty")
+        self.schedules = dict(schedules)
+        self.failure_law = failure_law
+        self.num_processors = check_positive_int("num_processors", num_processors)
+        self.downtime = check_non_negative("downtime", downtime)
+        self.horizon_factor = check_positive("horizon_factor", horizon_factor)
+        self._segments = {name: sched.segments() for name, sched in self.schedules.items()}
+        self._horizon = self.horizon_factor * max(
+            sched.failure_free_time() for sched in self.schedules.values()
+        )
+
+    def run(
+        self,
+        num_runs: int,
+        *,
+        rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
+        traces: Optional[Sequence[FailureTrace]] = None,
+    ) -> CampaignResult:
+        """Execute the campaign.
+
+        Either ``num_runs`` fresh traces are generated from the configured
+        failure law, or the explicit ``traces`` are replayed (``num_runs`` is
+        then capped to their number).
+        """
+        check_positive_int("num_runs", num_runs)
+        if rng is None:
+            rng = np.random.default_rng(seed)
+        if traces is None:
+            if self.failure_law is None:
+                raise ValueError("provide a failure_law at construction or explicit traces")
+            traces = [
+                generate_trace(
+                    self.failure_law,
+                    horizon=self._horizon,
+                    num_processors=self.num_processors,
+                    rng=rng,
+                )
+                for _ in range(num_runs)
+            ]
+        else:
+            traces = list(traces)[:num_runs]
+            if not traces:
+                raise ValueError("traces must not be empty")
+
+        makespans: Dict[str, List[float]] = {name: [] for name in self.schedules}
+        for trace in traces:
+            for name, segments in self._segments.items():
+                source = TraceFailureSource(trace)
+                result = simulate_segments(segments, source, self.downtime, rng=rng)
+                makespans[name].append(result.makespan)
+        return CampaignResult(makespans=makespans, num_runs=len(traces))

@@ -1,0 +1,226 @@
+"""The execution engine: replay a schedule against injected failures.
+
+The executor applies the paper's execution model (Section 2) literally:
+
+* the tasks of a segment are executed in order; when the segment's final
+  checkpoint (if any) commits, progress is saved;
+* if a failure strikes at any point during the segment's work, its checkpoint,
+  or a recovery, all progress since the last committed checkpoint is lost;
+* each failure incurs a downtime ``D`` (during which no further failure
+  strikes) followed by a recovery of duration equal to the segment's recovery
+  cost; recoveries themselves may be interrupted by failures;
+* the makespan is the time at which the last segment (and its checkpoint, if
+  any) completes.
+
+The executor works at the granularity of the :class:`~repro.core.schedule.Segment`
+decomposition, which is exact: within a segment every failure rolls back to
+the same point, so the internal task boundaries only matter for logging, and
+they are logged when a log is requested.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro._validation import check_non_negative
+from repro.core.schedule import Schedule, Segment
+from repro.simulation.engine import FailureSource, failure_source_for
+from repro.simulation.events import EventType, ExecutionLog
+
+__all__ = ["SimulationResult", "simulate_schedule", "simulate_segments"]
+
+# A run that suffers this many failures is aborted: with sane parameters the
+# expected number of failures per segment is small, so hitting the cap almost
+# certainly indicates an instance whose expected makespan is astronomically
+# large (the analytic formula would overflow on it too).
+_MAX_FAILURES_PER_RUN = 10_000_000
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one simulated execution.
+
+    Attributes
+    ----------
+    makespan:
+        Total time from start to the completion of the last segment.
+    num_failures:
+        Number of failures that struck during the run.
+    wasted_time:
+        Time spent on work/checkpoint/recovery attempts that were lost to
+        failures, plus downtimes.  ``makespan = useful_time + wasted_time``.
+    useful_time:
+        Time spent on work and checkpoints that were eventually committed.
+    num_recovery_attempts:
+        Number of recovery attempts (a single failure can trigger several if
+        recoveries themselves fail).
+    log:
+        Optional detailed event log (None unless requested).
+    """
+
+    makespan: float
+    num_failures: int
+    wasted_time: float
+    useful_time: float
+    num_recovery_attempts: int
+    log: Optional[ExecutionLog] = None
+
+    def __post_init__(self) -> None:
+        if self.makespan < 0 or self.wasted_time < 0 or self.useful_time < 0:
+            raise ValueError("simulation times must be non-negative")
+
+
+def simulate_segments(
+    segments: Sequence[Segment],
+    failure_model: Union[float, FailureSource, object],
+    downtime: float,
+    *,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+    record_log: bool = False,
+) -> SimulationResult:
+    """Simulate the execution of a sequence of segments under failures.
+
+    Parameters
+    ----------
+    segments:
+        The segment decomposition of a schedule (see
+        :meth:`repro.core.schedule.Schedule.segments`).
+    failure_model:
+        Anything :func:`repro.simulation.engine.failure_source_for` accepts:
+        a platform rate, a failure distribution, a :class:`Platform`, a
+        :class:`FailureTrace`, or a ready-made :class:`FailureSource`.
+    downtime:
+        Downtime ``D`` after each failure.
+    rng, seed:
+        Randomness used both to build stochastic failure sources and by those
+        sources; ``seed`` is ignored when ``rng`` is given.
+    record_log:
+        When True, a full :class:`ExecutionLog` is attached to the result.
+    """
+    check_non_negative("downtime", downtime)
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    source = failure_source_for(failure_model, rng)
+    log = ExecutionLog() if record_log else None
+
+    now = 0.0
+    wasted = 0.0
+    useful = 0.0
+    failures = 0
+    recovery_attempts = 0
+
+    for index, segment in enumerate(segments):
+        if log is not None:
+            log.record(now, EventType.SEGMENT_STARTED, index, f"tasks={','.join(segment.tasks)}")
+        duration = segment.work + segment.checkpoint_cost
+        while True:
+            delay = source.time_to_next_failure(now)
+            if delay >= duration:
+                # The whole segment (work + checkpoint) completes before the
+                # next failure.
+                if log is not None:
+                    task_clock = now
+                    for name in segment.tasks:
+                        # Individual task durations are only needed for the log.
+                        task_work = segment.work / len(segment.tasks)
+                        task_clock += task_work
+                        log.record(task_clock, EventType.TASK_COMPLETED, index, name)
+                    if segment.checkpointed:
+                        log.record(
+                            now + duration, EventType.CHECKPOINT_TAKEN, index,
+                            f"cost={segment.checkpoint_cost:g}",
+                        )
+                now += duration
+                useful += duration
+                break
+
+            # A failure interrupts the attempt.
+            failures += 1
+            if failures > _MAX_FAILURES_PER_RUN:
+                raise RuntimeError(
+                    "simulation aborted after "
+                    f"{_MAX_FAILURES_PER_RUN} failures; the instance parameters make "
+                    "completion astronomically unlikely"
+                )
+            now += delay
+            wasted += delay
+            source.register_failure(now)
+            if log is not None:
+                log.record(now, EventType.FAILURE, index, f"lost={delay:g}")
+
+            # Downtime: failures cannot strike during it (Section 2).
+            now += downtime
+            wasted += downtime
+            if log is not None and downtime > 0:
+                log.record(now, EventType.DOWNTIME_COMPLETED, index)
+
+            # Recovery attempts, which may themselves be interrupted.
+            while True:
+                recovery_attempts += 1
+                if log is not None:
+                    log.record(now, EventType.RECOVERY_STARTED, index,
+                               f"cost={segment.recovery_cost:g}")
+                recovery_delay = source.time_to_next_failure(now)
+                if recovery_delay >= segment.recovery_cost:
+                    now += segment.recovery_cost
+                    wasted += segment.recovery_cost
+                    if log is not None:
+                        log.record(now, EventType.RECOVERY_COMPLETED, index)
+                    break
+                failures += 1
+                if failures > _MAX_FAILURES_PER_RUN:
+                    raise RuntimeError(
+                        "simulation aborted after "
+                        f"{_MAX_FAILURES_PER_RUN} failures; the instance parameters make "
+                        "completion astronomically unlikely"
+                    )
+                now += recovery_delay
+                wasted += recovery_delay
+                source.register_failure(now)
+                if log is not None:
+                    log.record(now, EventType.FAILURE, index,
+                               f"during recovery, lost={recovery_delay:g}")
+                now += downtime
+                wasted += downtime
+                if log is not None and downtime > 0:
+                    log.record(now, EventType.DOWNTIME_COMPLETED, index)
+
+    if log is not None:
+        log.record(now, EventType.EXECUTION_COMPLETED, max(len(segments) - 1, 0))
+    return SimulationResult(
+        makespan=now,
+        num_failures=failures,
+        wasted_time=wasted,
+        useful_time=useful,
+        num_recovery_attempts=recovery_attempts,
+        log=log,
+    )
+
+
+def simulate_schedule(
+    schedule: Schedule,
+    failure_model: Union[float, FailureSource, object],
+    downtime: float,
+    *,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+    record_log: bool = False,
+) -> SimulationResult:
+    """Simulate one execution of a :class:`~repro.core.schedule.Schedule`.
+
+    Convenience wrapper around :func:`simulate_segments` using the schedule's
+    own segment decomposition.
+    """
+    return simulate_segments(
+        schedule.segments(),
+        failure_model,
+        downtime,
+        rng=rng,
+        seed=seed,
+        record_log=record_log,
+    )

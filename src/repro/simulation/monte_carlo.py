@@ -1,0 +1,220 @@
+"""Monte-Carlo estimation of expected makespans.
+
+Averaging many independent simulated runs gives an unbiased estimator of the
+expected makespan of a schedule, together with a confidence interval.  This is
+the machinery behind experiment E1 (validating the Proposition 1 closed form
+against simulation) and behind every experiment involving non-Exponential
+failure laws, for which no closed form exists (Section 6).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro._validation import check_non_negative, check_positive, check_positive_int
+from repro.core.schedule import Schedule, Segment
+from repro.simulation.engine import FailureSource, PoissonFailureSource, failure_source_for
+from repro.simulation.executor import SimulationResult, simulate_segments
+
+__all__ = [
+    "MonteCarloEstimate",
+    "MonteCarloEstimator",
+    "estimate_expected_completion_time",
+]
+
+# Two-sided 95% and 99% normal quantiles, used for confidence intervals.
+_Z95 = 1.959963984540054
+_Z99 = 2.5758293035489004
+
+
+@dataclass(frozen=True)
+class MonteCarloEstimate:
+    """Summary of a Monte-Carlo estimation run.
+
+    Attributes
+    ----------
+    mean:
+        Sample mean of the makespans (the estimate of the expectation).
+    std:
+        Sample standard deviation (ddof=1).
+    sem:
+        Standard error of the mean.
+    num_runs:
+        Number of simulated runs.
+    ci95_low, ci95_high:
+        95% normal-approximation confidence interval for the expectation.
+    mean_failures:
+        Average number of failures per run.
+    mean_wasted:
+        Average wasted time per run.
+    """
+
+    mean: float
+    std: float
+    sem: float
+    num_runs: int
+    ci95_low: float
+    ci95_high: float
+    mean_failures: float
+    mean_wasted: float
+
+    def ci99(self) -> tuple:
+        """99% normal-approximation confidence interval."""
+        return (self.mean - _Z99 * self.sem, self.mean + _Z99 * self.sem)
+
+    def contains(self, value: float, *, level: float = 0.95) -> bool:
+        """True when ``value`` lies inside the requested confidence interval."""
+        if level == 0.95:
+            return self.ci95_low <= value <= self.ci95_high
+        if level == 0.99:
+            low, high = self.ci99()
+            return low <= value <= high
+        raise ValueError(f"unsupported confidence level {level}; use 0.95 or 0.99")
+
+    def relative_error(self, reference: float) -> float:
+        """Relative deviation of the estimate from a reference value."""
+        if reference == 0.0:
+            return math.inf if self.mean != 0.0 else 0.0
+        return abs(self.mean - reference) / abs(reference)
+
+    @classmethod
+    def from_results(cls, results: Sequence[SimulationResult]) -> "MonteCarloEstimate":
+        """Aggregate a list of simulation results into an estimate."""
+        if not results:
+            raise ValueError("cannot build an estimate from zero runs")
+        makespans = np.asarray([r.makespan for r in results], dtype=float)
+        mean = float(makespans.mean())
+        std = float(makespans.std(ddof=1)) if len(makespans) > 1 else 0.0
+        sem = std / math.sqrt(len(makespans)) if len(makespans) > 1 else 0.0
+        return cls(
+            mean=mean,
+            std=std,
+            sem=sem,
+            num_runs=len(results),
+            ci95_low=mean - _Z95 * sem,
+            ci95_high=mean + _Z95 * sem,
+            mean_failures=float(np.mean([r.num_failures for r in results])),
+            mean_wasted=float(np.mean([r.wasted_time for r in results])),
+        )
+
+
+class MonteCarloEstimator:
+    """Estimate the expected makespan of a schedule (or raw segments) by simulation.
+
+    Parameters
+    ----------
+    target:
+        Either a :class:`~repro.core.schedule.Schedule` or an explicit list of
+        :class:`~repro.core.schedule.Segment` objects.
+    failure_model:
+        Anything accepted by
+        :func:`repro.simulation.engine.failure_source_for`.  Stochastic
+        sources are re-created per run from the estimator's RNG so runs are
+        independent; trace sources are reset (every run replays the same
+        trace -- pass a factory via ``failure_model_factory`` for independent
+        traces).
+    downtime:
+        Downtime ``D`` applied after each failure.
+    failure_model_factory:
+        Optional callable ``rng -> failure model`` used instead of
+        ``failure_model`` to build an independent model per run (e.g. a fresh
+        synthetic trace).
+    """
+
+    def __init__(
+        self,
+        target: Union[Schedule, Sequence[Segment]],
+        failure_model: Union[float, FailureSource, object, None] = None,
+        downtime: float = 0.0,
+        *,
+        failure_model_factory: Optional[Callable[[np.random.Generator], object]] = None,
+    ) -> None:
+        if isinstance(target, Schedule):
+            self._segments = target.segments()
+        else:
+            self._segments = list(target)
+            if not self._segments:
+                raise ValueError("target must contain at least one segment")
+        if failure_model is None and failure_model_factory is None:
+            raise ValueError("provide failure_model or failure_model_factory")
+        self._failure_model = failure_model
+        self._failure_model_factory = failure_model_factory
+        self.downtime = check_non_negative("downtime", downtime)
+
+    def run_once(
+        self,
+        rng: Optional[np.random.Generator] = None,
+        *,
+        seed: Optional[int] = None,
+        record_log: bool = False,
+    ) -> SimulationResult:
+        """Simulate a single run."""
+        if rng is None:
+            rng = np.random.default_rng(seed)
+        model = (
+            self._failure_model_factory(rng)
+            if self._failure_model_factory is not None
+            else self._failure_model
+        )
+        source = failure_source_for(model, rng)
+        source.reset()
+        return simulate_segments(
+            self._segments, source, self.downtime, rng=rng, record_log=record_log
+        )
+
+    def estimate(
+        self,
+        num_runs: int,
+        *,
+        rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
+    ) -> MonteCarloEstimate:
+        """Simulate ``num_runs`` independent runs and aggregate them."""
+        check_positive_int("num_runs", num_runs)
+        if rng is None:
+            rng = np.random.default_rng(seed)
+        results: List[SimulationResult] = []
+        for _ in range(num_runs):
+            results.append(self.run_once(rng))
+        return MonteCarloEstimate.from_results(results)
+
+
+def estimate_expected_completion_time(
+    work: float,
+    checkpoint: float,
+    downtime: float,
+    recovery: float,
+    rate: float,
+    *,
+    num_runs: int = 10_000,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+) -> MonteCarloEstimate:
+    """Monte-Carlo estimate of ``E[T(W, C, D, R, lambda)]`` (experiment E1).
+
+    Simulates the exact scenario of Proposition 1 -- one work segment of
+    duration ``work`` followed by a checkpoint of duration ``checkpoint``,
+    under Poisson failures of rate ``rate`` with downtime ``downtime`` and
+    recovery ``recovery`` -- and averages the completion times.  The estimate
+    should agree with
+    :func:`repro.core.expected_time.expected_completion_time` to within
+    sampling error; the property-based tests and experiment E1 assert this.
+    """
+    check_non_negative("work", work)
+    check_non_negative("checkpoint", checkpoint)
+    check_non_negative("downtime", downtime)
+    check_non_negative("recovery", recovery)
+    check_positive("rate", rate)
+    segment = Segment(
+        tasks=("single",),
+        work=work,
+        checkpoint_cost=checkpoint,
+        recovery_cost=recovery,
+        checkpointed=checkpoint > 0.0,
+    )
+    estimator = MonteCarloEstimator([segment], rate, downtime)
+    return estimator.estimate(num_runs, rng=rng, seed=seed)

@@ -1,0 +1,46 @@
+"""Workflow (task-graph) model and synthetic workflow generators.
+
+The application in the paper is a Directed Acyclic Graph ``G = (V, E)`` whose
+nodes are tasks ``T_1 .. T_n`` weighted by computational weights ``w_i``, with
+per-task checkpoint costs ``C_i`` and recovery costs ``R_i`` (Section 2).
+"""
+
+from repro.workflows.task import Task
+from repro.workflows.dag import Workflow
+from repro.workflows.chain import LinearChain
+from repro.workflows.generators import (
+    fork_join,
+    in_tree,
+    make_chain,
+    make_independent,
+    montage_like,
+    out_tree,
+    random_layered_dag,
+    uniform_random_chain,
+)
+from repro.workflows.serialization import (
+    load_chain,
+    load_workflow,
+    save_chain,
+    save_workflow,
+    workflow_to_dot,
+)
+
+__all__ = [
+    "Task",
+    "Workflow",
+    "LinearChain",
+    "make_chain",
+    "make_independent",
+    "uniform_random_chain",
+    "fork_join",
+    "in_tree",
+    "out_tree",
+    "random_layered_dag",
+    "montage_like",
+    "save_workflow",
+    "load_workflow",
+    "save_chain",
+    "load_chain",
+    "workflow_to_dot",
+]

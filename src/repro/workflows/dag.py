@@ -1,0 +1,286 @@
+"""Workflow DAGs built on :mod:`networkx`.
+
+A :class:`Workflow` wraps a ``networkx.DiGraph`` whose nodes are task names
+and whose node attribute ``"task"`` holds the corresponding
+:class:`~repro.workflows.task.Task`.  It offers the structural queries the
+schedulers need: validation (acyclicity, connectivity of names), topological
+orders and their enumeration, chain detection, frontier computation (the set
+of tasks whose data must be saved by a checkpoint at a given point of a
+linearised execution -- Section 6, first extension), and critical-path style
+aggregates.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.workflows.task import Task
+
+__all__ = ["Workflow"]
+
+
+class Workflow:
+    """A directed acyclic graph of :class:`Task` objects.
+
+    Parameters
+    ----------
+    tasks:
+        The tasks of the workflow.  Task names must be unique.
+    dependences:
+        Pairs ``(u, v)`` of task names meaning "``u`` must complete before
+        ``v`` starts".
+    name:
+        Optional human-readable workflow name.
+    """
+
+    def __init__(
+        self,
+        tasks: Iterable[Task],
+        dependences: Iterable[Tuple[str, str]] = (),
+        *,
+        name: str = "workflow",
+    ) -> None:
+        self.name = name
+        self._graph = nx.DiGraph()
+        for task in tasks:
+            if not isinstance(task, Task):
+                raise TypeError(f"expected Task, got {type(task).__name__}")
+            if task.name in self._graph:
+                raise ValueError(f"duplicate task name {task.name!r}")
+            self._graph.add_node(task.name, task=task)
+        for u, v in dependences:
+            if u not in self._graph:
+                raise ValueError(f"dependence references unknown task {u!r}")
+            if v not in self._graph:
+                raise ValueError(f"dependence references unknown task {v!r}")
+            if u == v:
+                raise ValueError(f"self-dependence on task {u!r}")
+            self._graph.add_edge(u, v)
+        if not nx.is_directed_acyclic_graph(self._graph):
+            cycle = nx.find_cycle(self._graph)
+            raise ValueError(f"dependences contain a cycle: {cycle}")
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def graph(self) -> nx.DiGraph:
+        """The underlying networkx graph (read-only by convention)."""
+        return self._graph
+
+    def __len__(self) -> int:
+        return self._graph.number_of_nodes()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._graph
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._graph.nodes)
+
+    def task(self, name: str) -> Task:
+        """Return the task with the given name."""
+        try:
+            return self._graph.nodes[name]["task"]
+        except KeyError as exc:
+            raise KeyError(f"no task named {name!r} in workflow {self.name!r}") from exc
+
+    def tasks(self) -> List[Task]:
+        """All tasks, in insertion order."""
+        return [self._graph.nodes[n]["task"] for n in self._graph.nodes]
+
+    def task_names(self) -> List[str]:
+        """All task names, in insertion order."""
+        return list(self._graph.nodes)
+
+    def dependences(self) -> List[Tuple[str, str]]:
+        """All dependence edges ``(before, after)``."""
+        return list(self._graph.edges)
+
+    def predecessors(self, name: str) -> List[str]:
+        """Direct predecessors of a task."""
+        self.task(name)
+        return list(self._graph.predecessors(name))
+
+    def successors(self, name: str) -> List[str]:
+        """Direct successors of a task."""
+        self.task(name)
+        return list(self._graph.successors(name))
+
+    def sources(self) -> List[str]:
+        """Tasks with no predecessor (entry tasks)."""
+        return [n for n in self._graph.nodes if self._graph.in_degree(n) == 0]
+
+    def sinks(self) -> List[str]:
+        """Tasks with no successor (exit tasks)."""
+        return [n for n in self._graph.nodes if self._graph.out_degree(n) == 0]
+
+    def total_work(self) -> float:
+        """Sum of all task weights."""
+        return sum(t.work for t in self.tasks())
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+
+    def is_chain(self) -> bool:
+        """True when the DAG is a single linear chain ``T1 -> T2 -> ... -> Tn``."""
+        n = len(self)
+        if n == 0:
+            return False
+        if n == 1:
+            return True
+        if self._graph.number_of_edges() != n - 1:
+            return False
+        in_degrees = [self._graph.in_degree(v) for v in self._graph.nodes]
+        out_degrees = [self._graph.out_degree(v) for v in self._graph.nodes]
+        return (
+            sorted(in_degrees) == [0] + [1] * (n - 1)
+            and sorted(out_degrees) == [0] + [1] * (n - 1)
+            and nx.is_weakly_connected(self._graph)
+        )
+
+    def is_independent(self) -> bool:
+        """True when the DAG has no dependence at all (independent tasks)."""
+        return self._graph.number_of_edges() == 0
+
+    def chain_order(self) -> List[str]:
+        """Return the unique task order when the workflow is a chain.
+
+        Raises
+        ------
+        ValueError
+            If the workflow is not a linear chain.
+        """
+        if not self.is_chain():
+            raise ValueError(f"workflow {self.name!r} is not a linear chain")
+        return list(nx.topological_sort(self._graph))
+
+    def topological_order(self) -> List[str]:
+        """One valid topological order of the task names."""
+        return list(nx.topological_sort(self._graph))
+
+    def all_topological_orders(self, limit: Optional[int] = None) -> List[List[str]]:
+        """Enumerate all topological orders (optionally truncated at ``limit``).
+
+        The number of topological orders can be exponential; always pass a
+        limit for workflows larger than a dozen tasks.
+        """
+        orders: List[List[str]] = []
+        for order in nx.all_topological_sorts(self._graph):
+            orders.append(list(order))
+            if limit is not None and len(orders) >= limit:
+                break
+        return orders
+
+    def is_valid_order(self, order: Sequence[str]) -> bool:
+        """Check that ``order`` is a permutation of the tasks respecting all dependences."""
+        names = list(order)
+        if sorted(names) != sorted(self.task_names()):
+            return False
+        position = {name: i for i, name in enumerate(names)}
+        return all(position[u] < position[v] for u, v in self._graph.edges)
+
+    def validate_order(self, order: Sequence[str]) -> List[str]:
+        """Return ``order`` as a list, raising ``ValueError`` if it is invalid."""
+        names = list(order)
+        if sorted(names) != sorted(self.task_names()):
+            raise ValueError(
+                "order must be a permutation of the workflow's tasks; "
+                f"got {names!r} for tasks {sorted(self.task_names())!r}"
+            )
+        position = {name: i for i, name in enumerate(names)}
+        for u, v in self._graph.edges:
+            if position[u] >= position[v]:
+                raise ValueError(
+                    f"order violates dependence {u!r} -> {v!r} (positions "
+                    f"{position[u]} >= {position[v]})"
+                )
+        return names
+
+    def frontier_after(self, order: Sequence[str], k: int) -> Set[str]:
+        """Tasks whose output must be saved by a checkpoint taken after position ``k``.
+
+        Following the paper's first extension (Section 6): "the cost of a
+        checkpoint should account for all the tasks that have been executed
+        since the last checkpoint and which have at least a successor task
+        which has not been executed yet".  This method returns the tasks among
+        ``order[:k+1]`` that have at least one successor outside
+        ``order[:k+1]`` -- i.e. the *live* data set at that point -- plus, for
+        exit tasks, the task itself (its result is the application output and
+        must be saved).  The caller intersects this with "executed since the
+        last checkpoint" as appropriate.
+        """
+        names = self.validate_order(order)
+        if not 0 <= k < len(names):
+            raise ValueError(f"k must be in 0..{len(names) - 1}, got {k}")
+        executed = set(names[: k + 1])
+        frontier: Set[str] = set()
+        for name in executed:
+            succs = set(self._graph.successors(name))
+            if not succs or (succs - executed):
+                frontier.add(name)
+        return frontier
+
+    def critical_path_length(self) -> float:
+        """Length (in work units) of the longest dependence path."""
+        if len(self) == 0:
+            return 0.0
+        lengths: Dict[str, float] = {}
+        for name in nx.topological_sort(self._graph):
+            work = self.task(name).work
+            preds = list(self._graph.predecessors(name))
+            lengths[name] = work + (max(lengths[p] for p in preds) if preds else 0.0)
+        return max(lengths.values())
+
+    # ------------------------------------------------------------------
+    # Constructors / transforms
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_chain(cls, tasks: Sequence[Task], *, name: str = "chain") -> "Workflow":
+        """Build a workflow whose DAG is the linear chain ``tasks[0] -> tasks[1] -> ...``."""
+        tasks = list(tasks)
+        deps = [(tasks[i].name, tasks[i + 1].name) for i in range(len(tasks) - 1)]
+        return cls(tasks, deps, name=name)
+
+    @classmethod
+    def from_independent(cls, tasks: Sequence[Task], *, name: str = "independent") -> "Workflow":
+        """Build a workflow with no dependences."""
+        return cls(list(tasks), [], name=name)
+
+    def subworkflow(self, names: Iterable[str], *, name: Optional[str] = None) -> "Workflow":
+        """Induced sub-workflow on the given task names."""
+        selected = list(names)
+        tasks = [self.task(n) for n in selected]
+        keep = set(selected)
+        deps = [(u, v) for u, v in self._graph.edges if u in keep and v in keep]
+        return Workflow(tasks, deps, name=name or f"{self.name}-sub")
+
+    def relabeled(self, mapping: Dict[str, str], *, name: Optional[str] = None) -> "Workflow":
+        """Return a copy with task names replaced according to ``mapping``."""
+        tasks = []
+        for task in self.tasks():
+            new_name = mapping.get(task.name, task.name)
+            tasks.append(
+                Task(
+                    name=new_name,
+                    work=task.work,
+                    checkpoint_cost=task.checkpoint_cost,
+                    recovery_cost=task.recovery_cost,
+                    memory_footprint=task.memory_footprint,
+                )
+            )
+        deps = [
+            (mapping.get(u, u), mapping.get(v, v)) for u, v in self._graph.edges
+        ]
+        return Workflow(tasks, deps, name=name or self.name)
+
+    def __repr__(self) -> str:
+        return (
+            f"Workflow(name={self.name!r}, tasks={len(self)}, "
+            f"edges={self._graph.number_of_edges()})"
+        )

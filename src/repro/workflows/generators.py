@@ -1,0 +1,371 @@
+"""Synthetic workflow generators.
+
+The paper motivates its model with scientific workflows (DataCutter-style
+filtering pipelines, heterogeneous-resource mapping workloads, distributed
+application workflows -- references [3, 4, 5]) but does not ship concrete
+instances.  These generators produce the standard shapes used throughout the
+workflow-scheduling literature so that the scheduling algorithms and the
+simulator can be exercised on realistic structures:
+
+* linear chains (the shape of Section 5 and of many scientific pipelines);
+* independent task sets (the shape of the NP-completeness result, Section 4);
+* fork-join graphs;
+* in-trees / out-trees (reduction and scatter patterns);
+* random layered DAGs (the classical "LU-like" synthetic workload);
+* a Montage-like shape (the astronomy mosaicking workflow frequently used as
+  a benchmark in the checkpointing/scheduling literature).
+
+All generators take an explicit ``rng``/``seed`` so experiments are
+reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._validation import (
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+)
+from repro.workflows.chain import LinearChain
+from repro.workflows.dag import Workflow
+from repro.workflows.task import Task
+
+__all__ = [
+    "make_chain",
+    "make_independent",
+    "uniform_random_chain",
+    "fork_join",
+    "in_tree",
+    "out_tree",
+    "random_layered_dag",
+    "montage_like",
+]
+
+
+def _rng(rng: Optional[np.random.Generator], seed: Optional[int]) -> np.random.Generator:
+    return rng if rng is not None else np.random.default_rng(seed)
+
+
+def _draw_works(
+    rng: np.random.Generator,
+    n: int,
+    work_range: Tuple[float, float],
+) -> List[float]:
+    lo, hi = work_range
+    check_positive("work_range[0]", lo)
+    check_positive("work_range[1]", hi)
+    if hi < lo:
+        raise ValueError(f"work_range must satisfy low <= high, got {work_range!r}")
+    if lo == hi:
+        return [lo] * n
+    return list(rng.uniform(lo, hi, size=n))
+
+
+def make_chain(
+    works: Sequence[float],
+    *,
+    checkpoint_costs: Optional[Sequence[float]] = None,
+    recovery_costs: Optional[Sequence[float]] = None,
+    checkpoint_cost: float = 0.0,
+    recovery_cost: Optional[float] = None,
+    initial_recovery: float = 0.0,
+    name: str = "chain",
+) -> LinearChain:
+    """Build a linear chain from explicit task durations.
+
+    Either pass per-task ``checkpoint_costs`` / ``recovery_costs`` arrays, or
+    scalar ``checkpoint_cost`` / ``recovery_cost`` applied to every task
+    (``recovery_cost`` defaults to ``checkpoint_cost``, the common C = R
+    assumption).
+    """
+    works = list(works)
+    n = len(works)
+    if n == 0:
+        raise ValueError("works must not be empty")
+    if checkpoint_costs is None:
+        check_non_negative("checkpoint_cost", checkpoint_cost)
+        checkpoint_costs = [checkpoint_cost] * n
+    if recovery_costs is None:
+        rec = checkpoint_cost if recovery_cost is None else recovery_cost
+        check_non_negative("recovery_cost", rec)
+        recovery_costs = [rec] * n
+    return LinearChain(
+        works=works,
+        checkpoint_costs=checkpoint_costs,
+        recovery_costs=recovery_costs,
+        initial_recovery=initial_recovery,
+        names=[f"{name}.T{i + 1}" for i in range(n)],
+    )
+
+
+def uniform_random_chain(
+    n: int,
+    *,
+    work_range: Tuple[float, float] = (1.0, 10.0),
+    checkpoint_range: Tuple[float, float] = (0.1, 1.0),
+    recovery_equals_checkpoint: bool = True,
+    recovery_range: Optional[Tuple[float, float]] = None,
+    initial_recovery: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+) -> LinearChain:
+    """Random linear chain with uniformly drawn works and checkpoint costs."""
+    check_positive_int("n", n)
+    generator = _rng(rng, seed)
+    works = _draw_works(generator, n, work_range)
+    c_lo, c_hi = checkpoint_range
+    check_non_negative("checkpoint_range[0]", c_lo)
+    check_non_negative("checkpoint_range[1]", c_hi)
+    if c_hi < c_lo:
+        raise ValueError(f"checkpoint_range must satisfy low <= high, got {checkpoint_range!r}")
+    ckpts = [c_lo] * n if c_lo == c_hi else list(generator.uniform(c_lo, c_hi, size=n))
+    if recovery_equals_checkpoint:
+        recs = list(ckpts)
+    else:
+        r_range = recovery_range if recovery_range is not None else checkpoint_range
+        r_lo, r_hi = r_range
+        recs = [r_lo] * n if r_lo == r_hi else list(generator.uniform(r_lo, r_hi, size=n))
+    return LinearChain(
+        works=works,
+        checkpoint_costs=ckpts,
+        recovery_costs=recs,
+        initial_recovery=initial_recovery,
+    )
+
+
+def make_independent(
+    works: Sequence[float],
+    *,
+    checkpoint_cost: float = 1.0,
+    recovery_cost: Optional[float] = None,
+    name: str = "indep",
+) -> Workflow:
+    """Independent task set with a common checkpoint cost (the Prop. 2 setting)."""
+    works = list(works)
+    if not works:
+        raise ValueError("works must not be empty")
+    check_non_negative("checkpoint_cost", checkpoint_cost)
+    rec = checkpoint_cost if recovery_cost is None else recovery_cost
+    tasks = [
+        Task(
+            name=f"{name}.T{i + 1}",
+            work=w,
+            checkpoint_cost=checkpoint_cost,
+            recovery_cost=rec,
+        )
+        for i, w in enumerate(works)
+    ]
+    return Workflow.from_independent(tasks, name=name)
+
+
+def fork_join(
+    branches: int,
+    *,
+    branch_work: float = 1.0,
+    source_work: float = 1.0,
+    sink_work: float = 1.0,
+    checkpoint_cost: float = 0.1,
+    recovery_cost: Optional[float] = None,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+    work_jitter: float = 0.0,
+    name: str = "forkjoin",
+) -> Workflow:
+    """Fork-join workflow: one source, ``branches`` parallel tasks, one sink.
+
+    ``work_jitter`` adds a uniform multiplicative perturbation of up to +/-
+    ``work_jitter`` (fraction) to each branch's work.
+    """
+    check_positive_int("branches", branches)
+    check_positive("branch_work", branch_work)
+    check_positive("source_work", source_work)
+    check_positive("sink_work", sink_work)
+    check_non_negative("checkpoint_cost", checkpoint_cost)
+    check_non_negative("work_jitter", work_jitter)
+    rec = checkpoint_cost if recovery_cost is None else recovery_cost
+    generator = _rng(rng, seed)
+
+    def jittered(base: float) -> float:
+        if work_jitter == 0.0:
+            return base
+        return base * float(generator.uniform(1.0 - work_jitter, 1.0 + work_jitter))
+
+    tasks = [Task(f"{name}.source", source_work, checkpoint_cost, rec)]
+    deps: List[Tuple[str, str]] = []
+    for i in range(branches):
+        branch_name = f"{name}.branch{i + 1}"
+        tasks.append(Task(branch_name, jittered(branch_work), checkpoint_cost, rec))
+        deps.append((f"{name}.source", branch_name))
+        deps.append((branch_name, f"{name}.sink"))
+    tasks.append(Task(f"{name}.sink", sink_work, checkpoint_cost, rec))
+    return Workflow(tasks, deps, name=name)
+
+
+def out_tree(
+    depth: int,
+    fanout: int = 2,
+    *,
+    work: float = 1.0,
+    checkpoint_cost: float = 0.1,
+    recovery_cost: Optional[float] = None,
+    name: str = "outtree",
+) -> Workflow:
+    """Complete out-tree (scatter pattern) of the given depth and fan-out."""
+    check_positive_int("depth", depth)
+    check_positive_int("fanout", fanout)
+    check_positive("work", work)
+    rec = checkpoint_cost if recovery_cost is None else recovery_cost
+    tasks: List[Task] = []
+    deps: List[Tuple[str, str]] = []
+    # Nodes are identified by (level, index).
+    for level in range(depth):
+        for index in range(fanout ** level):
+            node = f"{name}.L{level}N{index}"
+            tasks.append(Task(node, work, checkpoint_cost, rec))
+            if level > 0:
+                parent = f"{name}.L{level - 1}N{index // fanout}"
+                deps.append((parent, node))
+    return Workflow(tasks, deps, name=name)
+
+
+def in_tree(
+    depth: int,
+    fanin: int = 2,
+    *,
+    work: float = 1.0,
+    checkpoint_cost: float = 0.1,
+    recovery_cost: Optional[float] = None,
+    name: str = "intree",
+) -> Workflow:
+    """Complete in-tree (reduction pattern): leaves feed into a single root."""
+    tree = out_tree(
+        depth,
+        fanin,
+        work=work,
+        checkpoint_cost=checkpoint_cost,
+        recovery_cost=recovery_cost,
+        name=name,
+    )
+    # Reverse all edges to turn the scatter into a reduction.
+    tasks = tree.tasks()
+    deps = [(v, u) for u, v in tree.dependences()]
+    return Workflow(tasks, deps, name=name)
+
+
+def random_layered_dag(
+    layers: int,
+    width: int,
+    *,
+    edge_probability: float = 0.5,
+    work_range: Tuple[float, float] = (1.0, 10.0),
+    checkpoint_range: Tuple[float, float] = (0.1, 1.0),
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+    name: str = "layered",
+) -> Workflow:
+    """Random layered DAG: ``layers`` levels of ``width`` tasks.
+
+    Each task of layer ``l > 0`` receives an edge from each task of layer
+    ``l - 1`` independently with probability ``edge_probability``; tasks that
+    would end up without a predecessor get one random predecessor so the DAG
+    stays layered and weakly connected within consecutive layers.
+    """
+    check_positive_int("layers", layers)
+    check_positive_int("width", width)
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ValueError(f"edge_probability must be in [0, 1], got {edge_probability}")
+    generator = _rng(rng, seed)
+    works = _draw_works(generator, layers * width, work_range)
+    c_lo, c_hi = checkpoint_range
+    ckpts = (
+        [c_lo] * (layers * width)
+        if c_lo == c_hi
+        else list(generator.uniform(c_lo, c_hi, size=layers * width))
+    )
+    tasks: List[Task] = []
+    deps: List[Tuple[str, str]] = []
+    node = lambda l, i: f"{name}.L{l}N{i}"  # noqa: E731 - tiny local helper
+    idx = 0
+    for layer in range(layers):
+        for i in range(width):
+            tasks.append(Task(node(layer, i), works[idx], ckpts[idx], ckpts[idx]))
+            idx += 1
+    for layer in range(1, layers):
+        for i in range(width):
+            parents = [
+                j for j in range(width) if generator.uniform() < edge_probability
+            ]
+            if not parents:
+                parents = [int(generator.integers(0, width))]
+            for j in parents:
+                deps.append((node(layer - 1, j), node(layer, i)))
+    return Workflow(tasks, deps, name=name)
+
+
+def montage_like(
+    inputs: int = 6,
+    *,
+    project_work: float = 2.0,
+    diff_work: float = 1.0,
+    fit_work: float = 0.5,
+    model_work: float = 3.0,
+    background_work: float = 1.0,
+    add_work: float = 4.0,
+    checkpoint_cost: float = 0.2,
+    recovery_cost: Optional[float] = None,
+    name: str = "montage",
+) -> Workflow:
+    """A Montage-like astronomy mosaicking workflow.
+
+    The shape mirrors the well-known Montage structure: per-input
+    reprojection tasks, pairwise overlap-difference tasks, a fit/concat
+    stage, a background model, per-input background-correction tasks, and a
+    final co-addition.  It provides a non-trivial, realistic DAG with both
+    data-parallel stages and synchronisation points.
+    """
+    check_positive_int("inputs", inputs)
+    if inputs < 2:
+        raise ValueError("montage_like needs at least 2 inputs")
+    rec = checkpoint_cost if recovery_cost is None else recovery_cost
+    tasks: List[Task] = []
+    deps: List[Tuple[str, str]] = []
+
+    projects = [f"{name}.mProject{i + 1}" for i in range(inputs)]
+    for p in projects:
+        tasks.append(Task(p, project_work, checkpoint_cost, rec))
+
+    diffs = []
+    for i in range(inputs - 1):
+        d = f"{name}.mDiff{i + 1}"
+        diffs.append(d)
+        tasks.append(Task(d, diff_work, checkpoint_cost, rec))
+        deps.append((projects[i], d))
+        deps.append((projects[i + 1], d))
+
+    concat = f"{name}.mConcatFit"
+    tasks.append(Task(concat, fit_work, checkpoint_cost, rec))
+    for d in diffs:
+        deps.append((d, concat))
+
+    model = f"{name}.mBgModel"
+    tasks.append(Task(model, model_work, checkpoint_cost, rec))
+    deps.append((concat, model))
+
+    backgrounds = []
+    for i in range(inputs):
+        b = f"{name}.mBackground{i + 1}"
+        backgrounds.append(b)
+        tasks.append(Task(b, background_work, checkpoint_cost, rec))
+        deps.append((projects[i], b))
+        deps.append((model, b))
+
+    add = f"{name}.mAdd"
+    tasks.append(Task(add, add_work, checkpoint_cost, rec))
+    for b in backgrounds:
+        deps.append((b, add))
+
+    return Workflow(tasks, deps, name=name)

@@ -1,0 +1,86 @@
+"""The task abstraction.
+
+A task is the unit of computation and the unit of checkpointing: the scheduler
+may only take a checkpoint *after a task has completed* (this is what
+distinguishes the paper's problem from the divisible-load literature of Young
+and Daly, where the job can be cut anywhere).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro._validation import check_non_negative, check_positive
+
+__all__ = ["Task"]
+
+
+@dataclass(frozen=True)
+class Task:
+    """A non-divisible computational task.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier of the task within its workflow.
+    work:
+        Computational weight ``w_i > 0`` -- the failure-free execution time of
+        the task on the full platform (full-parallelism model of Section 2).
+    checkpoint_cost:
+        Time ``C_i >= 0`` to take a checkpoint right after this task.
+    recovery_cost:
+        Time ``R_i >= 0`` to recover (roll back) to the state checkpointed
+        after this task.  Following the paper, recovery and checkpoint costs
+        may differ and may be task-dependent.
+    memory_footprint:
+        Optional size (bytes) of the data that a checkpoint after this task
+        must save.  Used by the frontier-dependent checkpoint-cost model
+        (Section 6, first extension) and by the ``C(p)`` scaling models; not
+        used by the core algorithms, which consume ``checkpoint_cost``
+        directly.
+    """
+
+    name: str
+    work: float
+    checkpoint_cost: float = 0.0
+    recovery_cost: float = 0.0
+    memory_footprint: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ValueError(f"task name must be a non-empty string, got {self.name!r}")
+        check_positive("work", self.work)
+        check_non_negative("checkpoint_cost", self.checkpoint_cost)
+        check_non_negative("recovery_cost", self.recovery_cost)
+        if self.memory_footprint is not None:
+            check_non_negative("memory_footprint", self.memory_footprint)
+        object.__setattr__(self, "work", float(self.work))
+        object.__setattr__(self, "checkpoint_cost", float(self.checkpoint_cost))
+        object.__setattr__(self, "recovery_cost", float(self.recovery_cost))
+
+    def with_costs(
+        self,
+        *,
+        checkpoint_cost: Optional[float] = None,
+        recovery_cost: Optional[float] = None,
+        work: Optional[float] = None,
+    ) -> "Task":
+        """Return a copy of the task with some costs replaced."""
+        return replace(
+            self,
+            checkpoint_cost=self.checkpoint_cost if checkpoint_cost is None else checkpoint_cost,
+            recovery_cost=self.recovery_cost if recovery_cost is None else recovery_cost,
+            work=self.work if work is None else work,
+        )
+
+    def scaled(self, factor: float) -> "Task":
+        """Return a copy of the task with ``work`` multiplied by ``factor``."""
+        check_positive("factor", factor)
+        return replace(self, work=self.work * factor)
+
+    def __str__(self) -> str:
+        return (
+            f"Task({self.name}, w={self.work:g}, C={self.checkpoint_cost:g}, "
+            f"R={self.recovery_cost:g})"
+        )

@@ -1,0 +1,44 @@
+"""Shared pytest fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import LinearChain, Task, Workflow
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for reproducible tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_chain() -> LinearChain:
+    """A 4-task chain with heterogeneous costs."""
+    return LinearChain(
+        works=[10.0, 4.0, 7.0, 2.0],
+        checkpoint_costs=[1.0, 0.5, 2.0, 0.3],
+        recovery_costs=[1.5, 0.6, 2.5, 0.4],
+        initial_recovery=0.2,
+    )
+
+
+@pytest.fixture
+def uniform_chain() -> LinearChain:
+    """A 6-task chain with identical tasks."""
+    return LinearChain.uniform(6, work=5.0, checkpoint_cost=1.0)
+
+
+@pytest.fixture
+def diamond_workflow() -> Workflow:
+    """A small diamond DAG: A -> (B, C) -> D."""
+    tasks = [
+        Task("A", 2.0, 0.5, 0.5),
+        Task("B", 3.0, 0.4, 0.4),
+        Task("C", 5.0, 0.6, 0.6),
+        Task("D", 1.0, 0.2, 0.2),
+    ]
+    deps = [("A", "B"), ("A", "C"), ("B", "D"), ("C", "D")]
+    return Workflow(tasks, deps, name="diamond")

@@ -1,0 +1,69 @@
+"""Tests for the brute-force reference solvers."""
+
+import pytest
+
+from repro.analysis.bruteforce import (
+    brute_force_chain_checkpoints,
+    brute_force_independent_schedule,
+)
+from repro.core.schedule import Schedule
+from repro.workflows.chain import LinearChain
+from repro.workflows.generators import uniform_random_chain
+
+
+class TestBruteForceChain:
+    def test_single_task(self):
+        chain = LinearChain(works=[5.0], checkpoint_costs=[1.0], recovery_costs=[1.0])
+        result = brute_force_chain_checkpoints(chain, 0.0, 0.05)
+        assert result.checkpoint_after == (0,)
+
+    def test_value_achieved_by_schedule(self):
+        chain = uniform_random_chain(6, seed=21)
+        result = brute_force_chain_checkpoints(chain, 0.3, 0.04)
+        schedule = Schedule.for_chain(chain, result.checkpoint_after)
+        assert schedule.expected_makespan(0.3, 0.04) == pytest.approx(
+            result.expected_makespan, rel=1e-12
+        )
+
+    def test_no_placement_is_better(self):
+        chain = uniform_random_chain(5, seed=22)
+        result = brute_force_chain_checkpoints(chain, 0.3, 0.04)
+        import itertools
+
+        for r in range(5):
+            for subset in itertools.combinations(range(4), r):
+                positions = list(subset) + [4]
+                value = Schedule.for_chain(chain, positions).expected_makespan(0.3, 0.04)
+                assert value >= result.expected_makespan - 1e-12
+
+    def test_final_checkpoint_false(self):
+        chain = uniform_random_chain(4, seed=23)
+        result = brute_force_chain_checkpoints(chain, 0.1, 0.02, final_checkpoint=False)
+        assert 3 not in result.checkpoint_after or result.checkpoint_after == ()
+        # Last position may legitimately be absent; value must still beat the
+        # "with final checkpoint" optimum or equal it.
+        with_final = brute_force_chain_checkpoints(chain, 0.1, 0.02, final_checkpoint=True)
+        assert result.expected_makespan <= with_final.expected_makespan + 1e-12
+
+    def test_refuses_long_chains(self):
+        chain = uniform_random_chain(30, seed=24)
+        with pytest.raises(ValueError, match="max_tasks"):
+            brute_force_chain_checkpoints(chain, 0.1, 0.02)
+
+    def test_invalid_parameters(self):
+        chain = uniform_random_chain(3, seed=25)
+        with pytest.raises(ValueError):
+            brute_force_chain_checkpoints(chain, -1.0, 0.02)
+        with pytest.raises(ValueError):
+            brute_force_chain_checkpoints(chain, 0.0, 0.0)
+
+
+class TestBruteForceIndependent:
+    def test_delegates_to_exhaustive(self):
+        result = brute_force_independent_schedule([2.0, 3.0, 4.0], 1.0, 1.0, 0.0, 0.05)
+        assert result.exact
+        assert sum(result.group_works()) == pytest.approx(9.0)
+
+    def test_refuses_large_instances(self):
+        with pytest.raises(ValueError):
+            brute_force_independent_schedule([1.0] * 15, 1.0, 1.0, 0.0, 0.05)

@@ -1,0 +1,167 @@
+"""Tests for the linear-chain dynamic program (Algorithm 1 / Proposition 3)."""
+
+import math
+
+import pytest
+
+from repro.analysis.bruteforce import brute_force_chain_checkpoints
+from repro.core.chain_dp import (
+    dp_makespan_recursive,
+    optimal_chain_checkpoints,
+    reconstruct_recursive_solution,
+)
+from repro.core.expected_time import expected_completion_time
+from repro.core.schedule import Schedule
+from repro.workflows.chain import LinearChain
+from repro.workflows.generators import uniform_random_chain
+
+
+class TestSingleTaskChain:
+    def test_single_task_value_is_prop1(self):
+        chain = LinearChain(
+            works=[10.0], checkpoint_costs=[1.0], recovery_costs=[2.0], initial_recovery=0.5
+        )
+        result = optimal_chain_checkpoints(chain, downtime=0.3, rate=0.05)
+        expected = expected_completion_time(10.0, 1.0, 0.3, 0.5, 0.05)
+        assert result.expected_makespan == pytest.approx(expected)
+        assert result.checkpoint_after == (0,)
+
+    def test_single_task_recursive_matches_paper_base_case(self):
+        chain = LinearChain(works=[10.0], checkpoint_costs=[1.0], recovery_costs=[2.0])
+        best, num_task = dp_makespan_recursive(chain, downtime=0.0, rate=0.05)
+        expected = math.exp(0.05 * 0.0) * (1.0 / 0.05) * math.expm1(0.05 * 11.0)
+        assert best == pytest.approx(expected)
+        assert num_task == 1
+
+
+class TestOptimalityAgainstBruteForce:
+    @pytest.mark.parametrize("n", [2, 3, 5, 7, 9])
+    @pytest.mark.parametrize("rate", [1e-4, 1e-2, 0.2])
+    def test_dp_equals_brute_force(self, n, rate):
+        chain = uniform_random_chain(
+            n, work_range=(1.0, 10.0), checkpoint_range=(0.2, 2.0), seed=n * 100 + int(rate * 1000)
+        )
+        dp = optimal_chain_checkpoints(chain, downtime=0.4, rate=rate)
+        brute = brute_force_chain_checkpoints(chain, downtime=0.4, rate=rate)
+        assert dp.expected_makespan == pytest.approx(brute.expected_makespan, rel=1e-12)
+        # The optimal value is unique, so the checkpoint sets should coincide
+        # unless there are ties; check that the DP's placement achieves the value.
+        schedule = dp.to_schedule()
+        assert schedule.expected_makespan(0.4, rate) == pytest.approx(
+            brute.expected_makespan, rel=1e-12
+        )
+
+    @pytest.mark.parametrize("n", [2, 4, 6, 8])
+    def test_dp_without_final_checkpoint_matches_brute_force(self, n):
+        chain = uniform_random_chain(n, seed=n)
+        dp = optimal_chain_checkpoints(chain, 0.2, 0.05, final_checkpoint=False)
+        brute = brute_force_chain_checkpoints(chain, 0.2, 0.05, final_checkpoint=False)
+        assert dp.expected_makespan == pytest.approx(brute.expected_makespan, rel=1e-12)
+
+    def test_dp_beats_or_matches_any_manual_placement(self, small_chain):
+        dp = optimal_chain_checkpoints(small_chain, 0.5, 0.05)
+        for positions in ([0, 1, 2, 3], [3], [0, 3], [1, 3], [2, 3]):
+            manual = Schedule.for_chain(small_chain, positions).expected_makespan(0.5, 0.05)
+            assert dp.expected_makespan <= manual + 1e-12
+
+
+class TestRecursiveTranscription:
+    @pytest.mark.parametrize("n", [1, 2, 4, 6, 8])
+    def test_recursive_matches_iterative(self, n):
+        chain = uniform_random_chain(n, seed=n + 50)
+        iterative = optimal_chain_checkpoints(chain, 0.3, 0.04)
+        best, _ = dp_makespan_recursive(chain, 0.3, 0.04)
+        assert best == pytest.approx(iterative.expected_makespan, rel=1e-12)
+
+    def test_reconstruction_matches_iterative_placement(self):
+        chain = uniform_random_chain(7, seed=99)
+        iterative = optimal_chain_checkpoints(chain, 0.1, 0.08)
+        recursive = reconstruct_recursive_solution(chain, 0.1, 0.08)
+        assert recursive.expected_makespan == pytest.approx(
+            iterative.expected_makespan, rel=1e-12
+        )
+        assert recursive.checkpoint_after[-1] == chain.n - 1
+
+    def test_recursive_rejects_bad_x(self):
+        chain = uniform_random_chain(3, seed=1)
+        with pytest.raises(ValueError):
+            dp_makespan_recursive(chain, 0.0, 0.1, x=0)
+        with pytest.raises(ValueError):
+            dp_makespan_recursive(chain, 0.0, 0.1, x=4)
+
+
+class TestPlacementStructure:
+    def test_high_failure_rate_checkpoints_everywhere(self):
+        chain = LinearChain.uniform(6, work=10.0, checkpoint_cost=0.01)
+        result = optimal_chain_checkpoints(chain, 0.0, rate=0.5)
+        assert result.checkpoint_after == tuple(range(6))
+
+    def test_rare_failures_and_expensive_checkpoints_checkpoint_once(self):
+        chain = LinearChain.uniform(6, work=1.0, checkpoint_cost=5.0)
+        result = optimal_chain_checkpoints(chain, 0.0, rate=1e-6)
+        assert result.checkpoint_after == (5,)
+
+    def test_final_checkpoint_always_present_by_default(self):
+        chain = uniform_random_chain(8, seed=5)
+        result = optimal_chain_checkpoints(chain, 0.1, 0.02)
+        assert result.checkpoint_after[-1] == 7
+
+    def test_final_checkpoint_can_be_dropped(self):
+        chain = LinearChain.uniform(4, work=1.0, checkpoint_cost=5.0)
+        result = optimal_chain_checkpoints(chain, 0.1, 1e-6, final_checkpoint=False)
+        assert result.checkpoint_after == ()
+
+    def test_no_final_checkpoint_never_worse(self):
+        chain = uniform_random_chain(6, seed=11)
+        with_final = optimal_chain_checkpoints(chain, 0.1, 0.05, final_checkpoint=True)
+        without = optimal_chain_checkpoints(chain, 0.1, 0.05, final_checkpoint=False)
+        assert without.expected_makespan <= with_final.expected_makespan + 1e-12
+
+    def test_checkpoint_positions_increasing(self):
+        chain = uniform_random_chain(15, seed=4)
+        result = optimal_chain_checkpoints(chain, 0.2, 0.03)
+        positions = list(result.checkpoint_after)
+        assert positions == sorted(positions)
+        assert len(set(positions)) == len(positions)
+
+
+class TestChainDPResult:
+    def test_to_schedule_value_consistent(self):
+        chain = uniform_random_chain(10, seed=6)
+        result = optimal_chain_checkpoints(chain, 0.3, 0.02)
+        schedule = result.to_schedule()
+        assert schedule.expected_makespan(0.3, 0.02) == pytest.approx(
+            result.expected_makespan, rel=1e-12
+        )
+
+    def test_plan_matches_positions(self):
+        chain = uniform_random_chain(5, seed=7)
+        result = optimal_chain_checkpoints(chain, 0.3, 0.02)
+        plan = result.plan()
+        assert tuple(plan.checkpoint_positions()) == result.checkpoint_after
+
+    def test_num_checkpoints(self):
+        chain = uniform_random_chain(5, seed=8)
+        result = optimal_chain_checkpoints(chain, 0.3, 0.02)
+        assert result.num_checkpoints == len(result.checkpoint_after)
+
+
+class TestEdgeCasesAndErrors:
+    def test_rejects_negative_downtime(self, small_chain):
+        with pytest.raises(ValueError):
+            optimal_chain_checkpoints(small_chain, -0.1, 0.05)
+
+    def test_rejects_zero_rate(self, small_chain):
+        with pytest.raises(ValueError):
+            optimal_chain_checkpoints(small_chain, 0.0, 0.0)
+
+    def test_overflowing_instance_raises(self):
+        chain = LinearChain.uniform(3, work=1e4, checkpoint_cost=1e4)
+        with pytest.raises(OverflowError):
+            optimal_chain_checkpoints(chain, 0.0, rate=1.0)
+
+    def test_long_chain_runs(self):
+        chain = uniform_random_chain(500, seed=10)
+        result = optimal_chain_checkpoints(chain, 0.2, 0.01)
+        assert result.expected_makespan > chain.total_work()
+        assert result.checkpoint_after[-1] == 499

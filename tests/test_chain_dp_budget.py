@@ -1,0 +1,101 @@
+"""Tests for the checkpoint-budget variant of the chain DP."""
+
+import itertools
+
+import pytest
+
+from repro.core.chain_dp import (
+    optimal_chain_checkpoints,
+    optimal_chain_checkpoints_budget,
+)
+from repro.core.schedule import Schedule
+from repro.workflows.chain import LinearChain
+from repro.workflows.generators import uniform_random_chain
+
+
+def brute_force_with_budget(chain, downtime, rate, budget, final_checkpoint=True):
+    """Reference optimum: enumerate placements with at most `budget` checkpoints."""
+    n = chain.n
+    best = None
+    free = range(n - 1) if final_checkpoint else range(n)
+    base = [n - 1] if final_checkpoint else []
+    for r in range(min(budget - len(base), n) + 1):
+        for subset in itertools.combinations(free, r):
+            positions = sorted(set(list(subset) + base))
+            if len(positions) > budget:
+                continue
+            value = Schedule.for_chain(chain, positions).expected_makespan(downtime, rate)
+            if best is None or value < best:
+                best = value
+    return best
+
+
+class TestBudgetDP:
+    @pytest.mark.parametrize("budget", [1, 2, 3, 4])
+    def test_matches_brute_force(self, budget):
+        chain = uniform_random_chain(6, seed=70 + budget)
+        dp = optimal_chain_checkpoints_budget(chain, 0.3, 0.05, budget)
+        reference = brute_force_with_budget(chain, 0.3, 0.05, budget)
+        assert dp.expected_makespan == pytest.approx(reference, rel=1e-12)
+        assert dp.num_checkpoints <= budget
+
+    @pytest.mark.parametrize("budget", [1, 2, 3])
+    def test_matches_brute_force_without_final(self, budget):
+        chain = uniform_random_chain(5, seed=80 + budget)
+        dp = optimal_chain_checkpoints_budget(
+            chain, 0.1, 0.08, budget, final_checkpoint=False
+        )
+        reference = brute_force_with_budget(chain, 0.1, 0.08, budget, final_checkpoint=False)
+        assert dp.expected_makespan == pytest.approx(reference, rel=1e-12)
+
+    def test_large_budget_equals_unconstrained(self):
+        chain = uniform_random_chain(10, seed=90)
+        unconstrained = optimal_chain_checkpoints(chain, 0.2, 0.03)
+        budgeted = optimal_chain_checkpoints_budget(chain, 0.2, 0.03, 10)
+        assert budgeted.expected_makespan == pytest.approx(
+            unconstrained.expected_makespan, rel=1e-12
+        )
+        assert budgeted.checkpoint_after == unconstrained.checkpoint_after
+
+    def test_budget_one_with_final_is_single_checkpoint(self):
+        chain = uniform_random_chain(6, seed=91)
+        result = optimal_chain_checkpoints_budget(chain, 0.2, 0.05, 1)
+        assert result.checkpoint_after == (5,)
+
+    def test_monotone_in_budget(self):
+        chain = uniform_random_chain(12, seed=92)
+        previous = None
+        for budget in range(1, 13):
+            value = optimal_chain_checkpoints_budget(chain, 0.2, 0.05, budget).expected_makespan
+            if previous is not None:
+                assert value <= previous + 1e-9
+            previous = value
+
+    def test_value_consistent_with_schedule(self):
+        chain = uniform_random_chain(8, seed=93)
+        result = optimal_chain_checkpoints_budget(chain, 0.4, 0.04, 3)
+        schedule = result.to_schedule()
+        assert schedule.expected_makespan(0.4, 0.04) == pytest.approx(
+            result.expected_makespan, rel=1e-12
+        )
+
+    def test_zero_budget_without_final_checkpoint(self):
+        chain = LinearChain.uniform(4, work=2.0, checkpoint_cost=1.0)
+        result = optimal_chain_checkpoints_budget(
+            chain, 0.0, 0.01, 0, final_checkpoint=False
+        )
+        assert result.checkpoint_after == ()
+        no_ckpt = Schedule.for_chain(chain, []).expected_makespan(0.0, 0.01)
+        assert result.expected_makespan == pytest.approx(no_ckpt)
+
+    def test_invalid_budgets_rejected(self):
+        chain = LinearChain.uniform(3, work=1.0, checkpoint_cost=0.1)
+        with pytest.raises(ValueError):
+            optimal_chain_checkpoints_budget(chain, 0.0, 0.01, -1)
+        with pytest.raises(ValueError):
+            optimal_chain_checkpoints_budget(chain, 0.0, 0.01, 0, final_checkpoint=True)
+
+    def test_overflow_raises(self):
+        chain = LinearChain.uniform(3, work=1e4, checkpoint_cost=1.0)
+        with pytest.raises(OverflowError):
+            optimal_chain_checkpoints_budget(chain, 0.0, 1.0, 1)

@@ -1,0 +1,80 @@
+"""Property-based tests for the chain DP (optimality and structural invariants)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.bruteforce import brute_force_chain_checkpoints
+from repro.core.chain_dp import dp_makespan_recursive, optimal_chain_checkpoints
+from repro.core.schedule import Schedule
+from repro.workflows.chain import LinearChain
+
+
+@st.composite
+def small_chains(draw):
+    """Random chains of 1..7 tasks with moderate parameters."""
+    n = draw(st.integers(min_value=1, max_value=7))
+    works = draw(
+        st.lists(st.floats(min_value=0.5, max_value=20.0), min_size=n, max_size=n)
+    )
+    ckpts = draw(
+        st.lists(st.floats(min_value=0.0, max_value=5.0), min_size=n, max_size=n)
+    )
+    recs = draw(
+        st.lists(st.floats(min_value=0.0, max_value=5.0), min_size=n, max_size=n)
+    )
+    initial = draw(st.floats(min_value=0.0, max_value=3.0))
+    return LinearChain(
+        works=works, checkpoint_costs=ckpts, recovery_costs=recs, initial_recovery=initial
+    )
+
+
+rates = st.floats(min_value=1e-4, max_value=0.3)
+downtimes = st.floats(min_value=0.0, max_value=3.0)
+
+
+class TestChainDPProperties:
+    @given(chain=small_chains(), rate=rates, downtime=downtimes)
+    @settings(max_examples=60, deadline=None)
+    def test_dp_equals_brute_force(self, chain, rate, downtime):
+        dp = optimal_chain_checkpoints(chain, downtime, rate)
+        brute = brute_force_chain_checkpoints(chain, downtime, rate)
+        assert dp.expected_makespan == pytest.approx(brute.expected_makespan, rel=1e-9)
+
+    @given(chain=small_chains(), rate=rates, downtime=downtimes)
+    @settings(max_examples=60, deadline=None)
+    def test_dp_value_achieved_by_its_own_schedule(self, chain, rate, downtime):
+        dp = optimal_chain_checkpoints(chain, downtime, rate)
+        schedule = dp.to_schedule()
+        assert schedule.expected_makespan(downtime, rate) == pytest.approx(
+            dp.expected_makespan, rel=1e-9
+        )
+
+    @given(chain=small_chains(), rate=rates, downtime=downtimes)
+    @settings(max_examples=60, deadline=None)
+    def test_dp_never_worse_than_extreme_placements(self, chain, rate, downtime):
+        dp = optimal_chain_checkpoints(chain, downtime, rate)
+        everywhere = Schedule.for_chain(chain, range(chain.n)).expected_makespan(downtime, rate)
+        only_last = Schedule.for_chain(chain, [chain.n - 1]).expected_makespan(downtime, rate)
+        assert dp.expected_makespan <= everywhere + 1e-9
+        assert dp.expected_makespan <= only_last + 1e-9
+
+    @given(chain=small_chains(), rate=rates, downtime=downtimes)
+    @settings(max_examples=60, deadline=None)
+    def test_recursive_transcription_agrees(self, chain, rate, downtime):
+        dp = optimal_chain_checkpoints(chain, downtime, rate)
+        best, _ = dp_makespan_recursive(chain, downtime, rate)
+        assert best == pytest.approx(dp.expected_makespan, rel=1e-9)
+
+    @given(chain=small_chains(), rate=rates, downtime=downtimes)
+    @settings(max_examples=60, deadline=None)
+    def test_value_exceeds_failure_free_lower_bound(self, chain, rate, downtime):
+        dp = optimal_chain_checkpoints(chain, downtime, rate)
+        assert dp.expected_makespan >= chain.total_work() - 1e-9
+
+    @given(chain=small_chains(), downtime=downtimes)
+    @settings(max_examples=40, deadline=None)
+    def test_makespan_monotone_in_failure_rate(self, chain, downtime):
+        low = optimal_chain_checkpoints(chain, downtime, 1e-3).expected_makespan
+        high = optimal_chain_checkpoints(chain, downtime, 1e-1).expected_makespan
+        assert high >= low - 1e-9

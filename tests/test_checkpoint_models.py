@@ -1,0 +1,113 @@
+"""Tests for the checkpoint cost models (constant, proportional, frontier)."""
+
+import pytest
+
+from repro.models.checkpoint import (
+    ConstantCheckpointCost,
+    FrontierCheckpointCost,
+    ProportionalCheckpointCost,
+)
+from repro.workflows.dag import Workflow
+from repro.workflows.task import Task
+
+
+class TestProportionalCheckpointCost:
+    def test_divides_by_p(self):
+        model = ProportionalCheckpointCost(alpha=0.2)
+        assert model.checkpoint_time(1000.0, 10) == pytest.approx(20.0)
+
+    def test_recovery_equals_checkpoint(self):
+        model = ProportionalCheckpointCost(alpha=0.2)
+        assert model.recovery_time(100.0, 4) == model.checkpoint_time(100.0, 4)
+
+    def test_rejects_non_positive_alpha(self):
+        with pytest.raises(ValueError):
+            ProportionalCheckpointCost(alpha=0.0)
+
+    def test_rejects_negative_footprint(self):
+        with pytest.raises(ValueError):
+            ProportionalCheckpointCost(alpha=1.0).checkpoint_time(-1.0, 2)
+
+
+class TestConstantCheckpointCost:
+    def test_independent_of_p(self):
+        model = ConstantCheckpointCost(alpha=0.5)
+        assert model.checkpoint_time(100.0, 1) == model.checkpoint_time(100.0, 1024)
+
+    def test_value(self):
+        model = ConstantCheckpointCost(alpha=0.5)
+        assert model.checkpoint_time(100.0, 7) == pytest.approx(50.0)
+
+    def test_rejects_zero_processors(self):
+        with pytest.raises(TypeError):
+            ConstantCheckpointCost(alpha=0.5).checkpoint_time(100.0, 1.5)
+
+
+def _diamond():
+    tasks = [
+        Task("A", 2.0, checkpoint_cost=1.0, recovery_cost=1.5),
+        Task("B", 3.0, checkpoint_cost=2.0, recovery_cost=2.5),
+        Task("C", 5.0, checkpoint_cost=4.0, recovery_cost=4.5),
+        Task("D", 1.0, checkpoint_cost=0.5, recovery_cost=0.75),
+    ]
+    deps = [("A", "B"), ("A", "C"), ("B", "D"), ("C", "D")]
+    return Workflow(tasks, deps)
+
+
+class TestFrontierCheckpointCost:
+    def test_chain_degenerates_to_last_task_cost(self):
+        tasks = [Task(f"T{i}", 1.0, checkpoint_cost=float(i + 1)) for i in range(4)]
+        wf = Workflow.from_chain(tasks)
+        model = FrontierCheckpointCost(wf)
+        order = wf.chain_order()
+        for position in range(4):
+            assert model.cost(order, -1, position) == pytest.approx(float(position + 1))
+
+    def test_diamond_sums_live_tasks(self):
+        wf = _diamond()
+        model = FrontierCheckpointCost(wf)
+        order = ["A", "B", "C", "D"]
+        # After B (position 1) with no prior checkpoint: A and B are both live.
+        assert model.cost(order, -1, 1) == pytest.approx(1.0 + 2.0)
+        # After C (position 2): B and C live (A's successors are all done).
+        assert model.cost(order, -1, 2) == pytest.approx(2.0 + 4.0)
+
+    def test_window_excludes_tasks_before_last_checkpoint(self):
+        wf = _diamond()
+        model = FrontierCheckpointCost(wf)
+        order = ["A", "B", "C", "D"]
+        # Checkpoint already taken after A (position 0): checkpointing after B
+        # only needs to save B.
+        assert model.cost(order, 0, 1) == pytest.approx(2.0)
+
+    def test_max_combiner(self):
+        wf = _diamond()
+        model = FrontierCheckpointCost(wf, combine=max)
+        order = ["A", "B", "C", "D"]
+        assert model.cost(order, -1, 2) == pytest.approx(4.0)
+
+    def test_recovery_sums_frontier_recovery_costs(self):
+        wf = _diamond()
+        model = FrontierCheckpointCost(wf)
+        order = ["A", "B", "C", "D"]
+        assert model.recovery(order, 2) == pytest.approx(2.5 + 4.5)
+
+    def test_rejects_position_not_after_checkpoint(self):
+        wf = _diamond()
+        model = FrontierCheckpointCost(wf)
+        with pytest.raises(ValueError):
+            model.cost(["A", "B", "C", "D"], 2, 1)
+
+    def test_rejects_invalid_order(self):
+        wf = _diamond()
+        model = FrontierCheckpointCost(wf)
+        with pytest.raises(ValueError):
+            model.cost(["B", "A", "C", "D"], -1, 1)
+
+    def test_rejects_out_of_range_checkpoint_index(self):
+        wf = _diamond()
+        model = FrontierCheckpointCost(wf)
+        with pytest.raises(ValueError):
+            model.cost(["A", "B", "C", "D"], -2, 1)
+        with pytest.raises(ValueError):
+            model.recovery(["A", "B", "C", "D"], 7)

@@ -1,0 +1,119 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.workflows.generators import montage_like, uniform_random_chain
+from repro.workflows.serialization import save_chain, save_workflow
+
+
+@pytest.fixture
+def chain_file(tmp_path):
+    chain = uniform_random_chain(6, seed=130)
+    path = tmp_path / "chain.json"
+    save_chain(chain, path)
+    return path
+
+
+@pytest.fixture
+def workflow_file(tmp_path):
+    wf = montage_like(4, checkpoint_cost=0.5)
+    path = tmp_path / "workflow.json"
+    save_workflow(wf, path)
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solve_chain_requires_rate(self, chain_file):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve-chain", str(chain_file)])
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "E3"])
+        assert args.id == "E3"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "E99"])
+
+
+class TestSolveChain:
+    def test_basic_output(self, chain_file, capsys):
+        exit_code = main(["solve-chain", str(chain_file), "--rate", "0.02", "--downtime", "0.5"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "expected makespan" in out
+        assert "checkpoint after" in out
+
+    def test_compare_flag_lists_baselines(self, chain_file, capsys):
+        main(["solve-chain", str(chain_file), "--rate", "0.02", "--compare"])
+        out = capsys.readouterr().out
+        assert "checkpoint_all" in out
+        assert "optimal_dp" in out
+
+    def test_budget_option(self, chain_file, capsys):
+        main(["solve-chain", str(chain_file), "--rate", "0.05", "--max-checkpoints", "2"])
+        out = capsys.readouterr().out
+        assert "checkpoints        : 2" in out or "checkpoints        : 1" in out
+
+    def test_no_final_checkpoint_flag(self, chain_file, capsys):
+        exit_code = main([
+            "solve-chain", str(chain_file), "--rate", "1e-6", "--no-final-checkpoint",
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "checkpoints        : 0" in out
+
+
+class TestSolveDag:
+    def test_basic_output(self, workflow_file, capsys):
+        exit_code = main(["solve-dag", str(workflow_file), "--rate", "0.02", "--seed", "1"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "linearisation" in out
+        assert "expected makespan" in out
+
+    def test_dot_flag(self, workflow_file, capsys):
+        main(["solve-dag", str(workflow_file), "--rate", "0.02", "--dot"])
+        out = capsys.readouterr().out
+        assert "digraph" in out
+        assert "doubleoctagon" in out
+
+
+class TestSimulate:
+    def test_with_explicit_positions(self, chain_file, capsys):
+        exit_code = main([
+            "simulate", str(chain_file), "--rate", "0.02", "--checkpoint-after", "2,5",
+            "--runs", "300", "--seed", "1",
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "analytic expectation" in out
+        assert "simulated mean" in out
+
+    def test_default_uses_optimal_placement(self, chain_file, capsys):
+        main(["simulate", str(chain_file), "--rate", "0.02", "--runs", "200"])
+        out = capsys.readouterr().out
+        assert "using optimal placement" in out
+
+    def test_rejects_out_of_range_position(self, chain_file):
+        with pytest.raises(SystemExit, match="out of range"):
+            main(["simulate", str(chain_file), "--rate", "0.02", "--checkpoint-after", "99"])
+
+
+class TestExperimentCommand:
+    def test_prints_table(self, capsys):
+        exit_code = main(["experiment", "E2"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "E2" in out
+        assert "rate" in out
+
+    def test_csv_output(self, capsys):
+        main(["experiment", "E2", "--csv"])
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("rate,")

@@ -1,0 +1,139 @@
+"""Tests for the convexity analysis of the NP-completeness proof."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.convexity import (
+    balanced_group_expectation,
+    g_derivative,
+    g_function,
+    g_second_derivative,
+    optimal_continuous_group_count,
+    proof_parameters,
+)
+from repro.core.independent import grouping_expected_time
+
+
+class TestGFunction:
+    def test_value(self):
+        # g(m) = m (e^{lambda (W/m + C)} - 1)
+        value = g_function(2.0, 10.0, 1.0, 0.1)
+        assert value == pytest.approx(2.0 * math.expm1(0.1 * 6.0))
+
+    def test_second_derivative_positive(self):
+        for m in (0.5, 1.0, 3.0, 10.0):
+            assert g_second_derivative(m, 50.0, 2.0, 0.05) > 0.0
+
+    def test_derivative_matches_finite_difference(self):
+        m, w, c, rate = 3.0, 40.0, 1.5, 0.07
+        h = 1e-6
+        numeric = (g_function(m + h, w, c, rate) - g_function(m - h, w, c, rate)) / (2 * h)
+        assert g_derivative(m, w, c, rate) == pytest.approx(numeric, rel=1e-5)
+
+    def test_rejects_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            g_function(0.0, 1.0, 0.0, 0.1)
+        with pytest.raises(ValueError):
+            g_function(1.0, -1.0, 0.0, 0.1)
+
+
+class TestProofParameters:
+    def test_identities_of_the_proof(self):
+        params = proof_parameters(target_sum=120.0, num_subsets=4)
+        value, derivative = params.verify_identities(120.0, 4)
+        # e^{lambda (T + C)} = 2 and g'(n) = 0 by construction.
+        assert value == pytest.approx(2.0, rel=1e-12)
+        assert derivative == pytest.approx(0.0, abs=1e-12)
+
+    def test_rate_and_cost_definitions(self):
+        params = proof_parameters(target_sum=50.0, num_subsets=3)
+        assert params.rate == pytest.approx(1.0 / 100.0)
+        assert params.checkpoint_cost == pytest.approx((math.log(2.0) - 0.5) * 100.0)
+        assert params.downtime == 0.0
+
+    def test_bound_matches_closed_form(self):
+        t, n = 120.0, 3
+        params = proof_parameters(t, n)
+        expected = (
+            n * math.exp(params.rate * params.checkpoint_cost) / params.rate
+            * math.expm1(params.rate * (t + params.checkpoint_cost))
+        )
+        assert params.bound == pytest.approx(expected)
+
+    def test_bound_equals_balanced_expectation_at_n_groups(self):
+        t, n = 120.0, 5
+        params = proof_parameters(t, n)
+        balanced = balanced_group_expectation(n, n * t, params.checkpoint_cost, params.rate)
+        assert balanced == pytest.approx(params.bound, rel=1e-12)
+
+    def test_n_groups_is_the_integer_minimiser(self):
+        t, n = 90.0, 4
+        params = proof_parameters(t, n)
+        values = {
+            m: balanced_group_expectation(m, n * t, params.checkpoint_cost, params.rate)
+            for m in range(1, 3 * n + 1)
+        }
+        assert min(values, key=values.get) == n
+
+    def test_continuous_minimiser_is_n(self):
+        t, n = 75.0, 6
+        params = proof_parameters(t, n)
+        m_star = optimal_continuous_group_count(n * t, params.checkpoint_cost, params.rate)
+        assert m_star == pytest.approx(float(n), rel=1e-6)
+
+    def test_rejects_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            proof_parameters(0.0, 3)
+        with pytest.raises(ValueError):
+            proof_parameters(10.0, 0)
+
+
+class TestBalancedLowerBound:
+    @given(
+        num_groups=st.integers(min_value=1, max_value=6),
+        target=st.floats(min_value=10.0, max_value=200.0),
+        rate=st.floats(min_value=1e-3, max_value=0.05),
+        checkpoint=st.floats(min_value=0.0, max_value=20.0),
+        imbalance=st.floats(min_value=0.0, max_value=0.8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_balanced_expectation_lower_bounds_unbalanced_partitions(
+        self, num_groups, target, rate, checkpoint, imbalance
+    ):
+        """The convexity step of the proof: balance minimises the sum.
+
+        Build a partition of total work ``num_groups * target`` into groups of
+        works target*(1 +/- imbalance) (pairwise compensated) and compare with
+        the perfectly balanced lower bound E0.
+        """
+        works = []
+        for index in range(num_groups):
+            if index % 2 == 0 and index + 1 < num_groups:
+                works.append(target * (1.0 + imbalance))
+            elif index % 2 == 1:
+                works.append(target * (1.0 - imbalance))
+            else:
+                works.append(target)
+        groups = [[i] for i in range(len(works))]
+        unbalanced = grouping_expected_time(
+            groups, works, checkpoint, checkpoint, 0.0, rate
+        )
+        balanced = balanced_group_expectation(
+            len(works), sum(works), checkpoint, rate
+        )
+        assert unbalanced >= balanced - 1e-6 * balanced
+
+
+class TestContinuousMinimiser:
+    def test_root_of_derivative(self):
+        m_star = optimal_continuous_group_count(500.0, 3.0, 0.01)
+        assert g_derivative(m_star, 500.0, 3.0, 0.01) == pytest.approx(0.0, abs=1e-6)
+
+    def test_capped_at_max_groups(self):
+        # With a zero checkpoint cost, g is decreasing in m for all m, so the
+        # minimiser saturates at the cap.
+        m_star = optimal_continuous_group_count(100.0, 0.0, 0.5, max_groups=1000.0)
+        assert m_star == 1000.0

@@ -1,0 +1,169 @@
+"""Tests for DAG linearisation and checkpoint scheduling."""
+
+import pytest
+
+from repro.core.dag_scheduling import (
+    LINEARIZATION_STRATEGIES,
+    exhaustive_dag_schedule,
+    linearize,
+    place_checkpoints_on_order,
+    schedule_dag,
+)
+from repro.core.chain_dp import optimal_chain_checkpoints
+from repro.models.checkpoint import FrontierCheckpointCost
+from repro.workflows.chain import LinearChain
+from repro.workflows.dag import Workflow
+from repro.workflows.generators import fork_join, make_independent, montage_like
+from repro.workflows.task import Task
+
+
+class TestLinearize:
+    def test_all_strategies_produce_valid_orders(self, diamond_workflow, rng):
+        for strategy in LINEARIZATION_STRATEGIES:
+            order = linearize(diamond_workflow, strategy, rng=rng)
+            assert diamond_workflow.is_valid_order(order)
+
+    def test_heaviest_first_prefers_heavy_ready_task(self, diamond_workflow):
+        order = linearize(diamond_workflow, "heaviest_first")
+        # After A, task C (work 5) should run before B (work 3).
+        assert order.index("C") < order.index("B")
+
+    def test_lightest_first_prefers_light_ready_task(self, diamond_workflow):
+        order = linearize(diamond_workflow, "lightest_first")
+        assert order.index("B") < order.index("C")
+
+    def test_critical_path_valid_on_montage(self):
+        wf = montage_like(5)
+        order = linearize(wf, "critical_path")
+        assert wf.is_valid_order(order)
+
+    def test_unknown_strategy_rejected(self, diamond_workflow):
+        with pytest.raises(ValueError, match="unknown linearisation strategy"):
+            linearize(diamond_workflow, "does_not_exist")
+
+    def test_random_orders_depend_on_rng(self):
+        import numpy as np
+
+        wf = make_independent([1.0] * 8)
+        a = linearize(wf, "random", rng=np.random.default_rng(1))
+        b = linearize(wf, "random", rng=np.random.default_rng(2))
+        assert sorted(a) == sorted(b)
+        # With 8 independent tasks two different seeds almost surely differ.
+        assert a != b
+
+
+class TestPlaceCheckpointsOnOrder:
+    def test_chain_order_matches_chain_dp(self, small_chain):
+        workflow = small_chain.to_workflow()
+        order = workflow.chain_order()
+        positions, value = place_checkpoints_on_order(
+            workflow, order, 0.4, 0.05, initial_recovery=small_chain.initial_recovery
+        )
+        dp = optimal_chain_checkpoints(small_chain, 0.4, 0.05)
+        assert value == pytest.approx(dp.expected_makespan, rel=1e-12)
+        assert positions == dp.checkpoint_after
+
+    def test_invalid_order_rejected(self, diamond_workflow):
+        with pytest.raises(ValueError):
+            place_checkpoints_on_order(diamond_workflow, ["B", "A", "C", "D"], 0.1, 0.05)
+
+    def test_final_checkpoint_flag(self, diamond_workflow):
+        order = diamond_workflow.topological_order()
+        with_final, _ = place_checkpoints_on_order(
+            diamond_workflow, order, 0.1, 1e-6
+        )
+        without_final, _ = place_checkpoints_on_order(
+            diamond_workflow, order, 0.1, 1e-6, final_checkpoint=False
+        )
+        assert with_final[-1] == len(order) - 1
+        assert (len(order) - 1) not in without_final
+
+    def test_overflow_raises(self):
+        chain = LinearChain.uniform(2, work=1e4, checkpoint_cost=1e4)
+        workflow = chain.to_workflow()
+        with pytest.raises(OverflowError):
+            place_checkpoints_on_order(workflow, workflow.chain_order(), 0.0, 1.0)
+
+
+class TestScheduleDag:
+    def test_result_is_valid_and_consistent(self, diamond_workflow):
+        result = schedule_dag(diamond_workflow, 0.2, 0.05, seed=1)
+        assert diamond_workflow.is_valid_order(list(result.order))
+        schedule = result.to_schedule()
+        assert schedule.expected_makespan(0.2, 0.05) == pytest.approx(
+            result.expected_makespan, rel=1e-12
+        )
+
+    def test_heuristic_matches_exhaustive_on_diamond(self, diamond_workflow):
+        heuristic = schedule_dag(diamond_workflow, 0.2, 0.05, seed=1)
+        exact = exhaustive_dag_schedule(diamond_workflow, 0.2, 0.05)
+        # The diamond has only two linear extensions, and the heuristic tries
+        # several strategies, so it should find the optimum.
+        assert heuristic.expected_makespan == pytest.approx(
+            exact.expected_makespan, rel=1e-9
+        )
+
+    def test_heuristic_never_below_exhaustive(self):
+        wf = fork_join(4, branch_work=3.0, work_jitter=0.4, seed=3, checkpoint_cost=0.3)
+        heuristic = schedule_dag(wf, 0.1, 0.05, seed=3)
+        exact = exhaustive_dag_schedule(wf, 0.1, 0.05)
+        assert heuristic.expected_makespan >= exact.expected_makespan - 1e-9
+
+    def test_montage_schedule_runs(self):
+        wf = montage_like(5)
+        result = schedule_dag(wf, 0.2, 0.02, seed=1)
+        assert result.num_checkpoints >= 1
+        assert result.expected_makespan > wf.total_work()
+
+    def test_empty_workflow_rejected(self):
+        with pytest.raises(ValueError):
+            schedule_dag(Workflow([], []), 0.1, 0.05)
+
+    def test_explicit_strategy_subset(self, diamond_workflow):
+        result = schedule_dag(
+            diamond_workflow, 0.2, 0.05, strategies=["topological"], num_random_orders=0
+        )
+        assert result.strategy == "topological"
+
+    def test_frontier_model_increases_cost_on_fork_join(self):
+        wf = fork_join(5, branch_work=4.0, checkpoint_cost=0.5, seed=2)
+        base = schedule_dag(wf, 0.1, 0.05, seed=2)
+        frontier = schedule_dag(
+            wf, 0.1, 0.05, checkpoint_model=FrontierCheckpointCost(wf), seed=2
+        )
+        # Saving the live frontier mid-fan-out costs more than saving a single task.
+        assert frontier.expected_makespan >= base.expected_makespan - 1e-9
+
+
+class TestExhaustiveDagSchedule:
+    def test_exact_flag_set(self, diamond_workflow):
+        result = exhaustive_dag_schedule(diamond_workflow, 0.2, 0.05)
+        assert result.exact
+        assert result.strategy == "exhaustive"
+
+    def test_too_many_orders_rejected(self):
+        wf = make_independent([1.0] * 9)
+        with pytest.raises(ValueError, match="topological orders"):
+            exhaustive_dag_schedule(wf, 0.1, 0.05, max_orders=100)
+
+    def test_independent_tasks_matches_set_partition_optimum(self):
+        from repro.core.independent import exhaustive_independent_schedule
+
+        works = [2.0, 5.0, 3.0]
+        wf = make_independent(works, checkpoint_cost=1.0)
+        dag_opt = exhaustive_dag_schedule(wf, 0.0, 0.1, initial_recovery=1.0)
+        set_opt = exhaustive_independent_schedule(works, 1.0, 1.0, 0.0, 0.1)
+        assert dag_opt.expected_makespan == pytest.approx(
+            set_opt.expected_makespan, rel=1e-9
+        )
+
+    def test_order_dependence_matters(self):
+        # A 2-task independent instance where one task is huge and the other
+        # tiny: the exhaustive solver must consider both orders and checkpoint
+        # placements and return a dependence-valid order.
+        wf = Workflow(
+            [Task("big", 30.0, 0.5, 0.5), Task("small", 1.0, 0.5, 0.5)], []
+        )
+        result = exhaustive_dag_schedule(wf, 0.0, 0.05)
+        assert set(result.order) == {"big", "small"}
+        assert result.expected_makespan > 31.0

@@ -1,0 +1,24 @@
+"""Integration tests: every example script runs end to end and prints output."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_has_at_least_three_scripts():
+    assert len(EXAMPLE_SCRIPTS) >= 3
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS, ids=lambda p: p.name)
+def test_example_runs_and_produces_output(script, capsys, monkeypatch):
+    # Examples use only fixed seeds, so they must be deterministic and quick.
+    monkeypatch.setattr(sys, "argv", [str(script)])
+    runpy.run_path(str(script), run_name="__main__")
+    captured = capsys.readouterr()
+    assert len(captured.out.strip()) > 0, f"{script.name} printed nothing"
+    assert "Traceback" not in captured.err

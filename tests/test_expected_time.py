@@ -1,0 +1,186 @@
+"""Tests for the Proposition 1 closed form and related formulas."""
+
+import math
+
+import pytest
+
+from repro.core.expected_time import (
+    bouguerra_expected_time,
+    daly_first_order_period,
+    daly_higher_order_period,
+    expected_completion_time,
+    expected_lost_time,
+    expected_recovery_time,
+    expected_segments_time,
+    young_period,
+)
+
+
+class TestProposition1ClosedForm:
+    def test_matches_paper_formula(self):
+        work, ckpt, downtime, recovery, rate = 10.0, 1.0, 0.5, 2.0, 0.05
+        expected = (
+            math.exp(rate * recovery)
+            * (1.0 / rate + downtime)
+            * (math.exp(rate * (work + ckpt)) - 1.0)
+        )
+        assert expected_completion_time(work, ckpt, downtime, recovery, rate) == pytest.approx(
+            expected
+        )
+
+    def test_reduces_to_work_plus_checkpoint_for_tiny_rate(self):
+        # As lambda -> 0, E[T] -> W + C.
+        value = expected_completion_time(10.0, 1.0, 5.0, 3.0, 1e-12)
+        assert value == pytest.approx(11.0, rel=1e-6)
+
+    def test_zero_work_and_checkpoint_is_zero(self):
+        assert expected_completion_time(0.0, 0.0, 1.0, 1.0, 0.1) == 0.0
+
+    def test_exceeds_failure_free_time(self):
+        value = expected_completion_time(10.0, 1.0, 0.0, 0.0, 0.01)
+        assert value > 11.0
+
+    def test_increases_with_work(self):
+        base = expected_completion_time(10.0, 1.0, 0.5, 1.0, 0.05)
+        more = expected_completion_time(15.0, 1.0, 0.5, 1.0, 0.05)
+        assert more > base
+
+    def test_increases_with_checkpoint_cost(self):
+        base = expected_completion_time(10.0, 1.0, 0.5, 1.0, 0.05)
+        more = expected_completion_time(10.0, 2.0, 0.5, 1.0, 0.05)
+        assert more > base
+
+    def test_increases_with_recovery_cost(self):
+        base = expected_completion_time(10.0, 1.0, 0.5, 1.0, 0.05)
+        more = expected_completion_time(10.0, 1.0, 0.5, 4.0, 0.05)
+        assert more > base
+
+    def test_increases_with_downtime(self):
+        base = expected_completion_time(10.0, 1.0, 0.0, 1.0, 0.05)
+        more = expected_completion_time(10.0, 1.0, 2.0, 1.0, 0.05)
+        assert more > base
+
+    def test_increases_with_rate(self):
+        base = expected_completion_time(10.0, 1.0, 0.5, 1.0, 0.01)
+        more = expected_completion_time(10.0, 1.0, 0.5, 1.0, 0.1)
+        assert more > base
+
+    def test_satisfies_recursion_equation3(self):
+        # E[T] = W + C + (e^{lambda(W+C)} - 1)(E[T_lost] + E[T_rec])  (Equation 3)
+        work, ckpt, downtime, recovery, rate = 7.0, 2.0, 1.5, 3.0, 0.08
+        lhs = expected_completion_time(work, ckpt, downtime, recovery, rate)
+        rhs = (work + ckpt) + math.expm1(rate * (work + ckpt)) * (
+            expected_lost_time(work, ckpt, rate)
+            + expected_recovery_time(downtime, recovery, rate)
+        )
+        assert lhs == pytest.approx(rhs, rel=1e-12)
+
+    def test_overflow_raises_with_helpful_message(self):
+        with pytest.raises(OverflowError, match="unit mismatch"):
+            expected_completion_time(1e6, 0.0, 0.0, 0.0, 1.0)
+
+    def test_rejects_negative_inputs(self):
+        with pytest.raises(ValueError):
+            expected_completion_time(-1.0, 0.0, 0.0, 0.0, 0.1)
+        with pytest.raises(ValueError):
+            expected_completion_time(1.0, -1.0, 0.0, 0.0, 0.1)
+        with pytest.raises(ValueError):
+            expected_completion_time(1.0, 0.0, -1.0, 0.0, 0.1)
+        with pytest.raises(ValueError):
+            expected_completion_time(1.0, 0.0, 0.0, -1.0, 0.1)
+
+    def test_rejects_zero_rate(self):
+        with pytest.raises(ValueError):
+            expected_completion_time(1.0, 0.0, 0.0, 0.0, 0.0)
+
+
+class TestExpectedLostTime:
+    def test_equation4(self):
+        work, ckpt, rate = 10.0, 1.0, 0.05
+        expected = 1.0 / rate - (work + ckpt) / (math.exp(rate * (work + ckpt)) - 1.0)
+        assert expected_lost_time(work, ckpt, rate) == pytest.approx(expected)
+
+    def test_bounded_by_segment_length(self):
+        # The lost time is conditioned on failing within W + C, so it is below W + C.
+        assert expected_lost_time(10.0, 1.0, 0.05) < 11.0
+
+    def test_bounded_by_mtbf(self):
+        assert expected_lost_time(10.0, 1.0, 0.05) < 1.0 / 0.05
+
+    def test_small_segment_loses_about_half(self):
+        # For lambda*(W+C) << 1, the failure time is nearly uniform on the segment.
+        value = expected_lost_time(1.0, 0.0, 1e-6)
+        assert value == pytest.approx(0.5, rel=1e-3)
+
+    def test_zero_segment(self):
+        assert expected_lost_time(0.0, 0.0, 0.1) == 0.0
+
+
+class TestExpectedRecoveryTime:
+    def test_equation5(self):
+        downtime, recovery, rate = 2.0, 5.0, 0.03
+        expected = downtime * math.exp(rate * recovery) + math.expm1(rate * recovery) / rate
+        assert expected_recovery_time(downtime, recovery, rate) == pytest.approx(expected)
+
+    def test_zero_recovery_gives_downtime(self):
+        assert expected_recovery_time(3.0, 0.0, 0.1) == pytest.approx(3.0)
+
+    def test_exceeds_downtime_plus_recovery(self):
+        assert expected_recovery_time(2.0, 5.0, 0.1) > 7.0
+
+
+class TestExpectedSegmentsTime:
+    def test_sums_segments(self):
+        segments = [(10.0, 1.0, 0.0), (5.0, 0.5, 1.0)]
+        total = expected_segments_time(segments, downtime=0.5, rate=0.02)
+        manual = expected_completion_time(10.0, 1.0, 0.5, 0.0, 0.02) + expected_completion_time(
+            5.0, 0.5, 0.5, 1.0, 0.02
+        )
+        assert total == pytest.approx(manual)
+
+    def test_empty_sequence_is_zero(self):
+        assert expected_segments_time([], 0.5, 0.02) == 0.0
+
+    def test_error_mentions_segment_index(self):
+        with pytest.raises(ValueError, match="segment 1"):
+            expected_segments_time([(1.0, 0.0, 0.0), (-1.0, 0.0, 0.0)], 0.0, 0.1)
+
+
+class TestBouguerraFormula:
+    def test_coincides_with_prop1_when_recovery_is_zero(self):
+        exact = expected_completion_time(10.0, 1.0, 0.5, 0.0, 0.05)
+        inexact = bouguerra_expected_time(10.0, 1.0, 0.5, 0.0, 0.05)
+        assert inexact == pytest.approx(exact)
+
+    def test_overestimates_when_recovery_positive(self):
+        exact = expected_completion_time(10.0, 1.0, 0.5, 3.0, 0.05)
+        inexact = bouguerra_expected_time(10.0, 1.0, 0.5, 3.0, 0.05)
+        assert inexact > exact
+
+    def test_zero_everything_is_zero(self):
+        assert bouguerra_expected_time(0.0, 0.0, 1.0, 0.0, 0.1) == 0.0
+
+
+class TestPeriods:
+    def test_young_formula(self):
+        assert young_period(1.0, 0.005) == pytest.approx(math.sqrt(2.0 / 0.005))
+
+    def test_daly_first_order_equals_young(self):
+        assert daly_first_order_period(2.0, 0.01) == young_period(2.0, 0.01)
+
+    def test_daly_higher_order_close_to_young_for_small_c(self):
+        young = young_period(0.01, 1e-5)
+        daly = daly_higher_order_period(0.01, 1e-5)
+        assert daly == pytest.approx(young, rel=0.02)
+
+    def test_daly_falls_back_to_mtbf_for_huge_checkpoint(self):
+        assert daly_higher_order_period(1000.0, 0.01) == pytest.approx(100.0)
+
+    def test_daly_period_positive(self):
+        assert daly_higher_order_period(10.0, 0.01) > 0.0
+
+    def test_periods_reject_non_positive_inputs(self):
+        with pytest.raises(ValueError):
+            young_period(0.0, 0.1)
+        with pytest.raises(ValueError):
+            young_period(1.0, 0.0)

@@ -1,0 +1,89 @@
+"""Property-based tests (hypothesis) for the Proposition 1 formula."""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.expected_time import (
+    expected_completion_time,
+    expected_lost_time,
+    expected_recovery_time,
+)
+
+# Parameter strategies kept in ranges where exp() stays well away from overflow.
+works = st.floats(min_value=0.0, max_value=200.0)
+checkpoints = st.floats(min_value=0.0, max_value=50.0)
+downtimes = st.floats(min_value=0.0, max_value=20.0)
+recoveries = st.floats(min_value=0.0, max_value=50.0)
+rates = st.floats(min_value=1e-6, max_value=0.5)
+
+
+class TestProp1Properties:
+    @given(work=works, ckpt=checkpoints, downtime=downtimes, recovery=recoveries, rate=rates)
+    @settings(max_examples=200, deadline=None)
+    def test_at_least_failure_free_time(self, work, ckpt, downtime, recovery, rate):
+        assume(rate * (work + ckpt + recovery) < 500)
+        value = expected_completion_time(work, ckpt, downtime, recovery, rate)
+        assert value >= work + ckpt - 1e-9
+
+    @given(work=works, ckpt=checkpoints, downtime=downtimes, recovery=recoveries, rate=rates)
+    @settings(max_examples=200, deadline=None)
+    def test_monotone_in_work(self, work, ckpt, downtime, recovery, rate):
+        assume(rate * (work + ckpt + recovery + 1.0) < 500)
+        smaller = expected_completion_time(work, ckpt, downtime, recovery, rate)
+        larger = expected_completion_time(work + 1.0, ckpt, downtime, recovery, rate)
+        assert larger >= smaller
+
+    @given(work=works, ckpt=checkpoints, downtime=downtimes, recovery=recoveries, rate=rates)
+    @settings(max_examples=200, deadline=None)
+    def test_monotone_in_rate(self, work, ckpt, downtime, recovery, rate):
+        assume(work + ckpt > 0)
+        assume(2 * rate * (work + ckpt + recovery) < 500)
+        lower = expected_completion_time(work, ckpt, downtime, recovery, rate)
+        higher = expected_completion_time(work, ckpt, downtime, recovery, rate * 2.0)
+        assert higher >= lower - 1e-9
+
+    @given(work=works, ckpt=checkpoints, downtime=downtimes, recovery=recoveries, rate=rates)
+    @settings(max_examples=200, deadline=None)
+    def test_recursion_identity(self, work, ckpt, downtime, recovery, rate):
+        """Equation 3 of the paper holds for all parameter values."""
+        assume(work + ckpt > 1e-9)
+        assume(rate * (work + ckpt + recovery) < 500)
+        lhs = expected_completion_time(work, ckpt, downtime, recovery, rate)
+        rhs = (work + ckpt) + math.expm1(rate * (work + ckpt)) * (
+            expected_lost_time(work, ckpt, rate)
+            + expected_recovery_time(downtime, recovery, rate)
+        )
+        assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-9)
+
+    @given(work=works, ckpt=checkpoints, rate=rates)
+    @settings(max_examples=200, deadline=None)
+    def test_splitting_work_with_free_checkpoint_helps(self, work, ckpt, rate):
+        """With zero-cost checkpoints, two halves are never worse than one block.
+
+        This is the convexity fact exploited throughout the paper: splitting a
+        segment in two (committing progress in the middle for free) can only
+        reduce the expectation.
+        """
+        assume(work > 1e-6)
+        assume(rate * (work + ckpt) < 400)
+        whole = expected_completion_time(work, 0.0, 0.0, 0.0, rate)
+        halves = 2.0 * expected_completion_time(work / 2.0, 0.0, 0.0, 0.0, rate)
+        assert halves <= whole + 1e-9
+
+    @given(work=works, ckpt=checkpoints, downtime=downtimes, recovery=recoveries, rate=rates)
+    @settings(max_examples=200, deadline=None)
+    def test_lost_time_bounds(self, work, ckpt, downtime, recovery, rate):
+        assume(work + ckpt > 1e-9)
+        assume(rate * (work + ckpt) < 500)
+        lost = expected_lost_time(work, ckpt, rate)
+        assert 0.0 <= lost <= min(work + ckpt, 1.0 / rate) + 1e-9
+
+    @given(downtime=downtimes, recovery=recoveries, rate=rates)
+    @settings(max_examples=200, deadline=None)
+    def test_recovery_time_at_least_d_plus_r(self, downtime, recovery, rate):
+        assume(rate * recovery < 500)
+        value = expected_recovery_time(downtime, recovery, rate)
+        assert value >= downtime + recovery - 1e-9

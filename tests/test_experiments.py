@@ -1,0 +1,115 @@
+"""Tests for the experiment harness (reporting, sweeps, registry)."""
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.reporting import ResultTable
+from repro.experiments.sweep import geometric_sweep, linear_sweep
+
+
+class TestResultTable:
+    def test_add_row_and_column(self):
+        table = ResultTable(title="t", columns=["a", "b"])
+        table.add_row(a=1, b=2.0)
+        table.add_row(a=3, c="x")
+        assert len(table) == 2
+        assert table.columns == ["a", "b", "c"]
+        assert table.column("a") == [1, 3]
+        assert table.column("b") == [2.0, None]
+
+    def test_column_missing_raises(self):
+        table = ResultTable(title="t", columns=["a"])
+        with pytest.raises(KeyError):
+            table.column("z")
+
+    def test_filter(self):
+        table = ResultTable(title="t", columns=["a"])
+        for i in range(5):
+            table.add_row(a=i)
+        filtered = table.filter(lambda row: row["a"] % 2 == 0)
+        assert len(filtered) == 3
+
+    def test_to_text_contains_header_and_values(self):
+        table = ResultTable(title="My table", columns=["name", "value"])
+        table.add_row(name="alpha", value=1.5)
+        text = table.to_text()
+        assert "My table" in text
+        assert "alpha" in text
+        assert "1.5" in text
+
+    def test_to_csv(self):
+        table = ResultTable(title="t", columns=["a", "b"])
+        table.add_row(a=1, b="x")
+        csv_text = table.to_csv()
+        assert "a,b" in csv_text.splitlines()[0]
+        assert "1,x" in csv_text
+
+    def test_float_formatting(self):
+        table = ResultTable(title="t", columns=["v"])
+        table.add_row(v=0.0)
+        table.add_row(v=1234567.0)
+        table.add_row(v=0.000001)
+        text = table.to_text()
+        assert "1.235e+06" in text
+        assert "1e-06" in text
+
+
+class TestSweeps:
+    def test_geometric_endpoints(self):
+        values = geometric_sweep(1.0, 100.0, 3)
+        assert values[0] == pytest.approx(1.0)
+        assert values[-1] == pytest.approx(100.0)
+        assert values[1] == pytest.approx(10.0)
+
+    def test_geometric_single_point(self):
+        assert geometric_sweep(5.0, 100.0, 1) == [5.0]
+
+    def test_geometric_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            geometric_sweep(0.0, 10.0, 3)
+
+    def test_linear_endpoints(self):
+        values = linear_sweep(0.0, 10.0, 5)
+        assert values == pytest.approx([0.0, 2.5, 5.0, 7.5, 10.0])
+
+    def test_linear_single_point(self):
+        assert linear_sweep(3.0, 9.0, 1) == [3.0]
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 11)}
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("E99")
+
+    def test_case_insensitive_lookup(self):
+        table = run_experiment("e4", num_yes=1, num_no=1, seed=1)
+        assert isinstance(table, ResultTable)
+
+    def test_e1_small_run_validates_prop1(self):
+        table = run_experiment("E1", num_runs=2000, seed=3)
+        assert len(table) > 0
+        assert all(row["rel_error"] < 0.1 for row in table.rows)
+
+    def test_e3_small_run_dp_matches_bruteforce(self):
+        table = run_experiment(
+            "E3", brute_force_sizes=(4, 6), scaling_sizes=(50,), seed=1
+        )
+        exact_rows = [row for row in table.rows if row["mode"] == "exactness"]
+        assert exact_rows
+        assert all(row["match"] for row in exact_rows)
+
+    def test_e5_small_run_heuristic_near_optimal(self):
+        table = run_experiment(
+            "E5", exact_sizes=(5,), heuristic_sizes=(), seed=2
+        )
+        assert all(row["ratio_to_optimal"] <= 1.05 for row in table.rows)
+
+    def test_e6_small_run_optimal_dominates(self):
+        table = run_experiment("E6", n=15, seed=3)
+        for row in table.rows:
+            for key in ("ratio_all", "ratio_none", "ratio_daly"):
+                if row[key] is not None:
+                    assert row[key] >= 1.0 - 1e-9

@@ -1,0 +1,187 @@
+"""Tests for the synthetic workflow generators."""
+
+import numpy as np
+import pytest
+
+from repro.workflows.generators import (
+    fork_join,
+    in_tree,
+    make_chain,
+    make_independent,
+    montage_like,
+    out_tree,
+    random_layered_dag,
+    uniform_random_chain,
+)
+
+
+class TestMakeChain:
+    def test_scalar_costs(self):
+        chain = make_chain([1.0, 2.0, 3.0], checkpoint_cost=0.5)
+        assert chain.n == 3
+        assert chain.checkpoint_costs == (0.5, 0.5, 0.5)
+        assert chain.recovery_costs == (0.5, 0.5, 0.5)
+
+    def test_separate_recovery_cost(self):
+        chain = make_chain([1.0], checkpoint_cost=0.5, recovery_cost=1.5)
+        assert chain.recovery_costs == (1.5,)
+
+    def test_explicit_cost_arrays(self):
+        chain = make_chain(
+            [1.0, 2.0], checkpoint_costs=[0.1, 0.2], recovery_costs=[0.3, 0.4]
+        )
+        assert chain.checkpoint_costs == (0.1, 0.2)
+        assert chain.recovery_costs == (0.3, 0.4)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            make_chain([])
+
+    def test_names_are_prefixed(self):
+        chain = make_chain([1.0, 2.0], name="pipeline")
+        assert chain.names[0].startswith("pipeline.")
+
+
+class TestUniformRandomChain:
+    def test_size_and_bounds(self, rng):
+        chain = uniform_random_chain(
+            20, work_range=(2.0, 4.0), checkpoint_range=(0.1, 0.2), rng=rng
+        )
+        assert chain.n == 20
+        assert all(2.0 <= w <= 4.0 for w in chain.works)
+        assert all(0.1 <= c <= 0.2 for c in chain.checkpoint_costs)
+
+    def test_recovery_equals_checkpoint_by_default(self, rng):
+        chain = uniform_random_chain(5, rng=rng)
+        assert chain.recovery_costs == chain.checkpoint_costs
+
+    def test_distinct_recovery_range(self, rng):
+        chain = uniform_random_chain(
+            10, recovery_equals_checkpoint=False, recovery_range=(5.0, 6.0), rng=rng
+        )
+        assert all(5.0 <= r <= 6.0 for r in chain.recovery_costs)
+
+    def test_seed_reproducibility(self):
+        a = uniform_random_chain(8, seed=3)
+        b = uniform_random_chain(8, seed=3)
+        assert a.works == b.works
+
+    def test_degenerate_ranges(self):
+        chain = uniform_random_chain(4, work_range=(3.0, 3.0), checkpoint_range=(0.5, 0.5), seed=1)
+        assert set(chain.works) == {3.0}
+        assert set(chain.checkpoint_costs) == {0.5}
+
+    def test_invalid_work_range(self):
+        with pytest.raises(ValueError):
+            uniform_random_chain(4, work_range=(5.0, 1.0))
+
+
+class TestMakeIndependent:
+    def test_structure(self):
+        wf = make_independent([1.0, 2.0, 3.0], checkpoint_cost=0.5)
+        assert wf.is_independent()
+        assert len(wf) == 3
+        assert all(t.checkpoint_cost == 0.5 for t in wf.tasks())
+
+    def test_recovery_defaults_to_checkpoint(self):
+        wf = make_independent([1.0], checkpoint_cost=0.5)
+        assert wf.tasks()[0].recovery_cost == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            make_independent([])
+
+
+class TestForkJoin:
+    def test_structure(self):
+        wf = fork_join(5, seed=1)
+        assert len(wf) == 7
+        assert len(wf.sources()) == 1
+        assert len(wf.sinks()) == 1
+        # Every branch depends on the source and feeds the sink.
+        assert len(wf.dependences()) == 10
+
+    def test_jitter_changes_branch_works(self):
+        wf = fork_join(10, branch_work=4.0, work_jitter=0.5, seed=2)
+        branch_works = {
+            t.work for t in wf.tasks() if "branch" in t.name
+        }
+        assert len(branch_works) > 1
+        assert all(2.0 <= w <= 6.0 for w in branch_works)
+
+    def test_not_a_chain(self):
+        assert not fork_join(3).is_chain()
+
+    def test_rejects_zero_branches(self):
+        with pytest.raises(ValueError):
+            fork_join(0)
+
+
+class TestTrees:
+    def test_out_tree_node_count(self):
+        wf = out_tree(depth=3, fanout=2)
+        assert len(wf) == 1 + 2 + 4
+
+    def test_out_tree_single_source(self):
+        wf = out_tree(depth=3, fanout=3)
+        assert len(wf.sources()) == 1
+        assert len(wf.sinks()) == 9
+
+    def test_in_tree_reverses_edges(self):
+        wf = in_tree(depth=3, fanin=2)
+        assert len(wf.sinks()) == 1
+        assert len(wf.sources()) == 4
+
+    def test_depth_one_is_single_node(self):
+        wf = out_tree(depth=1, fanout=5)
+        assert len(wf) == 1
+        assert wf.is_chain()
+
+
+class TestRandomLayeredDag:
+    def test_node_count_and_acyclicity(self):
+        wf = random_layered_dag(4, 3, seed=1)
+        assert len(wf) == 12
+        order = wf.topological_order()
+        assert wf.is_valid_order(order)
+
+    def test_every_non_source_task_has_a_predecessor(self):
+        wf = random_layered_dag(5, 4, edge_probability=0.1, seed=2)
+        for name in wf.task_names():
+            layer = int(name.split("L")[1].split("N")[0])
+            if layer > 0:
+                assert wf.predecessors(name), f"{name} has no predecessor"
+
+    def test_seed_reproducibility(self):
+        a = random_layered_dag(3, 3, seed=9)
+        b = random_layered_dag(3, 3, seed=9)
+        assert a.dependences() == b.dependences()
+        assert [t.work for t in a.tasks()] == [t.work for t in b.tasks()]
+
+    def test_invalid_edge_probability(self):
+        with pytest.raises(ValueError):
+            random_layered_dag(2, 2, edge_probability=1.5)
+
+
+class TestMontageLike:
+    def test_node_count(self):
+        wf = montage_like(6)
+        # 6 projects + 5 diffs + concat + model + 6 backgrounds + add
+        assert len(wf) == 6 + 5 + 1 + 1 + 6 + 1
+
+    def test_single_sink(self):
+        wf = montage_like(4)
+        assert len(wf.sinks()) == 1
+        assert wf.sinks()[0].endswith("mAdd")
+
+    def test_sources_are_projects(self):
+        wf = montage_like(3)
+        assert all("mProject" in name for name in wf.sources())
+
+    def test_acyclic_and_valid(self):
+        wf = montage_like(5)
+        assert wf.is_valid_order(wf.topological_order())
+
+    def test_rejects_single_input(self):
+        with pytest.raises(ValueError):
+            montage_like(1)

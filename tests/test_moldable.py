@@ -1,0 +1,138 @@
+"""Tests for moldable-task allocation (Section 6, second extension)."""
+
+import pytest
+
+from repro.core.expected_time import expected_completion_time
+from repro.core.moldable import (
+    MoldableScheduler,
+    MoldableTask,
+    best_allocation_single_task,
+)
+from repro.models.checkpoint import ConstantCheckpointCost, ProportionalCheckpointCost
+from repro.models.workload import (
+    AmdahlWorkload,
+    NumericalKernelWorkload,
+    PerfectlyParallelWorkload,
+)
+
+
+class TestMoldableTask:
+    def test_time_on_uses_workload_model(self):
+        task = MoldableTask("t", 100.0, workload=PerfectlyParallelWorkload())
+        assert task.time_on(4) == pytest.approx(25.0)
+
+    def test_amdahl_limits_scaling(self):
+        task = MoldableTask("t", 100.0, workload=AmdahlWorkload(gamma=0.5))
+        assert task.time_on(1_000_000) > 50.0
+
+    def test_rejects_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            MoldableTask("", 10.0)
+        with pytest.raises(ValueError):
+            MoldableTask("t", 0.0)
+        with pytest.raises(ValueError):
+            MoldableTask("t", 1.0, memory_footprint=-1.0)
+
+
+class TestBestAllocationSingleTask:
+    def test_perfectly_parallel_constant_checkpoint_prefers_finite_p(self):
+        # With lambda = p * lambda_proc, more processors shorten the work but
+        # raise the failure rate; with a constant checkpoint cost there is an
+        # interior optimum.
+        task = MoldableTask("t", 10_000.0, memory_footprint=100.0)
+        model = ConstantCheckpointCost(alpha=0.1)
+        best_p, value = best_allocation_single_task(
+            task, 1e-4, 0.0, model, max_processors=4096
+        )
+        assert 1 < best_p < 4096
+        # The value is the Prop. 1 expectation at that allocation.
+        expected = expected_completion_time(
+            10_000.0 / best_p, 10.0, 0.0, 10.0, 1e-4 * best_p
+        )
+        assert value == pytest.approx(expected)
+
+    def test_negligible_failure_rate_uses_all_processors(self):
+        task = MoldableTask("t", 1000.0, memory_footprint=1.0)
+        model = ConstantCheckpointCost(alpha=0.01)
+        best_p, _ = best_allocation_single_task(
+            task, 1e-12, 0.0, model, max_processors=64
+        )
+        assert best_p == 64
+
+    def test_sequential_work_with_amdahl_gives_up_early(self):
+        # With a strongly sequential workload, adding processors mostly adds
+        # failures, so the best allocation is small.
+        task = MoldableTask("t", 1000.0, memory_footprint=10.0, workload=AmdahlWorkload(gamma=0.5))
+        model = ConstantCheckpointCost(alpha=0.1)
+        best_p, _ = best_allocation_single_task(task, 1e-3, 0.0, model, max_processors=256)
+        assert best_p < 64
+
+    def test_min_processors_respected(self):
+        task = MoldableTask("t", 100.0, memory_footprint=1.0)
+        model = ConstantCheckpointCost(alpha=0.01)
+        best_p, _ = best_allocation_single_task(
+            task, 1e-6, 0.0, model, max_processors=8, min_processors=8
+        )
+        assert best_p == 8
+
+    def test_min_above_max_rejected(self):
+        task = MoldableTask("t", 100.0)
+        model = ConstantCheckpointCost(alpha=0.01)
+        with pytest.raises(ValueError):
+            best_allocation_single_task(task, 1e-6, 0.0, model, max_processors=4, min_processors=8)
+
+
+class TestMoldableScheduler:
+    def _tasks(self):
+        return [
+            MoldableTask("prep", 500.0, memory_footprint=20.0),
+            MoldableTask("solve", 5000.0, memory_footprint=100.0,
+                         workload=NumericalKernelWorkload(gamma=0.2)),
+            MoldableTask("post", 200.0, memory_footprint=10.0,
+                         workload=AmdahlWorkload(gamma=0.05)),
+        ]
+
+    def test_checkpoint_everywhere_allocation(self):
+        scheduler = MoldableScheduler(
+            1e-5, 1.0, checkpoint_model=ConstantCheckpointCost(alpha=0.05), max_processors=1024
+        )
+        result = scheduler.allocate_checkpoint_everywhere(self._tasks())
+        assert result.num_tasks == 3
+        assert all(1 <= p <= 1024 for p in result.allocations)
+        assert result.expected_makespan == pytest.approx(sum(result.per_task_expected))
+        assert result.checkpoint_after == (0, 1, 2)
+
+    def test_chain_dp_refinement_never_increases_checkpoint_count_beyond_n(self):
+        scheduler = MoldableScheduler(
+            1e-6, 0.5, checkpoint_model=ProportionalCheckpointCost(alpha=0.5), max_processors=256
+        )
+        result = scheduler.allocate_with_chain_dp(self._tasks())
+        assert 1 <= len(result.checkpoint_after) <= 3
+        assert result.checkpoint_after[-1] == 2
+
+    def test_empty_task_list_rejected(self):
+        scheduler = MoldableScheduler(1e-5, 0.0, max_processors=16)
+        with pytest.raises(ValueError):
+            scheduler.allocate_checkpoint_everywhere([])
+        with pytest.raises(ValueError):
+            scheduler.allocate_with_chain_dp([])
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            MoldableScheduler(0.0, 0.0, max_processors=4)
+        with pytest.raises(ValueError):
+            MoldableScheduler(1e-5, -1.0, max_processors=4)
+        with pytest.raises(ValueError):
+            MoldableScheduler(1e-5, 0.0, max_processors=0)
+
+    def test_higher_failure_rate_never_increases_best_allocation(self):
+        # As lambda_proc grows, the optimal processor count for a perfectly
+        # parallel task with constant checkpoint cost cannot increase.
+        task = MoldableTask("t", 20_000.0, memory_footprint=50.0)
+        model = ConstantCheckpointCost(alpha=0.1)
+        previous = None
+        for lam in (1e-6, 1e-5, 1e-4, 1e-3):
+            best_p, _ = best_allocation_single_task(task, lam, 0.0, model, max_processors=2048)
+            if previous is not None:
+                assert best_p <= previous
+            previous = best_p

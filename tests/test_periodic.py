@@ -1,0 +1,103 @@
+"""Tests for the divisible-job periodic checkpointing baselines."""
+
+import math
+
+import pytest
+
+from repro.baselines.periodic import (
+    divisible_expected_makespan,
+    optimal_periodic_policy,
+    periodic_expected_time,
+)
+from repro.core.expected_time import (
+    daly_higher_order_period,
+    expected_completion_time,
+    young_period,
+)
+
+
+class TestPeriodicExpectedTime:
+    def test_single_chunk_matches_prop1(self):
+        value = periodic_expected_time(100.0, 1, 2.0, 0.5, 3.0, 0.01)
+        assert value == pytest.approx(expected_completion_time(100.0, 2.0, 0.5, 0.0, 0.01))
+
+    def test_two_chunks_sum(self):
+        value = periodic_expected_time(100.0, 2, 2.0, 0.5, 3.0, 0.01)
+        manual = expected_completion_time(50.0, 2.0, 0.5, 0.0, 0.01) + expected_completion_time(
+            50.0, 2.0, 0.5, 3.0, 0.01
+        )
+        assert value == pytest.approx(manual)
+
+    def test_initial_recovery_parameter(self):
+        with_init = periodic_expected_time(
+            100.0, 1, 2.0, 0.0, 3.0, 0.01, initial_recovery=3.0
+        )
+        assert with_init == pytest.approx(expected_completion_time(100.0, 2.0, 0.0, 3.0, 0.01))
+
+    def test_rejects_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            periodic_expected_time(0.0, 1, 1.0, 0.0, 1.0, 0.01)
+        with pytest.raises(ValueError):
+            periodic_expected_time(10.0, 0, 1.0, 0.0, 1.0, 0.01)
+
+
+class TestOptimalPeriodicPolicy:
+    def test_beats_all_neighbouring_chunk_counts(self):
+        policy = optimal_periodic_policy(1000.0, 5.0, 1.0, 5.0, 0.01)
+        for m in range(max(1, policy.num_chunks - 3), policy.num_chunks + 4):
+            value = periodic_expected_time(1000.0, m, 5.0, 1.0, 5.0, 0.01)
+            assert policy.expected_makespan <= value + 1e-9
+
+    def test_rare_failures_use_single_chunk(self):
+        policy = optimal_periodic_policy(100.0, 10.0, 0.0, 10.0, 1e-9)
+        assert policy.num_chunks == 1
+
+    def test_frequent_failures_use_many_chunks(self):
+        policy = optimal_periodic_policy(1000.0, 0.5, 0.0, 0.5, 0.05)
+        assert policy.num_chunks > 10
+
+    def test_period_property(self):
+        policy = optimal_periodic_policy(100.0, 1.0, 0.0, 1.0, 0.01)
+        assert policy.period == pytest.approx(100.0 / policy.num_chunks)
+
+    def test_optimal_period_close_to_daly_when_checkpoint_small(self):
+        # In the regime C << MTBF the Young/Daly first-order period should be
+        # close to the true optimal chunk size.
+        total_work, checkpoint, rate = 100_000.0, 1.0, 1e-4
+        policy = optimal_periodic_policy(total_work, checkpoint, 0.0, checkpoint, rate)
+        daly = daly_higher_order_period(checkpoint, rate)
+        assert policy.period == pytest.approx(daly, rel=0.15)
+
+
+class TestDivisibleExpectedMakespan:
+    def test_period_equal_to_work_is_single_chunk(self):
+        value = divisible_expected_makespan(100.0, 100.0, 2.0, 0.0, 2.0, 0.01)
+        assert value == pytest.approx(periodic_expected_time(100.0, 1, 2.0, 0.0, 2.0, 0.01))
+
+    def test_handles_remainder_chunk(self):
+        # 100 units with a period of 30: chunks 30, 30, 30, 10.
+        value = divisible_expected_makespan(100.0, 30.0, 1.0, 0.0, 1.0, 0.01)
+        manual = expected_completion_time(30.0, 1.0, 0.0, 0.0, 0.01)
+        manual += 2 * expected_completion_time(30.0, 1.0, 0.0, 1.0, 0.01)
+        manual += expected_completion_time(10.0, 1.0, 0.0, 1.0, 0.01)
+        assert value == pytest.approx(manual)
+
+    def test_young_period_never_beats_exact_optimum(self):
+        for rate in (1e-4, 1e-3, 1e-2):
+            optimal = optimal_periodic_policy(1000.0, 5.0, 1.0, 5.0, rate).expected_makespan
+            young = divisible_expected_makespan(
+                1000.0, young_period(5.0, rate), 5.0, 1.0, 5.0, rate
+            )
+            assert young >= optimal - 1e-9
+
+    def test_daly_period_near_optimal_in_standard_regime(self):
+        rate, checkpoint = 1e-3, 2.0
+        optimal = optimal_periodic_policy(10_000.0, checkpoint, 0.5, checkpoint, rate)
+        daly = divisible_expected_makespan(
+            10_000.0, daly_higher_order_period(checkpoint, rate), checkpoint, 0.5, checkpoint, rate
+        )
+        assert daly <= optimal.expected_makespan * 1.02
+
+    def test_rejects_invalid_period(self):
+        with pytest.raises(ValueError):
+            divisible_expected_makespan(100.0, 0.0, 1.0, 0.0, 1.0, 0.01)

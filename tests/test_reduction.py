@@ -1,0 +1,175 @@
+"""Tests for the executable 3-PARTITION reduction (Proposition 2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.reduction import (
+    ReducedSchedulingInstance,
+    ThreePartitionInstance,
+    generate_no_instance,
+    generate_yes_instance,
+    schedule_to_three_partition,
+    solve_three_partition,
+    three_partition_to_schedule,
+)
+from repro.core.independent import exhaustive_independent_schedule
+
+
+class TestThreePartitionInstance:
+    def test_valid_instance(self):
+        instance = ThreePartitionInstance(values=(41, 40, 39, 45, 38, 37), target=120)
+        assert instance.num_subsets == 2
+
+    def test_rejects_wrong_count(self):
+        with pytest.raises(ValueError, match="3n values"):
+            ThreePartitionInstance(values=(1, 2, 3, 4), target=5)
+
+    def test_rejects_wrong_total(self):
+        with pytest.raises(ValueError, match="sum"):
+            ThreePartitionInstance(values=(41, 40, 39, 45, 38, 38), target=120)
+
+    def test_rejects_out_of_range_value_when_strict(self):
+        # 20 <= 120/4, violates T/4 < a_i.
+        with pytest.raises(ValueError, match="constraint"):
+            ThreePartitionInstance(values=(20, 50, 50, 45, 38, 37), target=120)
+
+    def test_non_strict_allows_out_of_range(self):
+        instance = ThreePartitionInstance(
+            values=(20, 50, 50, 45, 38, 37), target=120, strict=False
+        )
+        assert instance.num_subsets == 2
+
+    def test_is_solution(self):
+        instance = ThreePartitionInstance(values=(41, 40, 39, 45, 38, 37), target=120)
+        assert instance.is_solution([[0, 1, 2], [3, 4, 5]])
+        assert not instance.is_solution([[0, 1, 3], [2, 4, 5]])
+        assert not instance.is_solution([[0, 1, 2, 3, 4, 5]])
+
+
+class TestSolver:
+    def test_solves_constructed_instance(self):
+        instance = ThreePartitionInstance(values=(41, 40, 39, 45, 38, 37), target=120)
+        solution = solve_three_partition(instance)
+        assert solution is not None
+        assert instance.is_solution(solution)
+
+    def test_detects_unsolvable_instance(self):
+        # Total is 2*120 but no triple sums to 120.
+        values = (31, 31, 31, 49, 49, 49)
+        instance = ThreePartitionInstance(values=values, target=120)
+        assert solve_three_partition(instance) is None
+
+    def test_generated_yes_instances_are_solvable(self):
+        for seed in range(5):
+            instance = generate_yes_instance(3, seed=seed)
+            solution = solve_three_partition(instance)
+            assert solution is not None
+            assert instance.is_solution(solution)
+
+    def test_generated_no_instances_are_unsolvable(self):
+        instance = generate_no_instance(2, seed=0)
+        assert solve_three_partition(instance) is None
+
+
+class TestReduction:
+    def test_reduced_parameters_match_proof(self):
+        instance = generate_yes_instance(3, seed=1)
+        reduced = three_partition_to_schedule(instance)
+        assert reduced.rate == pytest.approx(1.0 / (2.0 * instance.target))
+        assert reduced.checkpoint_cost == pytest.approx(
+            (math.log(2.0) - 0.5) / reduced.rate
+        )
+        assert reduced.downtime == 0.0
+        assert reduced.works == tuple(float(v) for v in instance.values)
+
+    def test_yes_instance_partition_achieves_bound_exactly(self):
+        instance = generate_yes_instance(4, seed=2)
+        reduced = three_partition_to_schedule(instance)
+        partition = solve_three_partition(instance)
+        expected = reduced.grouping_expected_time(partition)
+        assert expected == pytest.approx(reduced.bound, rel=1e-12)
+        assert reduced.meets_bound(partition)
+
+    def test_unbalanced_partition_exceeds_bound(self):
+        instance = generate_yes_instance(3, seed=3)
+        reduced = three_partition_to_schedule(instance)
+        # Group everything together: a single checkpoint, way above the bound.
+        single_group = [list(range(len(instance.values)))]
+        assert reduced.grouping_expected_time(single_group) > reduced.bound
+        assert not reduced.meets_bound(single_group)
+
+    def test_wrong_group_count_exceeds_bound(self):
+        instance = generate_yes_instance(3, seed=4)
+        reduced = three_partition_to_schedule(instance)
+        # n+1 groups (split one triple): strictly worse than the bound because
+        # the minimum of the convex relaxation is uniquely attained at m = n.
+        partition = solve_three_partition(instance)
+        split = [partition[0][:1], partition[0][1:]] + [list(g) for g in partition[1:]]
+        assert reduced.grouping_expected_time(split) > reduced.bound * (1 + 1e-12)
+
+    def test_schedule_to_three_partition_round_trip(self):
+        instance = generate_yes_instance(3, seed=5)
+        reduced = three_partition_to_schedule(instance)
+        partition = solve_three_partition(instance)
+        recovered = schedule_to_three_partition(reduced, partition)
+        assert recovered is not None
+        assert instance.is_solution(recovered)
+
+    def test_schedule_to_three_partition_rejects_bad_schedule(self):
+        instance = generate_yes_instance(3, seed=6)
+        reduced = three_partition_to_schedule(instance)
+        single_group = [list(range(len(instance.values)))]
+        assert schedule_to_three_partition(reduced, single_group) is None
+
+    def test_no_instance_optimum_exceeds_bound(self):
+        # The heart of Proposition 2: for a NO instance even the *optimal*
+        # schedule has expected makespan strictly above K.
+        instance = generate_no_instance(2, seed=7)
+        reduced = three_partition_to_schedule(instance)
+        optimum = exhaustive_independent_schedule(
+            list(reduced.works),
+            reduced.checkpoint_cost,
+            reduced.recovery_cost,
+            reduced.downtime,
+            reduced.rate,
+            initial_recovery=reduced.recovery_cost,
+        )
+        assert optimum.expected_makespan > reduced.bound * (1 + 1e-12)
+
+    def test_yes_instance_optimum_meets_bound(self):
+        instance = generate_yes_instance(2, seed=8)
+        reduced = three_partition_to_schedule(instance)
+        optimum = exhaustive_independent_schedule(
+            list(reduced.works),
+            reduced.checkpoint_cost,
+            reduced.recovery_cost,
+            reduced.downtime,
+            reduced.rate,
+            initial_recovery=reduced.recovery_cost,
+        )
+        assert optimum.expected_makespan == pytest.approx(reduced.bound, rel=1e-12)
+
+
+class TestGenerators:
+    def test_yes_instance_respects_constraints(self):
+        instance = generate_yes_instance(5, seed=9)
+        assert len(instance.values) == 15
+        t = instance.target
+        assert all(4 * v > t and 2 * v < t for v in instance.values)
+        assert sum(instance.values) == 5 * t
+
+    def test_yes_instance_reproducible(self):
+        a = generate_yes_instance(3, seed=11)
+        b = generate_yes_instance(3, seed=11)
+        assert a.values == b.values
+
+    def test_custom_target_validated(self):
+        with pytest.raises(ValueError):
+            generate_yes_instance(2, target=10)
+
+    def test_no_instance_has_valid_structure(self):
+        instance = generate_no_instance(2, seed=12)
+        assert len(instance.values) == 6
+        assert sum(instance.values) == 2 * instance.target

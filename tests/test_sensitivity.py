@@ -1,0 +1,79 @@
+"""Tests for the parameter-sensitivity analysis."""
+
+import pytest
+
+from repro.analysis.sensitivity import placement_penalty, rate_sensitivity_sweep
+from repro.workflows.chain import LinearChain
+from repro.workflows.generators import uniform_random_chain
+
+
+@pytest.fixture
+def chain():
+    return uniform_random_chain(20, work_range=(2.0, 10.0), checkpoint_range=(0.3, 1.5), seed=310)
+
+
+class TestPlacementPenalty:
+    def test_correct_estimate_has_zero_penalty(self, chain):
+        result = placement_penalty(chain, true_rate=0.02, assumed_rate=0.02, downtime=0.5)
+        assert result.penalty == pytest.approx(0.0, abs=1e-12)
+        assert result.assumed_checkpoints == result.optimal_checkpoints
+
+    def test_penalty_non_negative(self, chain):
+        for ratio in (0.1, 0.5, 2.0, 10.0):
+            result = placement_penalty(chain, 0.02, 0.02 * ratio, 0.5)
+            assert result.penalty >= 0.0
+
+    def test_underestimating_rate_costs_more_than_overestimating(self, chain):
+        under = placement_penalty(chain, 0.05, 0.005, 0.5)   # assumed 10x too low
+        over = placement_penalty(chain, 0.05, 0.5, 0.5)       # assumed 10x too high
+        assert under.penalty > over.penalty
+
+    def test_underestimation_plans_fewer_checkpoints(self, chain):
+        result = placement_penalty(chain, 0.05, 0.005, 0.5)
+        assert result.assumed_checkpoints < result.optimal_checkpoints
+
+    def test_assumed_plan_value_at_least_optimal(self, chain):
+        result = placement_penalty(chain, 0.03, 0.3, 0.5)
+        assert result.expected_with_assumed_plan >= result.expected_optimal - 1e-9
+
+    def test_distinct_true_downtime(self, chain):
+        result = placement_penalty(
+            chain, true_rate=0.02, assumed_rate=0.02, downtime=0.0, true_downtime=5.0
+        )
+        # Same rate, so the placement is planned without downtime but evaluated
+        # with it: the penalty measures only the placement difference, which
+        # may be zero or small but never negative.
+        assert result.penalty >= 0.0
+
+    def test_rejects_invalid_rates(self, chain):
+        with pytest.raises(ValueError):
+            placement_penalty(chain, 0.0, 0.1, 0.0)
+        with pytest.raises(ValueError):
+            placement_penalty(chain, 0.1, -0.1, 0.0)
+
+
+class TestRateSensitivitySweep:
+    def test_table_structure(self, chain):
+        table = rate_sensitivity_sweep(chain, true_rate=0.02, downtime=0.5)
+        assert len(table) == 7
+        assert "penalty_pct" in table.columns
+
+    def test_penalty_zero_at_ratio_one(self, chain):
+        table = rate_sensitivity_sweep(chain, 0.02, 0.5, ratios=(0.5, 1.0, 2.0))
+        row = next(r for r in table.rows if r["assumed_over_true"] == 1.0)
+        assert row["penalty_pct"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_penalties_grow_away_from_one(self, chain):
+        table = rate_sensitivity_sweep(chain, 0.05, 0.5, ratios=(0.1, 0.5, 1.0, 2.0, 10.0))
+        by_ratio = {row["assumed_over_true"]: row["penalty_pct"] for row in table.rows}
+        assert by_ratio[0.1] >= by_ratio[0.5] - 1e-9
+        assert by_ratio[10.0] >= by_ratio[2.0] - 1e-9
+
+    def test_checkpoint_counts_monotone_in_assumed_rate(self, chain):
+        table = rate_sensitivity_sweep(chain, 0.02, 0.5, ratios=(0.1, 1.0, 10.0))
+        counts = [row["assumed_checkpoints"] for row in table.rows]
+        assert counts == sorted(counts)
+
+    def test_rejects_non_positive_ratio(self, chain):
+        with pytest.raises(ValueError):
+            rate_sensitivity_sweep(chain, 0.02, 0.5, ratios=(0.0, 1.0))

@@ -1,0 +1,60 @@
+"""Tests for simulation event records and execution logs."""
+
+import math
+
+import pytest
+
+from repro.simulation.events import EventType, ExecutionLog, SimulationEvent
+
+
+class TestSimulationEvent:
+    def test_str_contains_type_and_time(self):
+        event = SimulationEvent(time=12.5, type=EventType.FAILURE, segment=2, detail="lost=3")
+        text = str(event)
+        assert "failure" in text
+        assert "12.5" in text
+        assert "lost=3" in text
+
+
+class TestExecutionLog:
+    def _sample_log(self):
+        log = ExecutionLog()
+        log.record(0.0, EventType.SEGMENT_STARTED, 0)
+        log.record(3.0, EventType.FAILURE, 0, "lost=3")
+        log.record(4.0, EventType.RECOVERY_STARTED, 0)
+        log.record(5.0, EventType.RECOVERY_COMPLETED, 0)
+        log.record(9.0, EventType.TASK_COMPLETED, 0, "T1")
+        log.record(10.0, EventType.CHECKPOINT_TAKEN, 0)
+        log.record(10.0, EventType.EXECUTION_COMPLETED, 0)
+        return log
+
+    def test_record_and_len(self):
+        log = self._sample_log()
+        assert len(log) == 7
+
+    def test_of_type(self):
+        log = self._sample_log()
+        assert len(log.of_type(EventType.FAILURE)) == 1
+        assert len(log.of_type(EventType.DOWNTIME_COMPLETED)) == 0
+
+    def test_counters(self):
+        log = self._sample_log()
+        assert log.num_failures == 1
+        assert log.num_checkpoints == 1
+
+    def test_makespan(self):
+        log = self._sample_log()
+        assert log.makespan() == 10.0
+
+    def test_makespan_none_when_unfinished(self):
+        log = ExecutionLog()
+        log.record(0.0, EventType.SEGMENT_STARTED, 0)
+        assert log.makespan() is None
+
+    def test_iter(self):
+        log = self._sample_log()
+        assert len(list(log)) == 7
+
+    def test_pretty_is_multiline(self):
+        text = self._sample_log().pretty()
+        assert len(text.splitlines()) == 7

@@ -1,0 +1,83 @@
+"""Tests for the Task abstraction."""
+
+import pytest
+
+from repro.workflows.task import Task
+
+
+class TestTaskConstruction:
+    def test_basic(self):
+        task = Task("T1", 5.0, 1.0, 2.0)
+        assert task.name == "T1"
+        assert task.work == 5.0
+        assert task.checkpoint_cost == 1.0
+        assert task.recovery_cost == 2.0
+
+    def test_defaults(self):
+        task = Task("T", 1.0)
+        assert task.checkpoint_cost == 0.0
+        assert task.recovery_cost == 0.0
+        assert task.memory_footprint is None
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Task("", 1.0)
+
+    def test_rejects_non_string_name(self):
+        with pytest.raises(ValueError):
+            Task(123, 1.0)  # type: ignore[arg-type]
+
+    def test_rejects_zero_work(self):
+        with pytest.raises(ValueError):
+            Task("T", 0.0)
+
+    def test_rejects_negative_checkpoint(self):
+        with pytest.raises(ValueError):
+            Task("T", 1.0, checkpoint_cost=-1.0)
+
+    def test_rejects_negative_recovery(self):
+        with pytest.raises(ValueError):
+            Task("T", 1.0, recovery_cost=-0.5)
+
+    def test_rejects_negative_footprint(self):
+        with pytest.raises(ValueError):
+            Task("T", 1.0, memory_footprint=-10.0)
+
+    def test_coerces_to_float(self):
+        task = Task("T", 3, 1, 2)
+        assert isinstance(task.work, float)
+        assert isinstance(task.checkpoint_cost, float)
+
+    def test_frozen(self):
+        task = Task("T", 1.0)
+        with pytest.raises(AttributeError):
+            task.work = 2.0  # type: ignore[misc]
+
+
+class TestTaskTransforms:
+    def test_with_costs_partial_replacement(self):
+        task = Task("T", 5.0, 1.0, 2.0)
+        updated = task.with_costs(checkpoint_cost=3.0)
+        assert updated.checkpoint_cost == 3.0
+        assert updated.recovery_cost == 2.0
+        assert updated.work == 5.0
+        assert updated.name == "T"
+
+    def test_with_costs_replace_work(self):
+        task = Task("T", 5.0)
+        assert task.with_costs(work=8.0).work == 8.0
+
+    def test_scaled(self):
+        task = Task("T", 4.0, 1.0)
+        scaled = task.scaled(2.5)
+        assert scaled.work == 10.0
+        assert scaled.checkpoint_cost == 1.0
+
+    def test_scaled_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            Task("T", 1.0).scaled(0.0)
+
+    def test_str_contains_costs(self):
+        text = str(Task("T9", 2.0, 0.5, 0.25))
+        assert "T9" in text
+        assert "0.5" in text

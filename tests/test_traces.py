@@ -1,0 +1,183 @@
+"""Tests for synthetic failure traces."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.failures.distributions import (
+    ExponentialFailure,
+    LogNormalFailure,
+    WeibullFailure,
+)
+from repro.failures.traces import (
+    FailureEvent,
+    FailureTrace,
+    TraceStatistics,
+    generate_trace,
+    merge_traces,
+)
+
+
+class TestFailureEvent:
+    def test_ordering_by_time(self):
+        assert FailureEvent(1.0) < FailureEvent(2.0)
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            FailureEvent(-1.0)
+
+    def test_rejects_nan_time(self):
+        with pytest.raises(ValueError):
+            FailureEvent(math.nan)
+
+
+class TestFailureTrace:
+    def _trace(self):
+        events = (FailureEvent(5.0, 0), FailureEvent(2.0, 1), FailureEvent(9.0, 0))
+        return FailureTrace(events=events, horizon=10.0, num_processors=2)
+
+    def test_events_sorted_on_construction(self):
+        trace = self._trace()
+        assert trace.times == [2.0, 5.0, 9.0]
+
+    def test_len_and_iter(self):
+        trace = self._trace()
+        assert len(trace) == 3
+        assert [e.time for e in trace] == [2.0, 5.0, 9.0]
+
+    def test_inter_arrival_times(self):
+        trace = self._trace()
+        assert trace.inter_arrival_times() == [2.0, 3.0, 4.0]
+
+    def test_inter_arrival_empty_trace(self):
+        trace = FailureTrace(events=(), horizon=10.0)
+        assert trace.inter_arrival_times() == []
+
+    def test_failures_in_window(self):
+        trace = self._trace()
+        assert [e.time for e in trace.failures_in(2.0, 9.0)] == [2.0, 5.0]
+
+    def test_failures_in_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            self._trace().failures_in(5.0, 1.0)
+
+    def test_next_failure_after(self):
+        trace = self._trace()
+        assert trace.next_failure_after(4.0).time == 5.0
+        assert trace.next_failure_after(9.5) is None
+
+    def test_event_beyond_horizon_rejected(self):
+        with pytest.raises(ValueError, match="horizon"):
+            FailureTrace(events=(FailureEvent(20.0),), horizon=10.0)
+
+    def test_shifted(self):
+        trace = self._trace().shifted(1.0)
+        assert trace.times == [3.0, 6.0, 10.0]
+
+    def test_shifted_rejects_negative_result(self):
+        with pytest.raises(ValueError):
+            self._trace().shifted(-5.0)
+
+
+class TestGenerateTrace:
+    def test_respects_horizon(self, rng):
+        law = ExponentialFailure(rate=0.1)
+        trace = generate_trace(law, horizon=100.0, rng=rng)
+        assert all(0 < t < 100.0 for t in trace.times)
+
+    def test_event_count_scales_with_processors(self, rng):
+        law = ExponentialFailure(rate=0.01)
+        single = generate_trace(law, horizon=5000.0, num_processors=1, rng=rng)
+        multi = generate_trace(law, horizon=5000.0, num_processors=8, rng=rng)
+        assert len(multi) > 4 * len(single)
+
+    def test_seed_reproducibility(self):
+        law = WeibullFailure(shape=0.7, scale=50.0)
+        a = generate_trace(law, horizon=1000.0, seed=7)
+        b = generate_trace(law, horizon=1000.0, seed=7)
+        assert a.times == b.times
+
+    def test_processor_indices_assigned(self, rng):
+        law = ExponentialFailure(rate=0.05)
+        trace = generate_trace(law, horizon=500.0, num_processors=3, rng=rng)
+        assert set(e.processor for e in trace) <= {0, 1, 2}
+
+
+class TestTraceStatistics:
+    def test_empty_trace(self):
+        stats = FailureTrace(events=(), horizon=10.0).statistics()
+        assert stats.count == 0
+        assert stats.mtbf == math.inf
+
+    def test_exponential_cv_close_to_one(self, rng):
+        law = ExponentialFailure(rate=0.02)
+        trace = generate_trace(law, horizon=200_000.0, rng=rng)
+        stats = trace.statistics()
+        assert stats.mtbf == pytest.approx(50.0, rel=0.1)
+        assert stats.cv == pytest.approx(1.0, abs=0.1)
+
+    def test_weibull_low_shape_has_high_cv(self, rng):
+        law = WeibullFailure.from_mtbf(50.0, shape=0.6)
+        trace = generate_trace(law, horizon=200_000.0, rng=rng)
+        assert trace.statistics().cv > 1.2
+
+    def test_fit_exponential_matches_mtbf(self, rng):
+        law = ExponentialFailure(rate=0.02)
+        trace = generate_trace(law, horizon=100_000.0, rng=rng)
+        fitted = trace.statistics().fit_exponential()
+        assert 1.0 / fitted.rate == pytest.approx(trace.statistics().mtbf)
+
+    def test_fit_weibull_recovers_shape_roughly(self, rng):
+        law = WeibullFailure.from_mtbf(40.0, shape=0.7)
+        trace = generate_trace(law, horizon=400_000.0, rng=rng)
+        fitted = trace.statistics().fit_weibull()
+        assert fitted.shape == pytest.approx(0.7, abs=0.15)
+        assert fitted.mean() == pytest.approx(trace.statistics().mtbf, rel=1e-6)
+
+    def test_fit_lognormal_matches_moments(self, rng):
+        law = LogNormalFailure.from_mtbf(30.0, sigma=0.8)
+        trace = generate_trace(law, horizon=300_000.0, rng=rng)
+        stats = trace.statistics()
+        fitted = stats.fit_lognormal()
+        assert fitted.mean() == pytest.approx(stats.mtbf, rel=1e-6)
+
+    def test_fit_on_empty_trace_raises(self):
+        stats = FailureTrace(events=(), horizon=1.0).statistics()
+        with pytest.raises(ValueError):
+            stats.fit_exponential()
+        with pytest.raises(ValueError):
+            stats.fit_weibull()
+        with pytest.raises(ValueError):
+            stats.fit_lognormal()
+
+
+class TestMergeTraces:
+    def test_merge_superposes_events(self, rng):
+        law = ExponentialFailure(rate=0.05)
+        a = generate_trace(law, horizon=100.0, rng=rng)
+        b = generate_trace(law, horizon=100.0, rng=rng)
+        merged = merge_traces([a, b])
+        assert len(merged) == len(a) + len(b)
+        assert merged.num_processors == 2
+
+    def test_merge_uses_min_horizon(self, rng):
+        law = ExponentialFailure(rate=0.05)
+        a = generate_trace(law, horizon=100.0, rng=rng)
+        b = generate_trace(law, horizon=50.0, rng=rng)
+        merged = merge_traces([a, b])
+        assert merged.horizon == 50.0
+        assert all(t < 50.0 for t in merged.times)
+
+    def test_merge_empty_list_raises(self):
+        with pytest.raises(ValueError):
+            merge_traces([])
+
+    def test_merge_renumbers_processors(self, rng):
+        law = ExponentialFailure(rate=0.1)
+        a = generate_trace(law, horizon=200.0, num_processors=2, rng=rng)
+        b = generate_trace(law, horizon=200.0, num_processors=2, rng=rng)
+        merged = merge_traces([a, b])
+        processors = {e.processor for e in merged}
+        assert processors <= {0, 1, 2, 3}
+        assert any(p >= 2 for p in processors)

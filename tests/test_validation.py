@@ -1,0 +1,165 @@
+"""Tests for the shared input-validation helpers."""
+
+import math
+
+import pytest
+
+from repro._validation import (
+    check_finite,
+    check_in_range,
+    check_non_negative,
+    check_non_negative_int,
+    check_permutation,
+    check_positive,
+    check_positive_int,
+    check_probability,
+    check_same_length,
+    check_sequence_of_non_negative,
+    check_sequence_of_positive,
+)
+
+
+class TestCheckFinite:
+    def test_accepts_plain_float(self):
+        assert check_finite("x", 3.5) == 3.5
+
+    def test_accepts_int(self):
+        assert check_finite("x", 7) == 7.0
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_finite("x", math.nan)
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_finite("x", math.inf)
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError, match="real number"):
+            check_finite("x", "hello")
+
+    def test_rejects_none(self):
+        with pytest.raises(TypeError):
+            check_finite("x", None)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError, match="bool"):
+            check_finite("x", True)
+
+    def test_error_message_contains_name(self):
+        with pytest.raises(ValueError, match="my_param"):
+            check_finite("my_param", math.inf)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 0.001) == 0.001
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="> 0"):
+            check_positive("x", 0.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -1.0)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("x", 0.0) == 0.0
+
+    def test_accepts_positive(self):
+        assert check_non_negative("x", 2.0) == 2.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            check_non_negative("x", -0.1)
+
+
+class TestCheckProbability:
+    def test_accepts_bounds(self):
+        assert check_probability("p", 0.0) == 0.0
+        assert check_probability("p", 1.0) == 1.0
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError):
+            check_probability("p", 1.5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_probability("p", -0.5)
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range("x", 1.0, 1.0, 2.0) == 1.0
+        assert check_in_range("x", 2.0, 1.0, 2.0) == 2.0
+
+    def test_exclusive_bounds_reject_endpoints(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 1.0, 1.0, 2.0, inclusive=False)
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 3.0, 1.0, 2.0)
+
+
+class TestIntChecks:
+    def test_positive_int_accepts(self):
+        assert check_positive_int("n", 3) == 3
+
+    def test_positive_int_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive_int("n", 0)
+
+    def test_positive_int_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int("n", 3.0)
+
+    def test_positive_int_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int("n", True)
+
+    def test_non_negative_int_accepts_zero(self):
+        assert check_non_negative_int("n", 0) == 0
+
+    def test_non_negative_int_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative_int("n", -1)
+
+
+class TestSequenceChecks:
+    def test_non_negative_sequence(self):
+        assert check_sequence_of_non_negative("xs", [0.0, 1.0, 2.5]) == [0.0, 1.0, 2.5]
+
+    def test_non_negative_sequence_rejects_negative_element(self):
+        with pytest.raises(ValueError, match=r"xs\[1\]"):
+            check_sequence_of_non_negative("xs", [0.0, -1.0])
+
+    def test_non_negative_sequence_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            check_sequence_of_non_negative("xs", [])
+
+    def test_positive_sequence_rejects_zero_element(self):
+        with pytest.raises(ValueError):
+            check_sequence_of_positive("xs", [1.0, 0.0])
+
+    def test_same_length_passes(self):
+        check_same_length(("a", [1, 2]), ("b", [3, 4]))
+
+    def test_same_length_fails(self):
+        with pytest.raises(ValueError, match="same length"):
+            check_same_length(("a", [1, 2]), ("b", [3]))
+
+
+class TestCheckPermutation:
+    def test_accepts_valid_permutation(self):
+        assert check_permutation("order", [2, 0, 1], 3) == [2, 0, 1]
+
+    def test_rejects_missing_element(self):
+        with pytest.raises(ValueError):
+            check_permutation("order", [0, 0, 1], 3)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            check_permutation("order", [0, 1], 3)

@@ -1,0 +1,106 @@
+"""Tests for the waste decomposition analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.waste import simulated_waste_breakdown, waste_breakdown
+from repro.core.chain_dp import optimal_chain_checkpoints
+from repro.core.schedule import Schedule
+from repro.simulation.executor import simulate_schedule
+from repro.workflows.generators import uniform_random_chain
+
+
+class TestWasteBreakdown:
+    def test_categories_sum_to_expected_makespan(self):
+        chain = uniform_random_chain(8, seed=101)
+        schedule = Schedule.for_chain(chain, [3, 7])
+        breakdown = waste_breakdown(schedule, 0.5, 0.02)
+        assert breakdown.expected_makespan == pytest.approx(
+            breakdown.useful_work + breakdown.checkpoint_overhead + breakdown.failure_waste
+        )
+        assert breakdown.expected_makespan == pytest.approx(
+            schedule.expected_makespan(0.5, 0.02)
+        )
+
+    def test_useful_work_is_total_work(self):
+        chain = uniform_random_chain(6, seed=102)
+        schedule = Schedule.for_chain(chain, [5])
+        breakdown = waste_breakdown(schedule, 0.0, 0.01)
+        assert breakdown.useful_work == pytest.approx(chain.total_work())
+
+    def test_checkpoint_overhead_counts_each_checkpoint_once(self):
+        chain = uniform_random_chain(5, seed=103)
+        schedule = Schedule.for_chain(chain, [1, 4])
+        breakdown = waste_breakdown(schedule, 0.0, 0.001)
+        assert breakdown.checkpoint_overhead == pytest.approx(
+            chain.checkpoint_costs[1] + chain.checkpoint_costs[4]
+        )
+
+    def test_fractions_sum_to_one(self):
+        chain = uniform_random_chain(5, seed=104)
+        schedule = Schedule.for_chain(chain, [2, 4])
+        breakdown = waste_breakdown(schedule, 1.0, 0.05)
+        assert breakdown.efficiency + breakdown.overhead_fraction + breakdown.waste_fraction == (
+            pytest.approx(1.0)
+        )
+
+    def test_waste_grows_with_failure_rate(self):
+        chain = uniform_random_chain(10, seed=105)
+        schedule = Schedule.for_chain(chain, [4, 9])
+        low = waste_breakdown(schedule, 0.5, 1e-4)
+        high = waste_breakdown(schedule, 0.5, 5e-2)
+        assert high.failure_waste > low.failure_waste
+        assert high.efficiency < low.efficiency
+
+    def test_negligible_rate_means_negligible_waste(self):
+        chain = uniform_random_chain(5, seed=106)
+        schedule = Schedule.for_chain(chain, [4])
+        breakdown = waste_breakdown(schedule, 0.5, 1e-10)
+        assert breakdown.waste_fraction < 1e-6
+
+    def test_describe_mentions_percentages(self):
+        chain = uniform_random_chain(4, seed=107)
+        schedule = Schedule.for_chain(chain, [3])
+        text = waste_breakdown(schedule, 0.1, 0.01).describe()
+        assert "%" in text
+
+    def test_optimal_placement_minimises_overhead_plus_waste(self):
+        chain = uniform_random_chain(12, seed=108)
+        downtime, rate = 0.5, 0.02
+        optimal = optimal_chain_checkpoints(chain, downtime, rate)
+        best = waste_breakdown(optimal.to_schedule(), downtime, rate)
+        everywhere = waste_breakdown(
+            Schedule.for_chain(chain, range(chain.n)), downtime, rate
+        )
+        assert (best.checkpoint_overhead + best.failure_waste) <= (
+            everywhere.checkpoint_overhead + everywhere.failure_waste
+        ) + 1e-9
+
+    def test_rejects_invalid_parameters(self):
+        chain = uniform_random_chain(3, seed=109)
+        schedule = Schedule.for_chain(chain, [2])
+        with pytest.raises(ValueError):
+            waste_breakdown(schedule, -1.0, 0.01)
+        with pytest.raises(ValueError):
+            waste_breakdown(schedule, 0.0, 0.0)
+
+
+class TestSimulatedWasteBreakdown:
+    def test_agrees_with_analytic_in_expectation(self):
+        rng = np.random.default_rng(110)
+        chain = uniform_random_chain(8, seed=110)
+        schedule = Schedule.for_chain(chain, [3, 7])
+        downtime, rate = 0.5, 0.03
+        analytic = waste_breakdown(schedule, downtime, rate)
+        results = [simulate_schedule(schedule, rate, downtime, rng=rng) for _ in range(4000)]
+        simulated = simulated_waste_breakdown(schedule, results)
+        assert simulated.useful_work == pytest.approx(analytic.useful_work)
+        assert simulated.checkpoint_overhead == pytest.approx(analytic.checkpoint_overhead)
+        assert simulated.failure_waste == pytest.approx(analytic.failure_waste, rel=0.1)
+        assert simulated.expected_makespan == pytest.approx(analytic.expected_makespan, rel=0.05)
+
+    def test_requires_at_least_one_result(self):
+        chain = uniform_random_chain(3, seed=111)
+        schedule = Schedule.for_chain(chain, [2])
+        with pytest.raises(ValueError):
+            simulated_waste_breakdown(schedule, [])

@@ -1,0 +1,112 @@
+"""Tests for the work-maximisation heuristic (non-Exponential failures)."""
+
+import math
+
+import pytest
+
+from repro.baselines.work_maximization import (
+    expected_work_before_failure,
+    work_maximization_chain,
+)
+from repro.failures.distributions import ExponentialFailure, WeibullFailure
+from repro.workflows.chain import LinearChain
+from repro.workflows.generators import uniform_random_chain
+
+
+class TestExpectedWorkBeforeFailure:
+    def test_single_checkpoint_formula(self):
+        chain = LinearChain(works=[10.0], checkpoint_costs=[2.0], recovery_costs=[2.0])
+        law = ExponentialFailure(rate=0.05)
+        value = expected_work_before_failure(chain, [0], law)
+        assert value == pytest.approx(10.0 * math.exp(-0.05 * 12.0))
+
+    def test_two_checkpoints_accumulate_elapsed_time(self):
+        chain = LinearChain(works=[5.0, 7.0], checkpoint_costs=[1.0, 2.0], recovery_costs=[1.0, 2.0])
+        law = ExponentialFailure(rate=0.1)
+        value = expected_work_before_failure(chain, [0, 1], law)
+        expected = 5.0 * law.survival(6.0) + 7.0 * law.survival(6.0 + 9.0)
+        assert value == pytest.approx(expected)
+
+    def test_no_checkpoints_saves_nothing(self):
+        chain = LinearChain.uniform(3, work=2.0, checkpoint_cost=0.5)
+        assert expected_work_before_failure(chain, [], ExponentialFailure(rate=0.1)) == 0.0
+
+    def test_unsaved_tail_ignored(self):
+        chain = LinearChain.uniform(3, work=2.0, checkpoint_cost=0.5)
+        law = ExponentialFailure(rate=0.1)
+        only_first = expected_work_before_failure(chain, [0], law)
+        assert only_first == pytest.approx(2.0 * law.survival(2.5))
+
+    def test_rejects_out_of_range_position(self):
+        chain = LinearChain.uniform(3, work=2.0, checkpoint_cost=0.5)
+        with pytest.raises(ValueError):
+            expected_work_before_failure(chain, [5], ExponentialFailure(rate=0.1))
+
+    def test_bounded_by_total_work(self):
+        chain = uniform_random_chain(8, seed=61)
+        law = WeibullFailure.from_mtbf(100.0, shape=0.7)
+        value = expected_work_before_failure(chain, range(8), law)
+        assert 0.0 <= value <= chain.total_work()
+
+
+class TestWorkMaximizationChain:
+    def test_exhaustive_small_chain_is_exact(self):
+        chain = uniform_random_chain(6, seed=62)
+        law = WeibullFailure.from_mtbf(50.0, shape=0.7)
+        result = work_maximization_chain(chain, law)
+        assert result.exact
+        # Compare with an explicit enumeration of all placements.
+        import itertools
+
+        best = -1.0
+        for r in range(6):
+            for subset in itertools.combinations(range(5), r):
+                positions = list(subset) + [5]
+                best = max(best, expected_work_before_failure(chain, positions, law))
+        assert result.expected_saved_work == pytest.approx(best, rel=1e-12)
+
+    def test_dp_matches_exhaustive_with_uniform_costs(self):
+        chain = LinearChain.uniform(12, work=4.0, checkpoint_cost=1.0)
+        law = WeibullFailure.from_mtbf(60.0, shape=0.8)
+        exhaustive = work_maximization_chain(chain, law, exhaustive_limit=20)
+        dp = work_maximization_chain(chain, law, exhaustive_limit=0)
+        assert dp.exact
+        assert dp.expected_saved_work == pytest.approx(
+            exhaustive.expected_saved_work, rel=1e-9
+        )
+
+    def test_dp_on_long_chain_runs(self):
+        chain = uniform_random_chain(60, seed=63)
+        law = WeibullFailure.from_mtbf(300.0, shape=0.7)
+        result = work_maximization_chain(chain, law)
+        assert result.num_checkpoints >= 1
+        assert result.checkpoint_after[-1] == 59
+        assert 0.0 < result.expected_saved_work <= chain.total_work()
+
+    def test_frequent_failures_prefer_early_checkpoints(self):
+        chain = LinearChain.uniform(10, work=10.0, checkpoint_cost=0.1)
+        law = ExponentialFailure(rate=0.05)
+        result = work_maximization_chain(chain, law)
+        # With a short MTBF, checkpointing often saves more work in expectation.
+        assert result.num_checkpoints >= 5
+
+    def test_rare_failures_fewer_checkpoints_than_frequent(self):
+        chain = LinearChain.uniform(10, work=10.0, checkpoint_cost=2.0)
+        frequent = work_maximization_chain(chain, ExponentialFailure(rate=0.05))
+        rare = work_maximization_chain(chain, ExponentialFailure(rate=1e-4))
+        assert rare.num_checkpoints <= frequent.num_checkpoints
+
+    def test_final_checkpoint_flag(self):
+        chain = LinearChain.uniform(5, work=3.0, checkpoint_cost=0.5)
+        law = WeibullFailure.from_mtbf(100.0, shape=0.9)
+        forced = work_maximization_chain(chain, law, final_checkpoint=True)
+        free = work_maximization_chain(chain, law, final_checkpoint=False)
+        assert forced.checkpoint_after[-1] == 4
+        assert free.expected_saved_work >= forced.expected_saved_work - 1e-12
+
+    def test_to_schedule(self):
+        chain = uniform_random_chain(5, seed=64)
+        law = WeibullFailure.from_mtbf(80.0, shape=0.7)
+        result = work_maximization_chain(chain, law)
+        schedule = result.to_schedule()
+        assert schedule.num_checkpoints == result.num_checkpoints

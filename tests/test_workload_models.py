@@ -1,0 +1,115 @@
+"""Tests for the workload scaling models W(p)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.workload import (
+    AmdahlWorkload,
+    NumericalKernelWorkload,
+    PerfectlyParallelWorkload,
+)
+
+
+class TestPerfectlyParallel:
+    def test_time_divides_by_p(self):
+        model = PerfectlyParallelWorkload()
+        assert model.time(100.0, 4) == pytest.approx(25.0)
+
+    def test_speedup_is_p(self):
+        model = PerfectlyParallelWorkload()
+        assert model.speedup(100.0, 16) == pytest.approx(16.0)
+
+    def test_efficiency_is_one(self):
+        model = PerfectlyParallelWorkload()
+        assert model.efficiency(100.0, 64) == pytest.approx(1.0)
+
+    def test_rejects_zero_processors(self):
+        with pytest.raises(ValueError):
+            PerfectlyParallelWorkload().time(10.0, 0)
+
+    def test_rejects_non_positive_work(self):
+        with pytest.raises(ValueError):
+            PerfectlyParallelWorkload().time(0.0, 4)
+
+
+class TestAmdahl:
+    def test_zero_gamma_matches_perfect(self):
+        amdahl = AmdahlWorkload(gamma=0.0)
+        perfect = PerfectlyParallelWorkload()
+        assert amdahl.time(50.0, 8) == pytest.approx(perfect.time(50.0, 8))
+
+    def test_time_formula(self):
+        model = AmdahlWorkload(gamma=0.1)
+        assert model.time(100.0, 10) == pytest.approx(0.9 * 10.0 + 10.0)
+
+    def test_speedup_bounded_by_inverse_gamma(self):
+        model = AmdahlWorkload(gamma=0.05)
+        assert model.speedup(100.0, 10_000) < 1.0 / 0.05
+
+    def test_single_processor_time_is_total_work(self):
+        model = AmdahlWorkload(gamma=0.3)
+        assert model.time(42.0, 1) == pytest.approx(42.0)
+
+    def test_rejects_gamma_one(self):
+        with pytest.raises(ValueError):
+            AmdahlWorkload(gamma=1.0)
+
+    def test_rejects_negative_gamma(self):
+        with pytest.raises(ValueError):
+            AmdahlWorkload(gamma=-0.1)
+
+
+class TestNumericalKernel:
+    def test_zero_gamma_matches_perfect(self):
+        kernel = NumericalKernelWorkload(gamma=0.0)
+        assert kernel.time(1000.0, 16) == pytest.approx(1000.0 / 16)
+
+    def test_time_formula(self):
+        kernel = NumericalKernelWorkload(gamma=0.5)
+        expected = 1000.0 / 4 + 0.5 * 1000.0 ** (2.0 / 3.0) / 2.0
+        assert kernel.time(1000.0, 4) == pytest.approx(expected)
+
+    def test_communication_term_decreases_with_p(self):
+        kernel = NumericalKernelWorkload(gamma=1.0)
+        t4 = kernel.time(1000.0, 4)
+        t16 = kernel.time(1000.0, 16)
+        assert t16 < t4
+
+    def test_rejects_negative_gamma(self):
+        with pytest.raises(ValueError):
+            NumericalKernelWorkload(gamma=-1.0)
+
+
+class TestWorkloadProperties:
+    @given(
+        total=st.floats(min_value=1.0, max_value=1e8),
+        p=st.integers(min_value=1, max_value=65536),
+        gamma=st.floats(min_value=0.0, max_value=0.9),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_amdahl_time_decreases_with_p(self, total, p, gamma):
+        model = AmdahlWorkload(gamma=gamma)
+        assert model.time(total, p) >= model.time(total, p * 2) - 1e-9
+
+    @given(
+        total=st.floats(min_value=1.0, max_value=1e8),
+        p=st.integers(min_value=1, max_value=65536),
+        gamma=st.floats(min_value=0.0, max_value=10.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_kernel_time_decreases_with_p(self, total, p, gamma):
+        model = NumericalKernelWorkload(gamma=gamma)
+        assert model.time(total, p) >= model.time(total, p * 2) - 1e-9
+
+    @given(
+        total=st.floats(min_value=1.0, max_value=1e8),
+        p=st.integers(min_value=1, max_value=65536),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_amdahl_never_faster_than_perfect(self, total, p):
+        amdahl = AmdahlWorkload(gamma=0.2)
+        perfect = PerfectlyParallelWorkload()
+        assert amdahl.time(total, p) >= perfect.time(total, p) - 1e-12
