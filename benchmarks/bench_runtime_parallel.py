@@ -1,0 +1,120 @@
+"""Runtime -- serial vs process-pool execution of a Weibull campaign.
+
+Measures the wall-clock effect of the parallel campaign runtime
+(:mod:`repro.runtime`) on the kind of workload it was built for: a paired
+simulation campaign under Weibull failures (no closed form exists, so every
+data point is earned by replication).  The benchmark
+
+* times the same campaign on the serial backend and on a process pool sized
+  to the machine,
+* asserts the two produce bit-identical per-strategy makespans (the runtime's
+  core guarantee: parallelism changes wall-clock time, never numbers), and
+* asserts a warm disk cache replays the campaign without simulating.
+
+Speedup is hardware-dependent: on an N-core machine the pool approaches Nx on
+this embarrassingly parallel workload (minus process start-up and chunk
+dispatch overhead); on a single-core container it hovers around 1x or below.
+Run as a script to print the measured timings::
+
+    PYTHONPATH=src python benchmarks/bench_runtime_parallel.py
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.experiments.reporting import ResultTable
+from repro.runtime import (
+    ChainSpec,
+    FailureSpec,
+    ProcessPoolBackend,
+    ResultCache,
+    ScenarioSpec,
+    SerialBackend,
+)
+
+#: The campaign under test: a 30-task chain under platform Weibull failures
+#: with infant mortality (shape < 1, as reported by the field studies the
+#: paper cites), three strategies per shared trace.
+SCENARIO = ScenarioSpec(
+    name="bench-weibull-campaign",
+    chain=ChainSpec(n=30, work_range=(5.0, 15.0), checkpoint_range=(1.0, 2.0), seed=5),
+    failure=FailureSpec(kind="weibull", mtbf=150.0, shape=0.7),
+    strategies=("optimal_dp", "checkpoint_all", "checkpoint_none"),
+    num_runs=600,
+    downtime=0.5,
+    seed=11,
+)
+
+CHUNK_SIZE = 50
+
+
+def _timed_run(backend, cache=None):
+    start = time.perf_counter()
+    result = SCENARIO.run(backend=backend, cache=cache, chunk_size=CHUNK_SIZE)
+    return result, time.perf_counter() - start
+
+
+def measure(num_workers: int | None = None) -> ResultTable:
+    """Time the campaign serially, on a pool, and from a warm cache."""
+    if num_workers is None:
+        num_workers = os.cpu_count() or 1
+    table = ResultTable(
+        title=f"Runtime benchmark: Weibull campaign, {SCENARIO.num_runs} paired rounds",
+        columns=["mode", "seconds", "speedup_vs_serial", "identical_to_serial"],
+    )
+    serial_result, serial_seconds = _timed_run(SerialBackend())
+    table.add_row(mode="serial", seconds=serial_seconds, speedup_vs_serial=1.0,
+                  identical_to_serial=True)
+    with ProcessPoolBackend(num_workers) as pool:
+        pool_result, pool_seconds = _timed_run(pool)
+    table.add_row(
+        mode=f"pool({num_workers})",
+        seconds=pool_seconds,
+        speedup_vs_serial=serial_seconds / pool_seconds,
+        identical_to_serial=dict(pool_result.makespans) == dict(serial_result.makespans),
+    )
+    return table
+
+
+@pytest.mark.experiment("runtime")
+def test_runtime_parallel_weibull_campaign(benchmark, print_table, tmp_path):
+    serial_result, serial_seconds = _timed_run(SerialBackend())
+
+    num_workers = os.cpu_count() or 1
+    with ProcessPoolBackend(num_workers) as pool:
+        pool_result = benchmark(
+            lambda: SCENARIO.run(backend=pool, chunk_size=CHUNK_SIZE)
+        )
+
+    # The guarantee that makes the parallel runtime safe to use everywhere:
+    # same seed => same samples, whatever executes them.
+    assert dict(pool_result.makespans) == dict(serial_result.makespans)
+
+    # A warm cache replays the campaign bit-for-bit without simulating, and
+    # the replay is much faster than the simulation it replaces.
+    cache = ResultCache(tmp_path)
+    cold_result, cold_seconds = _timed_run(SerialBackend(), cache=cache)
+    warm_result, warm_seconds = _timed_run(SerialBackend(), cache=cache)
+    assert dict(warm_result.makespans) == dict(cold_result.makespans)
+    assert dict(warm_result.makespans) == dict(serial_result.makespans)
+    assert warm_seconds < cold_seconds
+
+    table = ResultTable(
+        title="Runtime benchmark summary",
+        columns=["mode", "seconds"],
+    )
+    table.add_row(mode="serial", seconds=serial_seconds)
+    table.add_row(mode=f"cold cache (serial)", seconds=cold_seconds)
+    table.add_row(mode="warm cache", seconds=warm_seconds)
+    print_table(table)
+
+    # The paired campaign itself must still make sense.
+    assert serial_result.ranking()[0] == "optimal_dp"
+
+
+if __name__ == "__main__":  # pragma: no cover - manual timing entry point
+    print(measure().to_text())

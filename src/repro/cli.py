@@ -10,7 +10,15 @@ Python:
 * ``repro simulate``      -- Monte-Carlo estimate of the expected makespan of
   a chain under a given placement;
 * ``repro experiment``    -- run one of the E1-E10 experiments and print its
-  table (optionally as CSV).
+  table (optionally as CSV); without an id, list the available experiments.
+
+The simulation-heavy sub-commands (``simulate``, ``experiment``) accept
+``--parallel N`` to fan replication chunks out over ``N`` worker processes
+and ``--cache`` (or ``--cache-dir PATH``) to memoise results on disk; see
+:mod:`repro.runtime`.  Any of these flags selects the chunked deterministic
+sampler: for a given seed its results are bit-identical for every ``N >= 1``
+(they differ from the plain no-flag run, which keeps the historical
+single-stream sampler).
 
 The CLI is intentionally thin: every sub-command parses arguments, calls the
 corresponding library entry point, and prints a human-readable (or CSV)
@@ -30,11 +38,42 @@ from repro.baselines.strategies import evaluate_chain_strategies
 from repro.core.chain_dp import optimal_chain_checkpoints, optimal_chain_checkpoints_budget
 from repro.core.dag_scheduling import schedule_dag
 from repro.core.schedule import Schedule
-from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.registry import EXPERIMENTS, experiment_descriptions, run_experiment
+from repro.runtime.backends import resolve_backend
+from repro.runtime.cache import ResultCache
 from repro.simulation.monte_carlo import MonteCarloEstimator
 from repro.workflows.serialization import load_chain, load_workflow, workflow_to_dot
 
 __all__ = ["main", "build_parser"]
+
+
+def _experiment_listing() -> str:
+    """The available experiments, one per line, with their descriptions."""
+    lines = ["available experiments:"]
+    for key, description in experiment_descriptions().items():
+        lines.append(f"  {key:<4s} {description}")
+    return "\n".join(lines)
+
+
+def _experiment_id(text: str) -> str:
+    """argparse type for experiment ids: normalises case, lists on error."""
+    key = text.upper()
+    if key not in EXPERIMENTS:
+        raise argparse.ArgumentTypeError(
+            f"unknown experiment {text!r}\n{_experiment_listing()}"
+        )
+    return key
+
+
+def _worker_count(text: str) -> int:
+    """argparse type for --parallel: a non-negative worker count."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid worker count {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"worker count must be >= 0, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -45,6 +84,25 @@ def build_parser() -> argparse.ArgumentParser:
         "(reproduction of Robert, Vivien, Zaidouni, RR-7907).",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+
+    # Shared parallel-runtime switches for the simulation-heavy sub-commands.
+    runtime_options = argparse.ArgumentParser(add_help=False)
+    runtime_group = runtime_options.add_argument_group("parallel runtime")
+    runtime_group.add_argument(
+        "--parallel", type=_worker_count, default=0, metavar="N",
+        help="fan simulation chunks out over N worker processes; for a given "
+        "seed the results are bit-identical for every N >= 1 (0, the "
+        "default, keeps the historical serial sampler, whose draws differ)",
+    )
+    runtime_group.add_argument(
+        "--cache", action="store_true",
+        help="memoise simulation results in the disk cache (~/.cache/repro "
+        "or $REPRO_CACHE_DIR)",
+    )
+    runtime_group.add_argument(
+        "--cache-dir", type=str, default=None, metavar="PATH",
+        help="use PATH as the cache root (implies --cache)",
+    )
 
     solve_chain = subparsers.add_parser(
         "solve-chain", help="optimal checkpoint placement for a linear chain (Algorithm 1)"
@@ -71,7 +129,8 @@ def build_parser() -> argparse.ArgumentParser:
                            help="print a Graphviz DOT rendering with checkpoints highlighted")
 
     simulate = subparsers.add_parser(
-        "simulate", help="Monte-Carlo estimate of a chain schedule's expected makespan"
+        "simulate", help="Monte-Carlo estimate of a chain schedule's expected makespan",
+        parents=[runtime_options],
     )
     simulate.add_argument("chain", help="path to a repro-chain JSON file")
     simulate.add_argument("--rate", type=float, required=True)
@@ -82,10 +141,11 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--seed", type=int, default=0)
 
     experiment = subparsers.add_parser(
-        "experiment", help="run one of the reproduction experiments (E1-E10)"
+        "experiment", help="run one of the reproduction experiments (E1-E10)",
+        parents=[runtime_options],
     )
-    experiment.add_argument("id", choices=sorted(EXPERIMENTS, key=lambda k: int(k[1:])),
-                            help="experiment identifier")
+    experiment.add_argument("id", nargs="?", default=None, type=_experiment_id,
+                            help="experiment identifier (omit to list all experiments)")
     experiment.add_argument("--csv", action="store_true", help="print CSV instead of a table")
 
     return parser
@@ -144,6 +204,15 @@ def _parse_positions(text: Optional[str], n: int) -> Optional[List[int]]:
     return positions
 
 
+def _runtime_from_args(args: argparse.Namespace):
+    """Build the (backend, cache) pair selected by the shared runtime flags."""
+    backend = resolve_backend(args.parallel) if args.parallel else None
+    cache = None
+    if args.cache or args.cache_dir:
+        cache = ResultCache(args.cache_dir)
+    return backend, cache
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     chain = load_chain(args.chain)
     positions = _parse_positions(args.checkpoint_after, chain.n)
@@ -153,8 +222,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print(f"using optimal placement: {positions}")
     schedule = Schedule.for_chain(chain, positions)
     analytic = schedule.expected_makespan(args.downtime, args.rate)
-    rng = np.random.default_rng(args.seed)
-    estimate = MonteCarloEstimator(schedule, args.rate, args.downtime).estimate(args.runs, rng=rng)
+    backend, cache = _runtime_from_args(args)
+    estimator = MonteCarloEstimator(schedule, args.rate, args.downtime)
+    try:
+        if backend is not None or cache is not None:
+            estimate = estimator.estimate(args.runs, seed=args.seed, backend=backend, cache=cache)
+        else:
+            rng = np.random.default_rng(args.seed)
+            estimate = estimator.estimate(args.runs, rng=rng)
+    finally:
+        if backend is not None:
+            backend.close()
     print(f"analytic expectation : {analytic:.6g}")
     print(f"simulated mean       : {estimate.mean:.6g} "
           f"(95% CI [{estimate.ci95_low:.6g}, {estimate.ci95_high:.6g}], {args.runs} runs)")
@@ -163,7 +241,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    table = run_experiment(args.id)
+    if args.id is None:
+        print(_experiment_listing())
+        return 0
+    backend, cache = _runtime_from_args(args)
+    try:
+        table = run_experiment(args.id, backend=backend, cache=cache)
+    finally:
+        if backend is not None:
+            backend.close()
     print(table.to_csv() if args.csv else table.to_text())
     return 0
 

@@ -14,10 +14,11 @@ script prints every table::
 
 from __future__ import annotations
 
+import inspect
 import math
 import sys
 import time
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Union
 
 import numpy as np
 
@@ -69,10 +70,33 @@ from repro.models.workload import (
     NumericalKernelWorkload,
     PerfectlyParallelWorkload,
 )
+from repro.runtime.backends import ExecutionBackend, backend_scope
+from repro.runtime.cache import ResultCache
 from repro.simulation.monte_carlo import MonteCarloEstimator, estimate_expected_completion_time
 from repro.workflows.generators import fork_join, montage_like, uniform_random_chain
 
-__all__ = ["EXPERIMENTS", "run_experiment", "run_all_experiments"]
+__all__ = [
+    "EXPERIMENTS",
+    "experiment_descriptions",
+    "run_experiment",
+    "run_all_experiments",
+]
+
+#: Keyword arguments of the parallel-runtime plumbing; ``run_experiment``
+#: forwards them only to experiments whose signature declares them, so the
+#: purely analytic experiments stay oblivious to backends and caches.
+_RUNTIME_KWARGS = ("backend", "cache", "chunk_size")
+
+
+def _spawn_int_seeds(seed: Optional[int], count: int) -> List[int]:
+    """Derive ``count`` independent integer seeds from a root seed.
+
+    The chunked execution paths key their caches on integer seeds, so the
+    experiments hand each sub-estimate a deterministic child seed instead of
+    sharing one live generator (which could not be split across workers).
+    """
+    children = np.random.SeedSequence(seed).spawn(count)
+    return [int(child.generate_state(1, np.uint64)[0]) for child in children]
 
 
 # ----------------------------------------------------------------------
@@ -81,7 +105,10 @@ __all__ = ["EXPERIMENTS", "run_experiment", "run_all_experiments"]
 
 
 def experiment_e1_prop1_validation(
-    *, num_runs: int = 20_000, seed: int = 1
+    *, num_runs: int = 20_000, seed: int = 1,
+    backend: Union[None, int, str, ExecutionBackend] = None,
+    cache: Optional[ResultCache] = None,
+    chunk_size: Optional[int] = None,
 ) -> ResultTable:
     """Validate the Proposition 1 closed form against simulation (E1)."""
     table = ResultTable(
@@ -91,7 +118,6 @@ def experiment_e1_prop1_validation(
             "analytic", "simulated", "rel_error", "within_ci95",
         ],
     )
-    rng = np.random.default_rng(seed)
     scenarios = [
         (10.0, 1.0, 0.0, 1.0, 0.01),
         (10.0, 1.0, 0.5, 2.0, 0.05),
@@ -100,10 +126,14 @@ def experiment_e1_prop1_validation(
         (50.0, 0.0, 0.0, 0.0, 0.01),
         (20.0, 2.0, 3.0, 4.0, 0.02),
     ]
-    for work, ckpt, downtime, recovery, rate in scenarios:
+    use_runtime = backend is not None or cache is not None
+    rng = None if use_runtime else np.random.default_rng(seed)
+    seeds = _spawn_int_seeds(seed, len(scenarios)) if use_runtime else [None] * len(scenarios)
+    for (work, ckpt, downtime, recovery, rate), sub_seed in zip(scenarios, seeds):
         analytic = expected_completion_time(work, ckpt, downtime, recovery, rate)
         estimate = estimate_expected_completion_time(
-            work, ckpt, downtime, recovery, rate, num_runs=num_runs, rng=rng
+            work, ckpt, downtime, recovery, rate, num_runs=num_runs,
+            rng=rng, seed=sub_seed, backend=backend, cache=cache, chunk_size=chunk_size,
         )
         table.add_row(
             work=work,
@@ -331,8 +361,39 @@ def experiment_e5_independent_heuristics(
 # ----------------------------------------------------------------------
 
 
+def _e6_rate_row(args) -> Dict[str, object]:
+    """Evaluate every chain strategy at one failure rate (one work unit of E6).
+
+    Module-level so the rows can be fanned out over a process pool; the
+    evaluation is analytic, so parallel and serial rows are identical.
+    """
+    chain, rate, downtime, total_work = args
+    results = evaluate_chain_strategies(chain, downtime, rate)
+    optimal = results["optimal_dp"].expected_makespan
+
+    def ratio(name: str) -> Optional[float]:
+        if name not in results:
+            return None
+        return results[name].expected_makespan / optimal
+
+    return dict(
+        rate=rate,
+        mtbf_over_work=(1.0 / rate) / total_work,
+        E_optimal=optimal,
+        optimal_checkpoints=results["optimal_dp"].num_checkpoints,
+        ratio_all=ratio("checkpoint_all"),
+        ratio_none=ratio("checkpoint_none"),
+        ratio_every_2=ratio("every_2"),
+        ratio_every_5=ratio("every_5"),
+        ratio_daly=ratio("daly_period"),
+        ratio_young=ratio("young_period"),
+    )
+
+
 def experiment_e6_chain_strategies(
     *, n: int = 50, seed: int = 5, downtime: float = 0.5,
+    backend: Union[None, int, str, ExecutionBackend] = None,
+    cache: Optional[ResultCache] = None,
 ) -> ResultTable:
     """Optimal DP vs checkpoint-all/none/every-k/Daly across failure rates (E6)."""
     table = ResultTable(
@@ -343,30 +404,29 @@ def experiment_e6_chain_strategies(
             "ratio_daly", "ratio_young",
         ],
     )
+    store = None
+    key = None
+    if cache is not None:
+        store = cache.with_namespace("experiment")
+        key = store.key_for({
+            "kind": "experiment_table", "experiment": "E6",
+            "n": n, "seed": seed, "downtime": downtime,
+        })
+        entry = store.get(key)
+        if entry is not None:
+            table.rows = entry[0]["rows"]
+            return table
     rng = np.random.default_rng(seed)
     chain = uniform_random_chain(n, work_range=(1.0, 10.0), checkpoint_range=(0.5, 2.0), rng=rng)
     total_work = chain.total_work()
-    for rate in geometric_sweep(1e-4, 2e-1, 8):
-        results = evaluate_chain_strategies(chain, downtime, rate)
-        optimal = results["optimal_dp"].expected_makespan
-
-        def ratio(name: str) -> Optional[float]:
-            if name not in results:
-                return None
-            return results[name].expected_makespan / optimal
-
-        table.add_row(
-            rate=rate,
-            mtbf_over_work=(1.0 / rate) / total_work,
-            E_optimal=optimal,
-            optimal_checkpoints=results["optimal_dp"].num_checkpoints,
-            ratio_all=ratio("checkpoint_all"),
-            ratio_none=ratio("checkpoint_none"),
-            ratio_every_2=ratio("every_2"),
-            ratio_every_5=ratio("every_5"),
-            ratio_daly=ratio("daly_period"),
-            ratio_young=ratio("young_period"),
-        )
+    tasks = [
+        (chain, rate, downtime, total_work) for rate in geometric_sweep(1e-4, 2e-1, 8)
+    ]
+    with backend_scope(backend) as executor:
+        for row in executor.map(_e6_rate_row, tasks):
+            table.add_row(**row)
+    if store is not None and key is not None:
+        store.put(key, {"kind": "experiment_table", "experiment": "E6", "rows": table.rows})
     return table
 
 
@@ -426,6 +486,9 @@ def experiment_e7_scaling_models(
 def experiment_e8_general_failures(
     *, n: int = 20, num_runs: int = 400, seed: int = 6,
     downtime: float = 0.5, platform_mtbf: float = 150.0,
+    backend: Union[None, int, str, ExecutionBackend] = None,
+    cache: Optional[ResultCache] = None,
+    chunk_size: Optional[int] = None,
 ) -> ResultTable:
     """Weibull / log-normal failures: placement heuristics compared by simulation (E8)."""
     table = ResultTable(
@@ -445,6 +508,11 @@ def experiment_e8_general_failures(
         "weibull(k=1.5)": WeibullFailure.from_mtbf(platform_mtbf, shape=1.5),
         "lognormal(s=1.0)": LogNormalFailure.from_mtbf(platform_mtbf, sigma=1.0),
     }
+    use_runtime = backend is not None or cache is not None
+    # One independent child seed per (law, strategy) estimate on the runtime
+    # path; the serial default keeps consuming the single shared stream so
+    # historical tables stay bit-identical.
+    sub_seeds = iter(_spawn_int_seeds(seed, 4 * len(laws)) if use_runtime else [])
     for law_name, law in laws.items():
         rate_equivalent = 1.0 / platform_mtbf
         placements = {
@@ -457,7 +525,13 @@ def experiment_e8_general_failures(
             schedule = Schedule.for_chain(chain, positions)
             platform = Platform(num_processors=1, failure_law=law, downtime=downtime)
             estimator = MonteCarloEstimator(schedule, platform, downtime)
-            estimate = estimator.estimate(num_runs, rng=rng)
+            if use_runtime:
+                estimate = estimator.estimate(
+                    num_runs, seed=next(sub_seeds), backend=backend, cache=cache,
+                    chunk_size=chunk_size,
+                )
+            else:
+                estimate = estimator.estimate(num_runs, rng=rng)
             table.add_row(
                 law=law_name,
                 strategy=strategy,
@@ -586,17 +660,50 @@ EXPERIMENTS: Dict[str, Callable[..., ResultTable]] = {
 }
 
 
-def run_experiment(name: str, **kwargs) -> ResultTable:
-    """Run one experiment by id (e.g. ``"E3"``)."""
+def experiment_descriptions() -> Dict[str, str]:
+    """One-line description of every experiment, keyed by id (in E1..E10 order)."""
+    descriptions: Dict[str, str] = {}
+    for key in sorted(EXPERIMENTS, key=lambda k: int(k[1:])):
+        doc = inspect.getdoc(EXPERIMENTS[key]) or ""
+        descriptions[key] = doc.splitlines()[0] if doc else "(no description)"
+    return descriptions
+
+
+def run_experiment(
+    name: str,
+    *,
+    backend: Union[None, int, str, ExecutionBackend] = None,
+    cache: Optional[ResultCache] = None,
+    chunk_size: Optional[int] = None,
+    **kwargs,
+) -> ResultTable:
+    """Run one experiment by id (e.g. ``"E3"``).
+
+    ``backend``, ``cache`` and ``chunk_size`` are forwarded to experiments
+    that support parallel/cached execution (the simulation-heavy E1, E6, E8);
+    the purely analytic experiments run unchanged and ignore them.
+    """
     key = name.upper()
     if key not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}")
-    return EXPERIMENTS[key](**kwargs)
+    fn = EXPERIMENTS[key]
+    supported = inspect.signature(fn).parameters
+    for runtime_kwarg, value in zip(_RUNTIME_KWARGS, (backend, cache, chunk_size)):
+        if runtime_kwarg in supported and value is not None:
+            kwargs[runtime_kwarg] = value
+    return fn(**kwargs)
 
 
-def run_all_experiments(**kwargs) -> List[ResultTable]:
+def run_all_experiments(
+    *,
+    backend: Union[None, int, str, ExecutionBackend] = None,
+    cache: Optional[ResultCache] = None,
+) -> List[ResultTable]:
     """Run the full suite, in order."""
-    return [EXPERIMENTS[key]() for key in sorted(EXPERIMENTS, key=lambda k: int(k[1:]))]
+    return [
+        run_experiment(key, backend=backend, cache=cache)
+        for key in sorted(EXPERIMENTS, key=lambda k: int(k[1:]))
+    ]
 
 
 def _main(argv: List[str]) -> int:

@@ -1,0 +1,199 @@
+"""Content-addressed, disk-backed result cache.
+
+Simulation campaigns are pure functions of their parameters and seed, so a
+completed campaign never needs to run twice: its samples are stored on disk
+under a key derived from the request (:func:`repro.runtime.hashing.stable_hash`
+of schedule + failure law + estimator parameters + seed + chunk plan) and
+replayed on the next identical request.
+
+Layout (default root ``~/.cache/repro``, overridable with the
+``REPRO_CACHE_DIR`` environment variable or the ``root`` argument)::
+
+    <root>/v<CACHE_VERSION>/<namespace>/<key[:2]>/<key>.json   # metadata
+    <root>/v<CACHE_VERSION>/<namespace>/<key[:2]>/<key>.npz    # sample arrays
+
+Metadata is human-readable JSON (what was computed, by which code version);
+bulk samples live in a sibling NPZ so multi-megabyte makespan arrays never
+pass through a JSON parser.  Writes go through a temporary file plus
+``os.replace`` so concurrent writers (e.g. several pool workers finishing the
+same sweep) can never leave a torn entry; losing a race merely rewrites the
+same content.
+
+Versioned invalidation: :data:`CACHE_VERSION` is baked into the directory
+path.  Bump it whenever the simulator's sampling semantics change, and every
+stale entry becomes unreachable at once without touching old files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.runtime.hashing import stable_hash
+
+__all__ = ["CACHE_VERSION", "ResultCache", "default_cache_root"]
+
+#: Bump when the executor/trace-generation semantics change such that cached
+#: samples would no longer match a fresh run.
+CACHE_VERSION = 1
+
+
+def default_cache_root() -> Path:
+    """The cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+class ResultCache:
+    """Disk-backed store of simulation results, addressed by content hash.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; created on first write.  Defaults to
+        :func:`default_cache_root`.
+    namespace:
+        Sub-directory separating result families (``"monte_carlo"``,
+        ``"campaign"``, ``"experiment"``); part of the entry path only, not
+        of the key.
+    readonly:
+        When True, :meth:`put` becomes a no-op -- useful for replaying a
+        shared cache without mutating it.
+    """
+
+    def __init__(
+        self,
+        root: Optional[os.PathLike] = None,
+        *,
+        namespace: str = "results",
+        readonly: bool = False,
+    ) -> None:
+        self.root = Path(root) if root is not None else default_cache_root()
+        if not namespace or any(sep in namespace for sep in ("/", "\\", "..")):
+            raise ValueError(f"invalid cache namespace {namespace!r}")
+        self.namespace = namespace
+        self.readonly = readonly
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Keys and paths
+    # ------------------------------------------------------------------
+
+    def key_for(self, payload: Any) -> str:
+        """Stable key of a request description (plain data / dataclasses)."""
+        return stable_hash({"cache_version": CACHE_VERSION, "payload": payload})
+
+    def _dir_for(self, key: str) -> Path:
+        return self.root / f"v{CACHE_VERSION}" / self.namespace / key[:2]
+
+    def _paths(self, key: str) -> Tuple[Path, Path]:
+        base = self._dir_for(key)
+        return base / f"{key}.json", base / f"{key}.npz"
+
+    def with_namespace(self, namespace: str) -> "ResultCache":
+        """A view of the same cache root under a different namespace."""
+        return ResultCache(self.root, namespace=namespace, readonly=self.readonly)
+
+    # ------------------------------------------------------------------
+    # Read / write
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Tuple[Dict[str, Any], Dict[str, np.ndarray]]]:
+        """Return ``(metadata, arrays)`` for ``key``, or None on a miss.
+
+        A torn or unreadable entry counts as a miss (the caller recomputes
+        and overwrites it) rather than an error.
+        """
+        meta_path, npz_path = self._paths(key)
+        try:
+            with open(meta_path, "r", encoding="utf-8") as handle:
+                meta = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        arrays: Dict[str, np.ndarray] = {}
+        if meta.get("has_arrays"):
+            try:
+                with np.load(npz_path) as npz:
+                    arrays = {name: npz[name].copy() for name in npz.files}
+            except (OSError, ValueError):
+                self.misses += 1
+                return None
+        self.hits += 1
+        return meta, arrays
+
+    def put(
+        self,
+        key: str,
+        metadata: Mapping[str, Any],
+        arrays: Optional[Mapping[str, np.ndarray]] = None,
+    ) -> Optional[Path]:
+        """Store an entry atomically; returns the metadata path (None if readonly)."""
+        if self.readonly:
+            return None
+        meta_path, npz_path = self._paths(key)
+        meta_path.parent.mkdir(parents=True, exist_ok=True)
+        meta = dict(metadata)
+        meta["has_arrays"] = bool(arrays)
+        if arrays:
+            self._atomic_write(npz_path, lambda fh: np.savez_compressed(fh, **arrays))
+        self._atomic_write(
+            meta_path,
+            lambda fh: fh.write(json.dumps(meta, indent=2, sort_keys=True).encode("utf-8")),
+        )
+        return meta_path
+
+    def _atomic_write(self, path: Path, writer) -> None:
+        fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), prefix=path.name, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                writer(handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    # Introspection / maintenance
+    # ------------------------------------------------------------------
+
+    def __contains__(self, key: str) -> bool:
+        return self._paths(key)[0].is_file()
+
+    def __len__(self) -> int:
+        base = self.root / f"v{CACHE_VERSION}" / self.namespace
+        if not base.is_dir():
+            return 0
+        return sum(1 for _ in base.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry in this namespace; returns the number removed."""
+        base = self.root / f"v{CACHE_VERSION}" / self.namespace
+        removed = 0
+        if not base.is_dir():
+            return removed
+        for entry in base.glob("*/*"):
+            if entry.suffix in (".json", ".npz"):
+                if entry.suffix == ".json":
+                    removed += 1
+                entry.unlink(missing_ok=True)
+        return removed
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache(root={str(self.root)!r}, namespace={self.namespace!r}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,89 @@
+"""Stable content hashing: the addressing scheme of the result cache.
+
+A cache entry must be found again by a *different* process, on a different
+day, from a logically identical request -- so the key cannot involve
+``id()``, ``hash()`` (salted per process for strings), pickle bytes (protocol
+and memoisation dependent), or dict iteration order.  :func:`canonicalize`
+reduces the parameter structures that appear in simulation requests
+(dataclasses such as :class:`~repro.core.schedule.Segment` or the failure
+laws, numpy arrays and scalars, nested containers) to a canonical tree of
+JSON-compatible values, and :func:`stable_hash` hashes its compact JSON
+serialisation with SHA-256.
+
+Floats are canonicalised through ``float.hex()``: two floats produce the same
+key exactly when they are the same IEEE-754 double, which matches the
+bit-for-bit reproducibility contract of the runtime.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import math
+from typing import Any
+
+import numpy as np
+
+__all__ = ["canonicalize", "stable_hash"]
+
+
+def canonicalize(obj: Any) -> Any:
+    """Reduce ``obj`` to a canonical JSON-compatible structure.
+
+    Supported inputs: ``None``, bools, ints, strings, floats (including the
+    IEEE specials), numpy scalars and arrays, lists/tuples, dicts with
+    string-convertible keys, dataclass instances, and any object exposing a
+    ``spec_dict()`` method (the extension hook used by
+    :class:`~repro.runtime.scenario.ScenarioSpec`).  Dataclasses and
+    ``spec_dict`` objects are tagged with their class name so that two
+    different laws with identical field values (e.g. a Weibull and a
+    log-normal that happen to share parameters) never collide.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        if math.isnan(obj):
+            return {"__float__": "nan"}
+        if math.isinf(obj):
+            return {"__float__": "inf" if obj > 0 else "-inf"}
+        return {"__float__": obj.hex()}
+    if isinstance(obj, (np.bool_, np.integer)):
+        return canonicalize(obj.item())
+    if isinstance(obj, np.floating):
+        return canonicalize(float(obj))
+    if isinstance(obj, np.ndarray):
+        return {"__ndarray__": [list(obj.shape), str(obj.dtype),
+                                [canonicalize(x) for x in obj.ravel().tolist()]]}
+    if isinstance(obj, (list, tuple)):
+        return [canonicalize(x) for x in obj]
+    if isinstance(obj, (set, frozenset)):
+        return {"__set__": sorted(json.dumps(canonicalize(x), sort_keys=True) for x in obj)}
+    if isinstance(obj, dict):
+        return {"__dict__": sorted(
+            (str(key), canonicalize(value)) for key, value in obj.items()
+        )}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {
+            f.name: canonicalize(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+            if f.compare
+        }
+        return {"__class__": type(obj).__name__, "fields": canonicalize(fields)}
+    spec_dict = getattr(obj, "spec_dict", None)
+    if callable(spec_dict):
+        return {"__class__": type(obj).__name__, "fields": canonicalize(spec_dict())}
+    raise TypeError(
+        f"cannot canonicalize {type(obj).__name__!r} for hashing; pass plain "
+        "data, a dataclass, or an object with a spec_dict() method"
+    )
+
+
+def stable_hash(obj: Any, *, length: int = 32) -> str:
+    """Hex digest of the canonical form of ``obj`` (first ``length`` chars).
+
+    The digest is stable across processes, platforms and Python versions, and
+    changes whenever any parameter that could influence the result changes.
+    """
+    payload = json.dumps(canonicalize(obj), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:length]

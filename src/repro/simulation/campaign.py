@@ -22,15 +22,18 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro._validation import check_non_negative, check_positive, check_positive_int
-from repro.core.schedule import Schedule
+from repro.core.schedule import Schedule, Segment
 from repro.experiments.reporting import ResultTable
 from repro.failures.distributions import FailureDistribution
 from repro.failures.traces import FailureTrace, generate_trace
+from repro.runtime.backends import ExecutionBackend, backend_scope
+from repro.runtime.cache import ResultCache
+from repro.runtime.chunking import plan_chunks
 from repro.simulation.engine import TraceFailureSource
 from repro.simulation.executor import simulate_segments
 
@@ -169,14 +172,42 @@ class CampaignRunner:
         rng: Optional[np.random.Generator] = None,
         seed: Optional[int] = None,
         traces: Optional[Sequence[FailureTrace]] = None,
+        backend: Union[None, int, str, ExecutionBackend] = None,
+        cache: Optional[ResultCache] = None,
+        chunk_size: Optional[int] = None,
     ) -> CampaignResult:
         """Execute the campaign.
 
         Either ``num_runs`` fresh traces are generated from the configured
         failure law, or the explicit ``traces`` are replayed (``num_runs`` is
         then capped to their number).
+
+        With ``backend`` and/or ``cache`` the rounds are cut into
+        deterministic chunks (each chunk draws its traces from an
+        independently spawned RNG stream, see :mod:`repro.runtime.chunking`)
+        and fanned out: the per-strategy makespans are bit-identical for a
+        given ``seed`` whatever the worker count, and a warm cache replays
+        the whole campaign from disk.  This path requires ``seed=`` and
+        generated traces (``rng=`` and explicit ``traces`` stay serial).
         """
         check_positive_int("num_runs", num_runs)
+        if backend is not None or cache is not None:
+            if traces is not None:
+                raise ValueError(
+                    "explicit traces are replayed serially; drop backend=/cache= "
+                    "or let the campaign generate its traces"
+                )
+            if self.failure_law is None:
+                raise ValueError("provide a failure_law at construction or explicit traces")
+            if rng is not None:
+                raise ValueError(
+                    "the backend/cache execution path derives per-chunk RNG "
+                    "streams from a seed and cannot split a live generator; "
+                    "pass seed=... instead of rng=..."
+                )
+            return self._run_chunked(
+                num_runs, seed=seed, backend=backend, cache=cache, chunk_size=chunk_size
+            )
         if rng is None:
             rng = np.random.default_rng(seed)
         if traces is None:
@@ -203,3 +234,93 @@ class CampaignRunner:
                 result = simulate_segments(segments, source, self.downtime, rng=rng)
                 makespans[name].append(result.makespan)
         return CampaignResult(makespans=makespans, num_runs=len(traces))
+
+    def _run_chunked(
+        self,
+        num_runs: int,
+        *,
+        seed: Optional[int],
+        backend: Union[None, int, str, ExecutionBackend],
+        cache: Optional[ResultCache],
+        chunk_size: Optional[int],
+    ) -> CampaignResult:
+        plan = plan_chunks(num_runs, chunk_size)
+        names = list(self._segments)
+        store = None
+        key = None
+        if cache is not None:
+            if seed is None:
+                raise ValueError("caching requires an explicit seed (the key includes it)")
+            store = cache.with_namespace("campaign")
+            key = store.key_for({
+                "kind": "paired_campaign",
+                "segments": {name: self._segments[name] for name in sorted(names)},
+                "failure_law": self.failure_law,
+                "num_processors": self.num_processors,
+                "downtime": self.downtime,
+                "horizon": self._horizon,
+                "num_runs": num_runs,
+                "seed": seed,
+                "chunk_size": plan.chunk_size,
+            })
+            entry = store.get(key)
+            if entry is not None:
+                meta, arrays = entry
+                makespans = {
+                    name: arrays[f"s{index}"].tolist()
+                    for index, name in enumerate(meta["strategies"])
+                }
+                return CampaignResult(makespans=makespans, num_runs=meta["num_runs"])
+        tasks = [
+            (
+                self._segments,
+                self.failure_law,
+                self._horizon,
+                self.num_processors,
+                self.downtime,
+                chunk_seed,
+                size,
+            )
+            for chunk_seed, size in zip(plan.seeds(seed), plan.sizes)
+        ]
+        with backend_scope(backend) as executor:
+            chunks = executor.map(_campaign_chunk, tasks)
+        merged: Dict[str, List[float]] = {name: [] for name in names}
+        for chunk in chunks:
+            for name in names:
+                merged[name].extend(chunk[name])
+        if store is not None and key is not None:
+            store.put(
+                key,
+                {"kind": "paired_campaign", "strategies": names, "num_runs": num_runs,
+                 "seed": seed, "chunk_size": plan.chunk_size},
+                {f"s{index}": np.asarray(merged[name], dtype=float)
+                 for index, name in enumerate(names)},
+            )
+        return CampaignResult(makespans=merged, num_runs=num_runs)
+
+
+def _campaign_chunk(
+    args: Tuple[
+        Mapping[str, Sequence[Segment]], FailureDistribution, float, int, float,
+        np.random.SeedSequence, int,
+    ],
+) -> Dict[str, List[float]]:
+    """Run one chunk of paired rounds (runs in a worker process).
+
+    Each round draws a fresh shared trace from the chunk's own RNG stream and
+    replays every strategy against it, preserving the common-random-numbers
+    pairing within the chunk and across backends.
+    """
+    segments, law, horizon, num_processors, downtime, chunk_seed, count = args
+    rng = np.random.default_rng(chunk_seed)
+    makespans: Dict[str, List[float]] = {name: [] for name in segments}
+    for _ in range(count):
+        trace = generate_trace(
+            law, horizon=horizon, num_processors=num_processors, rng=rng
+        )
+        for name, segs in segments.items():
+            source = TraceFailureSource(trace)
+            result = simulate_segments(segs, source, downtime, rng=rng)
+            makespans[name].append(result.makespan)
+    return makespans

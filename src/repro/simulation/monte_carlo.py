@@ -11,12 +11,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro._validation import check_non_negative, check_positive, check_positive_int
 from repro.core.schedule import Schedule, Segment
+from repro.runtime.backends import ExecutionBackend, backend_scope
+from repro.runtime.cache import ResultCache
+from repro.runtime.chunking import plan_chunks
 from repro.simulation.engine import FailureSource, PoissonFailureSource, failure_source_for
 from repro.simulation.executor import SimulationResult, simulate_segments
 
@@ -86,7 +89,23 @@ class MonteCarloEstimate:
         """Aggregate a list of simulation results into an estimate."""
         if not results:
             raise ValueError("cannot build an estimate from zero runs")
-        makespans = np.asarray([r.makespan for r in results], dtype=float)
+        return cls.from_samples(
+            np.asarray([r.makespan for r in results], dtype=float),
+            np.asarray([r.num_failures for r in results], dtype=float),
+            np.asarray([r.wasted_time for r in results], dtype=float),
+        )
+
+    @classmethod
+    def from_samples(
+        cls,
+        makespans: np.ndarray,
+        num_failures: np.ndarray,
+        wasted_times: np.ndarray,
+    ) -> "MonteCarloEstimate":
+        """Aggregate raw sample arrays (the chunked-execution form of the data)."""
+        makespans = np.asarray(makespans, dtype=float)
+        if makespans.size == 0:
+            raise ValueError("cannot build an estimate from zero runs")
         mean = float(makespans.mean())
         std = float(makespans.std(ddof=1)) if len(makespans) > 1 else 0.0
         sem = std / math.sqrt(len(makespans)) if len(makespans) > 1 else 0.0
@@ -94,11 +113,11 @@ class MonteCarloEstimate:
             mean=mean,
             std=std,
             sem=sem,
-            num_runs=len(results),
+            num_runs=len(makespans),
             ci95_low=mean - _Z95 * sem,
             ci95_high=mean + _Z95 * sem,
-            mean_failures=float(np.mean([r.num_failures for r in results])),
-            mean_wasted=float(np.mean([r.wasted_time for r in results])),
+            mean_failures=float(np.mean(np.asarray(num_failures, dtype=float))),
+            mean_wasted=float(np.mean(np.asarray(wasted_times, dtype=float))),
         )
 
 
@@ -172,15 +191,122 @@ class MonteCarloEstimator:
         *,
         rng: Optional[np.random.Generator] = None,
         seed: Optional[int] = None,
+        backend: Union[None, int, str, ExecutionBackend] = None,
+        cache: Optional[ResultCache] = None,
+        chunk_size: Optional[int] = None,
     ) -> MonteCarloEstimate:
-        """Simulate ``num_runs`` independent runs and aggregate them."""
+        """Simulate ``num_runs`` independent runs and aggregate them.
+
+        Without ``backend``/``cache`` this is the classic serial path: one RNG
+        stream consumed run after run (bit-identical to historical results).
+
+        With a ``backend`` (worker count, ``"processes"``, or an
+        :class:`~repro.runtime.backends.ExecutionBackend`) or a ``cache``, the
+        budget is cut into deterministic chunks with independent spawned RNG
+        streams (:mod:`repro.runtime.chunking`): the estimate is then
+        bit-identical for a given ``seed`` *whatever the backend or worker
+        count*, and a warm :class:`~repro.runtime.cache.ResultCache` replays
+        it without simulating.  This path requires ``seed=`` (not ``rng=``),
+        because a live generator cannot be split reproducibly.
+        """
         check_positive_int("num_runs", num_runs)
-        if rng is None:
-            rng = np.random.default_rng(seed)
-        results: List[SimulationResult] = []
-        for _ in range(num_runs):
-            results.append(self.run_once(rng))
-        return MonteCarloEstimate.from_results(results)
+        if backend is None and cache is None:
+            if rng is None:
+                rng = np.random.default_rng(seed)
+            results: List[SimulationResult] = []
+            for _ in range(num_runs):
+                results.append(self.run_once(rng))
+            return MonteCarloEstimate.from_results(results)
+        return self._estimate_chunked(
+            num_runs, rng=rng, seed=seed, backend=backend, cache=cache,
+            chunk_size=chunk_size,
+        )
+
+    def _estimate_chunked(
+        self,
+        num_runs: int,
+        *,
+        rng: Optional[np.random.Generator],
+        seed: Optional[int],
+        backend: Union[None, int, str, ExecutionBackend],
+        cache: Optional[ResultCache],
+        chunk_size: Optional[int],
+    ) -> MonteCarloEstimate:
+        if rng is not None:
+            raise ValueError(
+                "the backend/cache execution path derives per-chunk RNG streams "
+                "from a seed and cannot split a live generator; pass seed=... "
+                "instead of rng=..."
+            )
+        plan = plan_chunks(num_runs, chunk_size)
+        store = None
+        key = None
+        if cache is not None:
+            if seed is None:
+                raise ValueError("caching requires an explicit seed (the key includes it)")
+            if self._failure_model_factory is not None:
+                raise ValueError(
+                    "cannot cache estimates built from a failure_model_factory "
+                    "(arbitrary callables have no stable content hash); pass a "
+                    "failure model instead"
+                )
+            store = cache.with_namespace("monte_carlo")
+            key = store.key_for({
+                "kind": "monte_carlo_estimate",
+                "segments": self._segments,
+                "failure_model": self._failure_model,
+                "downtime": self.downtime,
+                "num_runs": num_runs,
+                "seed": seed,
+                "chunk_size": plan.chunk_size,
+            })
+            entry = store.get(key)
+            if entry is not None:
+                _, arrays = entry
+                return MonteCarloEstimate.from_samples(
+                    arrays["makespans"], arrays["num_failures"], arrays["wasted_times"]
+                )
+        tasks = [
+            (self, chunk_seed, size)
+            for chunk_seed, size in zip(plan.seeds(seed), plan.sizes)
+        ]
+        with backend_scope(backend) as executor:
+            chunks = executor.map(_estimate_chunk, tasks)
+        makespans = np.concatenate([c[0] for c in chunks])
+        num_failures = np.concatenate([c[1] for c in chunks])
+        wasted_times = np.concatenate([c[2] for c in chunks])
+        estimate = MonteCarloEstimate.from_samples(makespans, num_failures, wasted_times)
+        if store is not None and key is not None:
+            store.put(
+                key,
+                {"kind": "monte_carlo_estimate", "num_runs": num_runs, "seed": seed,
+                 "chunk_size": plan.chunk_size, "mean": estimate.mean},
+                {"makespans": makespans, "num_failures": num_failures,
+                 "wasted_times": wasted_times},
+            )
+        return estimate
+
+
+def _estimate_chunk(
+    args: Tuple["MonteCarloEstimator", np.random.SeedSequence, int],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Simulate one chunk of replications (runs in a worker process).
+
+    Module-level so process pools can pickle it; the estimator itself travels
+    with the task (its segments, failure model and factory must therefore be
+    picklable -- lambdas as ``failure_model_factory`` only work serially).
+    """
+    estimator, chunk_seed, count = args
+    rng = np.random.default_rng(chunk_seed)
+    makespans = np.empty(count, dtype=float)
+    num_failures = np.empty(count, dtype=float)
+    wasted_times = np.empty(count, dtype=float)
+    for index in range(count):
+        result = estimator.run_once(rng)
+        makespans[index] = result.makespan
+        num_failures[index] = result.num_failures
+        wasted_times[index] = result.wasted_time
+    return makespans, num_failures, wasted_times
 
 
 def estimate_expected_completion_time(
@@ -193,6 +319,9 @@ def estimate_expected_completion_time(
     num_runs: int = 10_000,
     rng: Optional[np.random.Generator] = None,
     seed: Optional[int] = None,
+    backend: Union[None, int, str, ExecutionBackend] = None,
+    cache: Optional[ResultCache] = None,
+    chunk_size: Optional[int] = None,
 ) -> MonteCarloEstimate:
     """Monte-Carlo estimate of ``E[T(W, C, D, R, lambda)]`` (experiment E1).
 
@@ -217,4 +346,6 @@ def estimate_expected_completion_time(
         checkpointed=checkpoint > 0.0,
     )
     estimator = MonteCarloEstimator([segment], rate, downtime)
-    return estimator.estimate(num_runs, rng=rng, seed=seed)
+    return estimator.estimate(
+        num_runs, rng=rng, seed=seed, backend=backend, cache=cache, chunk_size=chunk_size
+    )
