@@ -29,3 +29,41 @@ def test_ablation_recursive_dp(benchmark):
     best, _ = benchmark(dp_makespan_recursive, CHAIN, DOWNTIME, RATE)
     reference = optimal_chain_checkpoints(CHAIN, DOWNTIME, RATE).expected_makespan
     assert best == pytest.approx(reference, rel=1e-12)
+
+
+def run_dp_comparison(n: int = 300, seed: int = 200, downtime: float = DOWNTIME,
+                      rate: float = RATE):
+    """Time both DP variants on one chain and check they agree."""
+    import time as _time
+
+    from repro.experiments.reporting import ResultTable
+
+    chain = uniform_random_chain(n, seed=seed)
+    table = ResultTable(
+        title=f"Chain DP variants, n={n}",
+        columns=["variant", "seconds", "expected_makespan"],
+    )
+    start = _time.perf_counter()
+    iterative = optimal_chain_checkpoints(chain, downtime, rate)
+    table.add_row(variant="iterative", seconds=_time.perf_counter() - start,
+                  expected_makespan=iterative.expected_makespan)
+    start = _time.perf_counter()
+    recursive, _ = dp_makespan_recursive(chain, downtime, rate)
+    table.add_row(variant="recursive", seconds=_time.perf_counter() - start,
+                  expected_makespan=recursive)
+    if abs(iterative.expected_makespan - recursive) > 1e-9 * recursive:
+        raise AssertionError("DP variants disagree")
+    return table
+
+
+#: Parameter sets for script mode (the CI smoke job runs ``--quick``).
+FULL_PARAMS = {"n": 300, "seed": 200}
+QUICK_PARAMS = {"n": 120, "seed": 200}
+
+if __name__ == "__main__":  # pragma: no cover - exercised by the CI bench-smoke job
+    from harness import run_cli
+
+    raise SystemExit(run_cli(
+        "bench_ablation_dp_variants", run_dp_comparison,
+        quick_params=QUICK_PARAMS, full_params=FULL_PARAMS,
+    ))

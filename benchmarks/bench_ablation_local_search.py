@@ -48,3 +48,42 @@ def test_ablation_lpt_plus_local_search(benchmark):
     # Local search can only improve on the LPT seed, and lands within 2% of optimal.
     assert result.expected_makespan <= lpt_only.expected_makespan + 1e-9
     assert result.expected_makespan <= OPTIMUM.expected_makespan * 1.02
+
+
+def run_local_search_comparison(n: int = 9, local_search_iterations: int = 200,
+                                seed: int = 201):
+    """Compare LPT-only grouping against LPT plus local search."""
+    from repro.experiments.reporting import ResultTable
+
+    rng = np.random.default_rng(seed)
+    works = list(rng.uniform(1.0, 10.0, size=n))
+    table = ResultTable(
+        title=f"Independent-task local search ablation, n={n}",
+        columns=["variant", "expected_makespan"],
+    )
+    lpt = schedule_independent_tasks(
+        works, CHECKPOINT, CHECKPOINT, DOWNTIME, RATE, local_search_iterations=0
+    )
+    improved = schedule_independent_tasks(
+        works, CHECKPOINT, CHECKPOINT, DOWNTIME, RATE,
+        local_search_iterations=local_search_iterations,
+    )
+    table.add_row(variant="lpt_only", expected_makespan=lpt.expected_makespan)
+    table.add_row(variant=f"lpt+search({local_search_iterations})",
+                  expected_makespan=improved.expected_makespan)
+    if improved.expected_makespan > lpt.expected_makespan + 1e-9:
+        raise AssertionError("local search made the schedule worse")
+    return table
+
+
+#: Parameter sets for script mode (the CI smoke job runs ``--quick``).
+FULL_PARAMS = {"n": 9, "local_search_iterations": 200, "seed": 201}
+QUICK_PARAMS = {"n": 7, "local_search_iterations": 50, "seed": 201}
+
+if __name__ == "__main__":  # pragma: no cover - exercised by the CI bench-smoke job
+    from harness import run_cli
+
+    raise SystemExit(run_cli(
+        "bench_ablation_local_search", run_local_search_comparison,
+        quick_params=QUICK_PARAMS, full_params=FULL_PARAMS,
+    ))

@@ -36,3 +36,16 @@ def test_e10_dag_frontier(benchmark, print_table):
     for row in table.rows:
         if row.get("exact_optimal") is not None:
             assert row["E_makespan"] <= row["exact_optimal"] * 1.05 + 1e-9
+
+
+#: Parameter sets for script mode (the CI smoke job runs ``--quick``).
+FULL_PARAMS = {"seed": 7}
+QUICK_PARAMS = {"seed": 7}
+
+if __name__ == "__main__":  # pragma: no cover - exercised by the CI bench-smoke job
+    from harness import run_cli
+
+    raise SystemExit(run_cli(
+        "bench_e10_dag_frontier", experiment_e10_dag_frontier,
+        quick_params=QUICK_PARAMS, full_params=FULL_PARAMS,
+    ))

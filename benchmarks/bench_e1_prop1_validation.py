@@ -24,3 +24,16 @@ def test_e1_prop1_validation(benchmark, print_table):
     # And the overwhelming majority must fall inside the 95% CI.
     within = sum(1 for row in table.rows if row["within_ci95"])
     assert within >= len(table) - 1
+
+
+#: Parameter sets for script mode (the CI smoke job runs ``--quick``).
+FULL_PARAMS = {"num_runs": 4000, "seed": 1}
+QUICK_PARAMS = {"num_runs": 400, "seed": 1}
+
+if __name__ == "__main__":  # pragma: no cover - exercised by the CI bench-smoke job
+    from harness import run_cli
+
+    raise SystemExit(run_cli(
+        "bench_e1_prop1_validation", experiment_e1_prop1_validation,
+        quick_params=QUICK_PARAMS, full_params=FULL_PARAMS,
+    ))

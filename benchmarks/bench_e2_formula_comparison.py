@@ -27,3 +27,16 @@ def test_e2_formula_comparison(benchmark, print_table):
         assert row["bouguerra_bias_pct"] > 0.0
     # In the rare-failure regime (first row) Daly is within 1% of optimal.
     assert table.rows[0]["daly_overhead_pct"] < 1.0
+
+
+#: Parameter sets for script mode (the CI smoke job runs ``--quick``).
+FULL_PARAMS = {}
+QUICK_PARAMS = {}
+
+if __name__ == "__main__":  # pragma: no cover - exercised by the CI bench-smoke job
+    from harness import run_cli
+
+    raise SystemExit(run_cli(
+        "bench_e2_formula_comparison", experiment_e2_formula_comparison,
+        quick_params=QUICK_PARAMS, full_params=FULL_PARAMS,
+    ))

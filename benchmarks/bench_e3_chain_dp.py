@@ -39,3 +39,16 @@ def test_e3_chain_dp_solve_time(benchmark):
     chain = uniform_random_chain(400, seed=3)
     result = benchmark(optimal_chain_checkpoints, chain, 0.5, 0.01)
     assert result.expected_makespan > chain.total_work()
+
+
+#: Parameter sets for script mode (the CI smoke job runs ``--quick``).
+FULL_PARAMS = {"seed": 2}
+QUICK_PARAMS = {"brute_force_sizes": (4, 6), "scaling_sizes": (100, 200), "seed": 2}
+
+if __name__ == "__main__":  # pragma: no cover - exercised by the CI bench-smoke job
+    from harness import run_cli
+
+    raise SystemExit(run_cli(
+        "bench_e3_chain_dp", experiment_e3_chain_dp,
+        quick_params=QUICK_PARAMS, full_params=FULL_PARAMS,
+    ))

@@ -20,3 +20,16 @@ def test_e4_reduction(benchmark, print_table):
     assert all(row["meets_bound"] for row in yes_rows)
     assert all(row["recovered_partition"] for row in yes_rows)
     assert all(not row["meets_bound"] for row in no_rows)
+
+
+#: Parameter sets for script mode (the CI smoke job runs ``--quick``).
+FULL_PARAMS = {"seed": 3}
+QUICK_PARAMS = {"num_yes": 2, "num_no": 1, "seed": 3}
+
+if __name__ == "__main__":  # pragma: no cover - exercised by the CI bench-smoke job
+    from harness import run_cli
+
+    raise SystemExit(run_cli(
+        "bench_e4_reduction", experiment_e4_reduction,
+        quick_params=QUICK_PARAMS, full_params=FULL_PARAMS,
+    ))

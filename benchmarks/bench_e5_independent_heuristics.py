@@ -26,3 +26,16 @@ def test_e5_independent_heuristics(benchmark, print_table):
             assert row["ratio_to_optimal"] <= 1.03
         assert row["E_heuristic"] <= row["E_one_group"] + 1e-9
         assert row["E_heuristic"] <= row["E_singletons"] + 1e-9
+
+
+#: Parameter sets for script mode (the CI smoke job runs ``--quick``).
+FULL_PARAMS = {"seed": 4}
+QUICK_PARAMS = {"exact_sizes": (5,), "heuristic_sizes": (30,), "seed": 4}
+
+if __name__ == "__main__":  # pragma: no cover - exercised by the CI bench-smoke job
+    from harness import run_cli
+
+    raise SystemExit(run_cli(
+        "bench_e5_independent_heuristics", experiment_e5_independent_heuristics,
+        quick_params=QUICK_PARAMS, full_params=FULL_PARAMS,
+    ))

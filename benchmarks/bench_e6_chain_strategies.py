@@ -36,3 +36,16 @@ def test_e6_chain_strategies(benchmark, print_table):
     assert highest_rate["ratio_all"] < highest_rate["ratio_none"]
     # The optimal number of checkpoints grows with the failure rate.
     assert highest_rate["optimal_checkpoints"] > lowest_rate["optimal_checkpoints"]
+
+
+#: Parameter sets for script mode (the CI smoke job runs ``--quick``).
+FULL_PARAMS = {"n": 50, "seed": 5}
+QUICK_PARAMS = {"n": 12, "seed": 5}
+
+if __name__ == "__main__":  # pragma: no cover - exercised by the CI bench-smoke job
+    from harness import run_cli
+
+    raise SystemExit(run_cli(
+        "bench_e6_chain_strategies", experiment_e6_chain_strategies,
+        quick_params=QUICK_PARAMS, full_params=FULL_PARAMS,
+    ))

@@ -41,3 +41,16 @@ def test_e7_scaling_models(benchmark, print_table):
 
     # The number of chunks (checkpoints) grows with the platform failure rate.
     assert perfect_prop[-1]["chunks"] >= perfect_prop[0]["chunks"]
+
+
+#: Parameter sets for script mode (the CI smoke job runs ``--quick``).
+FULL_PARAMS = {}
+QUICK_PARAMS = {}
+
+if __name__ == "__main__":  # pragma: no cover - exercised by the CI bench-smoke job
+    from harness import run_cli
+
+    raise SystemExit(run_cli(
+        "bench_e7_scaling_models", experiment_e7_scaling_models,
+        quick_params=QUICK_PARAMS, full_params=FULL_PARAMS,
+    ))

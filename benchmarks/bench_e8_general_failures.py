@@ -35,3 +35,16 @@ def test_e8_general_failures(benchmark, print_table):
     for law in laws:
         assert mean(law, "exp_dp") < mean(law, "none")
         assert mean(law, "work_max") < mean(law, "none") * 1.1
+
+
+#: Parameter sets for script mode (the CI smoke job runs ``--quick``).
+FULL_PARAMS = {"n": 20, "num_runs": 400, "seed": 6}
+QUICK_PARAMS = {"n": 8, "num_runs": 100, "seed": 6}
+
+if __name__ == "__main__":  # pragma: no cover - exercised by the CI bench-smoke job
+    from harness import run_cli
+
+    raise SystemExit(run_cli(
+        "bench_e8_general_failures", experiment_e8_general_failures,
+        quick_params=QUICK_PARAMS, full_params=FULL_PARAMS,
+    ))

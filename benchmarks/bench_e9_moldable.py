@@ -35,3 +35,16 @@ def test_e9_moldable(benchmark, print_table):
     assert amdahl[-1]["best_p"] <= amdahl[0]["best_p"]
     # And at the highest rate the full platform is strictly worse.
     assert amdahl[-1]["gain_pct"] > 0.0
+
+
+#: Parameter sets for script mode (the CI smoke job runs ``--quick``).
+FULL_PARAMS = {"max_processors": 1024}
+QUICK_PARAMS = {"max_processors": 256}
+
+if __name__ == "__main__":  # pragma: no cover - exercised by the CI bench-smoke job
+    from harness import run_cli
+
+    raise SystemExit(run_cli(
+        "bench_e9_moldable", experiment_e9_moldable,
+        quick_params=QUICK_PARAMS, full_params=FULL_PARAMS,
+    ))

@@ -1,0 +1,104 @@
+"""Script-mode entry point shared by the benchmark files.
+
+Each ``benchmarks/bench_*.py`` is primarily a pytest-benchmark module.  Run
+as a *script*, it times its workload directly through this harness, which
+gives every benchmark a uniform CLI::
+
+    PYTHONPATH=src python benchmarks/bench_e3_chain_dp.py                # full budget
+    PYTHONPATH=src python benchmarks/bench_e3_chain_dp.py --quick       # CI smoke mode
+    PYTHONPATH=src python benchmarks/bench_e3_chain_dp.py --quick --json out.json
+
+``--quick`` swaps in a reduced, fixed-seed parameter set so the whole suite
+finishes in seconds -- that is what the CI ``bench-smoke`` job runs on every
+push, archiving the ``--json`` outputs as a workflow artifact so regressions
+leave a measurable trail.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import platform
+import time
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence
+
+
+def _json_safe(value: Any) -> Any:
+    """Reduce a result payload to strict-JSON-compatible values."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return repr(value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, Mapping):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return repr(value)
+
+
+def run_cli(
+    name: str,
+    runner: Callable[..., Any],
+    *,
+    quick_params: Mapping[str, Any],
+    full_params: Mapping[str, Any],
+    argv: Optional[Sequence[str]] = None,
+) -> int:
+    """Time ``runner(**params)`` once per repeat and report the best run.
+
+    ``runner`` is the benchmark workload; it may return a
+    :class:`~repro.experiments.reporting.ResultTable` (printed, rows included
+    in the JSON payload), any other object (repr-ed), or ``None``.
+    """
+    parser = argparse.ArgumentParser(
+        prog=name,
+        description=(runner.__doc__ or "").strip().splitlines()[0]
+        if runner.__doc__
+        else f"benchmark {name}",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced replication budget with fixed seeds (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the timing and result summary to PATH as JSON",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="run the workload N times and report the fastest (default 1)",
+    )
+    args = parser.parse_args(argv)
+    params = dict(quick_params if args.quick else full_params)
+
+    best_seconds = math.inf
+    result: Any = None
+    for _ in range(max(args.repeat, 1)):
+        start = time.perf_counter()
+        result = runner(**params)
+        best_seconds = min(best_seconds, time.perf_counter() - start)
+
+    if hasattr(result, "to_text"):
+        print(result.to_text())
+    elif result is not None:
+        print(result)
+    mode = "quick" if args.quick else "full"
+    print(f"[{name}] mode={mode} best of {max(args.repeat, 1)}: {best_seconds:.4f} s")
+
+    if args.json:
+        payload: Dict[str, Any] = {
+            "benchmark": name,
+            "mode": mode,
+            "seconds": best_seconds,
+            "repeat": max(args.repeat, 1),
+            "params": _json_safe(params),
+            "python": platform.python_version(),
+        }
+        rows = getattr(result, "rows", None)
+        if rows is not None:
+            payload["rows"] = _json_safe(rows)
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"[{name}] wrote {args.json}")
+    return 0

@@ -22,7 +22,6 @@ the experiments.
 from __future__ import annotations
 
 import itertools
-import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -30,7 +29,7 @@ import numpy as np
 
 from repro._validation import check_positive_int
 from repro.analysis.convexity import proof_parameters
-from repro.core.independent import IndependentScheduleResult, grouping_expected_time
+from repro.core.independent import grouping_expected_time
 
 __all__ = [
     "ThreePartitionInstance",

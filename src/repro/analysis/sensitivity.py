@@ -23,7 +23,7 @@ Two tools are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro._validation import check_non_negative, check_positive
 from repro.core.chain_dp import optimal_chain_checkpoints

@@ -22,14 +22,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from repro._validation import check_non_negative, check_positive
-from repro.core.expected_time import (
-    expected_completion_time,
-    expected_lost_time,
-    expected_recovery_time,
-)
+from repro.core.expected_time import expected_completion_time
 from repro.core.schedule import Schedule
 from repro.simulation.executor import SimulationResult
 

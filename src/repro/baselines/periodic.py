@@ -26,11 +26,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro._validation import check_non_negative, check_positive, check_positive_int
-from repro.core.expected_time import (
-    daly_higher_order_period,
-    expected_completion_time,
-    young_period,
-)
+from repro.core.expected_time import expected_completion_time, young_period
 
 __all__ = [
     "PeriodicPolicy",

@@ -19,8 +19,7 @@ comparable with the DP output.
 
 from __future__ import annotations
 
-import math
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro._validation import check_non_negative, check_positive, check_positive_int
 from repro.core.chain_dp import ChainDPResult, optimal_chain_checkpoints

@@ -34,8 +34,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from functools import lru_cache
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro._validation import check_non_negative, check_positive
 from repro.core.expected_time import expected_completion_time

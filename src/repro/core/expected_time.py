@@ -32,7 +32,7 @@ passed wrong units.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Sequence, Tuple
+from typing import Iterable, Tuple
 
 from repro._validation import check_non_negative, check_positive
 

@@ -43,7 +43,6 @@ from repro._validation import (
 )
 from repro.core.expected_time import expected_completion_time
 from repro.core.schedule import CheckpointPlan, Schedule
-from repro.workflows.dag import Workflow
 from repro.workflows.generators import make_independent
 
 __all__ = [

@@ -19,7 +19,7 @@ NP-hardness proof and the chain DP.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro._validation import check_non_negative, check_positive

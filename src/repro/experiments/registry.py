@@ -23,7 +23,6 @@ from typing import Callable, Dict, List, Optional, Union
 import numpy as np
 
 from repro.analysis.bruteforce import brute_force_chain_checkpoints
-from repro.analysis.convexity import proof_parameters
 from repro.analysis.reduction import (
     generate_no_instance,
     generate_yes_instance,
@@ -84,8 +83,9 @@ __all__ = [
 
 #: Keyword arguments of the parallel-runtime plumbing; ``run_experiment``
 #: forwards them only to experiments whose signature declares them, so the
-#: purely analytic experiments stay oblivious to backends and caches.
-_RUNTIME_KWARGS = ("backend", "cache", "chunk_size")
+#: purely analytic experiments stay oblivious to backends, caches and
+#: execution engines.
+_RUNTIME_KWARGS = ("backend", "cache", "chunk_size", "engine")
 
 
 def _spawn_int_seeds(seed: Optional[int], count: int) -> List[int]:
@@ -109,6 +109,7 @@ def experiment_e1_prop1_validation(
     backend: Union[None, int, str, ExecutionBackend] = None,
     cache: Optional[ResultCache] = None,
     chunk_size: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> ResultTable:
     """Validate the Proposition 1 closed form against simulation (E1)."""
     table = ResultTable(
@@ -126,14 +127,15 @@ def experiment_e1_prop1_validation(
         (50.0, 0.0, 0.0, 0.0, 0.01),
         (20.0, 2.0, 3.0, 4.0, 0.02),
     ]
-    use_runtime = backend is not None or cache is not None
+    use_runtime = backend is not None or cache is not None or engine is not None
     rng = None if use_runtime else np.random.default_rng(seed)
     seeds = _spawn_int_seeds(seed, len(scenarios)) if use_runtime else [None] * len(scenarios)
     for (work, ckpt, downtime, recovery, rate), sub_seed in zip(scenarios, seeds):
         analytic = expected_completion_time(work, ckpt, downtime, recovery, rate)
         estimate = estimate_expected_completion_time(
             work, ckpt, downtime, recovery, rate, num_runs=num_runs,
-            rng=rng, seed=sub_seed, backend=backend, cache=cache, chunk_size=chunk_size,
+            rng=rng, seed=sub_seed, backend=backend, cache=cache,
+            chunk_size=chunk_size, engine=engine,
         )
         table.add_row(
             work=work,
@@ -489,6 +491,7 @@ def experiment_e8_general_failures(
     backend: Union[None, int, str, ExecutionBackend] = None,
     cache: Optional[ResultCache] = None,
     chunk_size: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> ResultTable:
     """Weibull / log-normal failures: placement heuristics compared by simulation (E8)."""
     table = ResultTable(
@@ -508,7 +511,7 @@ def experiment_e8_general_failures(
         "weibull(k=1.5)": WeibullFailure.from_mtbf(platform_mtbf, shape=1.5),
         "lognormal(s=1.0)": LogNormalFailure.from_mtbf(platform_mtbf, sigma=1.0),
     }
-    use_runtime = backend is not None or cache is not None
+    use_runtime = backend is not None or cache is not None or engine is not None
     # One independent child seed per (law, strategy) estimate on the runtime
     # path; the serial default keeps consuming the single shared stream so
     # historical tables stay bit-identical.
@@ -528,7 +531,7 @@ def experiment_e8_general_failures(
             if use_runtime:
                 estimate = estimator.estimate(
                     num_runs, seed=next(sub_seeds), backend=backend, cache=cache,
-                    chunk_size=chunk_size,
+                    chunk_size=chunk_size, engine=engine,
                 )
             else:
                 estimate = estimator.estimate(num_runs, rng=rng)
@@ -578,7 +581,6 @@ def experiment_e9_moldable(
             allocation = scheduler.allocate_checkpoint_everywhere([task])
             best_p = allocation.allocations[0]
             e_best = allocation.expected_makespan
-            full = scheduler.allocate_checkpoint_everywhere([task]).per_task_expected[0]
             # Evaluate the "always use the whole platform" alternative explicitly.
             from repro.core.moldable import best_allocation_single_task  # local import to reuse
 
@@ -675,20 +677,23 @@ def run_experiment(
     backend: Union[None, int, str, ExecutionBackend] = None,
     cache: Optional[ResultCache] = None,
     chunk_size: Optional[int] = None,
+    engine: Optional[str] = None,
     **kwargs,
 ) -> ResultTable:
     """Run one experiment by id (e.g. ``"E3"``).
 
-    ``backend``, ``cache`` and ``chunk_size`` are forwarded to experiments
-    that support parallel/cached execution (the simulation-heavy E1, E6, E8);
-    the purely analytic experiments run unchanged and ignore them.
+    ``backend``, ``cache``, ``chunk_size`` and ``engine`` are forwarded only
+    to experiments whose signature declares them: the Monte-Carlo-heavy E1
+    and E8 take all four, the analytic-but-parallelisable E6 takes
+    ``backend``/``cache``, and the purely analytic experiments run unchanged
+    and ignore them all.
     """
     key = name.upper()
     if key not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}")
     fn = EXPERIMENTS[key]
     supported = inspect.signature(fn).parameters
-    for runtime_kwarg, value in zip(_RUNTIME_KWARGS, (backend, cache, chunk_size)):
+    for runtime_kwarg, value in zip(_RUNTIME_KWARGS, (backend, cache, chunk_size, engine)):
         if runtime_kwarg in supported and value is not None:
             kwargs[runtime_kwarg] = value
     return fn(**kwargs)

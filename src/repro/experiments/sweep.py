@@ -12,7 +12,6 @@ a process pool exactly like 50 simulation chunks would.
 from __future__ import annotations
 
 import itertools
-import math
 from typing import Any, Callable, Dict, List, Sequence, Tuple, Union
 
 from repro._validation import check_positive, check_positive_int

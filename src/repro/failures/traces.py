@@ -20,8 +20,8 @@ offers simple moment-based fitting back to each supported law.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 

@@ -18,11 +18,10 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Callable, Iterable, Optional, Sequence
+from typing import Callable, Sequence
 
 from repro._validation import check_non_negative, check_positive, check_positive_int
 from repro.workflows.dag import Workflow
-from repro.workflows.task import Task
 
 __all__ = [
     "CheckpointCostModel",

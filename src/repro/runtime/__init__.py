@@ -7,8 +7,11 @@ exists -- consists of thousands of *independent* replications.  This package
 turns that independence into throughput and reuse:
 
 * :mod:`repro.runtime.backends` -- where replications execute: in-process
-  (:class:`SerialBackend`) or on a pool of worker processes
-  (:class:`ProcessPoolBackend` on :mod:`concurrent.futures`);
+  (:class:`SerialBackend`), on a pool of worker processes
+  (:class:`ProcessPoolBackend` on :mod:`concurrent.futures`), or as NumPy
+  array programs (:class:`VectorizedBackend`, which composes with the pool
+  for a pool of vectorized chunks -- see
+  :mod:`repro.simulation.vectorized`);
 * :mod:`repro.runtime.chunking` -- how a replication budget is split into
   worker-sized chunks with independent, deterministically spawned RNG streams
   (``numpy.random.SeedSequence``), so results are bit-identical whatever the
@@ -25,18 +28,20 @@ turns that independence into throughput and reuse:
 
 The consumers are rewired rather than duplicated:
 :meth:`repro.simulation.monte_carlo.MonteCarloEstimator.estimate` and
-:meth:`repro.simulation.campaign.CampaignRunner.run` accept ``backend=`` and
-``cache=`` keyword arguments (their serial defaults are bit-identical to the
-pre-runtime behaviour), and the CLI exposes the same switches as
-``repro experiment E6 --parallel 8 --cache``.
+:meth:`repro.simulation.campaign.CampaignRunner.run` accept ``backend=``,
+``cache=`` and ``engine=`` keyword arguments (their serial defaults are
+bit-identical to the pre-runtime behaviour), and the CLI exposes the same
+switches as ``repro experiment E6 --parallel 8 --engine vectorized --cache``.
 """
 
 from repro.runtime.backends import (
     ExecutionBackend,
     ProcessPoolBackend,
     SerialBackend,
+    VectorizedBackend,
     backend_scope,
     resolve_backend,
+    resolve_engine,
 )
 from repro.runtime.cache import ResultCache, default_cache_root
 from repro.runtime.chunking import ChunkPlan, plan_chunks, spawn_chunk_seeds
@@ -67,8 +72,10 @@ __all__ = [
     "ExecutionBackend",
     "SerialBackend",
     "ProcessPoolBackend",
+    "VectorizedBackend",
     "backend_scope",
     "resolve_backend",
+    "resolve_engine",
     "ResultCache",
     "default_cache_root",
     "ChunkPlan",

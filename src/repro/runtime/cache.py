@@ -40,7 +40,12 @@ __all__ = ["CACHE_VERSION", "ResultCache", "default_cache_root"]
 
 #: Bump when the executor/trace-generation semantics change such that cached
 #: samples would no longer match a fresh run.
-CACHE_VERSION = 1
+#:
+#: v2: the chunked Monte-Carlo sampler draws memoryless attempt delays from
+#: the engine-neutral delay plan shared by the scalar and vectorized engines
+#: (see :mod:`repro.simulation.vectorized`), so Poisson-model chunk samples
+#: differ from v1's replication-sequential draws.
+CACHE_VERSION = 2
 
 
 def default_cache_root() -> Path:

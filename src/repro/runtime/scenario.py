@@ -25,8 +25,8 @@ from __future__ import annotations
 import dataclasses
 import itertools
 import json
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro._validation import check_non_negative, check_positive, check_positive_int
 from repro.baselines.strategies import evaluate_chain_strategies
@@ -151,6 +151,14 @@ class ScenarioSpec:
         Trace horizon as a multiple of the largest failure-free makespan.
     seed:
         Root seed of the campaign's deterministic chunked RNG streams.
+    engine:
+        Execution engine of the campaign: ``None`` or ``"scalar"`` for the
+        Python event-loop executor, ``"vectorized"`` for the NumPy array
+        program (see :mod:`repro.simulation.vectorized`).  The vectorized
+        engine orders its trace draws differently, so it is part of the
+        cache key -- but only then: ``None`` and ``"scalar"`` produce
+        identical samples and hash identically (legacy specs keep their
+        keys).
     """
 
     name: str
@@ -162,6 +170,7 @@ class ScenarioSpec:
     num_processors: int = 1
     horizon_factor: float = 10.0
     seed: int = 0
+    engine: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -173,6 +182,11 @@ class ScenarioSpec:
         check_non_negative("downtime", self.downtime)
         check_positive_int("num_processors", self.num_processors)
         check_positive("horizon_factor", self.horizon_factor)
+        if self.engine not in (None, "scalar", "vectorized"):
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected None, 'scalar' or "
+                "'vectorized'"
+            )
 
     # ------------------------------------------------------------------
     # Serialisation and hashing
@@ -203,10 +217,16 @@ class ScenarioSpec:
         """Stable content hash of everything that influences the results.
 
         The ``name`` is intentionally excluded: renaming a scenario must not
-        force a recomputation.
+        force a recomputation.  The ``engine`` is included only when it can
+        change the samples: ``None`` and ``"scalar"`` run the same scalar
+        executor and hash identically (so legacy specs keep their keys),
+        while ``"vectorized"`` orders its trace draws differently and gets
+        its own key.
         """
         payload = self.to_dict()
         payload.pop("name")
+        if payload.get("engine") in (None, "scalar"):
+            payload.pop("engine", None)
         return stable_hash({"scenario": payload})
 
     # ------------------------------------------------------------------
@@ -259,7 +279,8 @@ class ScenarioSpec:
 
         # Always resolve to an explicit backend so the campaign takes the
         # chunked deterministic path even serially: a scenario's samples are
-        # defined by its spec, never by where it happened to execute.
+        # defined by its spec (including its engine), never by where it
+        # happened to execute.
         with backend_scope(backend) as executor:
             return self.runner().run(
                 self.num_runs,
@@ -267,6 +288,9 @@ class ScenarioSpec:
                 backend=executor,
                 cache=cache,
                 chunk_size=chunk_size,
+                # Pin the engine explicitly: a spec with engine=None is a
+                # scalar campaign even on a VectorizedBackend placement.
+                engine=self.engine if self.engine is not None else "scalar",
             )
 
 

@@ -23,6 +23,15 @@ from repro.simulation.monte_carlo import (
     estimate_expected_completion_time,
 )
 from repro.simulation.campaign import CampaignResult, CampaignRunner
+from repro.simulation.vectorized import (
+    BatchSimulationResult,
+    PlannedExponentialDelays,
+    PlannedPoissonSource,
+    generate_trace_times_batch,
+    replay_traces_batch,
+    simulate_poisson_batch,
+    simulate_renewal_batch,
+)
 
 __all__ = [
     "FailureSource",
@@ -41,4 +50,11 @@ __all__ = [
     "estimate_expected_completion_time",
     "CampaignResult",
     "CampaignRunner",
+    "BatchSimulationResult",
+    "PlannedExponentialDelays",
+    "PlannedPoissonSource",
+    "generate_trace_times_batch",
+    "replay_traces_batch",
+    "simulate_poisson_batch",
+    "simulate_renewal_batch",
 ]

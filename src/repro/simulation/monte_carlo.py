@@ -17,11 +17,19 @@ import numpy as np
 
 from repro._validation import check_non_negative, check_positive, check_positive_int
 from repro.core.schedule import Schedule, Segment
-from repro.runtime.backends import ExecutionBackend, backend_scope
+from repro.failures.distributions import ExponentialFailure, FailureDistribution
+from repro.failures.platform import Platform
+from repro.runtime.backends import ExecutionBackend, backend_scope, resolve_engine
 from repro.runtime.cache import ResultCache
 from repro.runtime.chunking import plan_chunks
-from repro.simulation.engine import FailureSource, PoissonFailureSource, failure_source_for
+from repro.simulation.engine import FailureSource, failure_source_for
 from repro.simulation.executor import SimulationResult, simulate_segments
+from repro.simulation.vectorized import (
+    PlannedExponentialDelays,
+    PlannedPoissonSource,
+    simulate_poisson_batch,
+    simulate_renewal_batch,
+)
 
 __all__ = [
     "MonteCarloEstimate",
@@ -185,6 +193,33 @@ class MonteCarloEstimator:
             self._segments, source, self.downtime, rng=rng, record_log=record_log
         )
 
+    def _vector_mode(self) -> Tuple[Optional[str], object]:
+        """How the vectorized engine can treat this estimator's failure model.
+
+        Returns ``("poisson", rate)`` for memoryless models (the exact array
+        fast path), ``("renewal", platform)`` for non-memoryless renewal
+        platforms (the statistical batch path), and ``(None, None)`` for
+        models the vectorized engine cannot batch (traces, ready-made
+        sources, factories) -- those fall back to the scalar event loop and
+        therefore produce results identical to ``engine="scalar"``.
+        """
+        if self._failure_model_factory is not None:
+            return None, None
+        model = self._failure_model
+        if isinstance(model, bool):
+            return None, None
+        if isinstance(model, (int, float)):
+            return "poisson", float(model)
+        if isinstance(model, ExponentialFailure):
+            return "poisson", model.rate
+        if isinstance(model, Platform):
+            if model.is_exponential:
+                return "poisson", model.platform_rate()
+            return "renewal", model
+        if isinstance(model, FailureDistribution):
+            return "renewal", Platform(num_processors=1, failure_law=model)
+        return None, None
+
     def estimate(
         self,
         num_runs: int,
@@ -194,23 +229,35 @@ class MonteCarloEstimator:
         backend: Union[None, int, str, ExecutionBackend] = None,
         cache: Optional[ResultCache] = None,
         chunk_size: Optional[int] = None,
+        engine: Optional[str] = None,
     ) -> MonteCarloEstimate:
         """Simulate ``num_runs`` independent runs and aggregate them.
 
-        Without ``backend``/``cache`` this is the classic serial path: one RNG
-        stream consumed run after run (bit-identical to historical results).
+        Without ``backend``/``cache``/``engine`` this is the classic serial
+        path: one RNG stream consumed run after run (bit-identical to
+        historical results).
 
-        With a ``backend`` (worker count, ``"processes"``, or an
-        :class:`~repro.runtime.backends.ExecutionBackend`) or a ``cache``, the
+        Any of those keywords selects the chunked deterministic sampler: the
         budget is cut into deterministic chunks with independent spawned RNG
-        streams (:mod:`repro.runtime.chunking`): the estimate is then
+        streams (:mod:`repro.runtime.chunking`), so the estimate is
         bit-identical for a given ``seed`` *whatever the backend or worker
         count*, and a warm :class:`~repro.runtime.cache.ResultCache` replays
         it without simulating.  This path requires ``seed=`` (not ``rng=``),
         because a live generator cannot be split reproducibly.
+
+        ``engine`` selects how each chunk executes: ``"scalar"`` (the Python
+        event loop, the default) or ``"vectorized"`` (the NumPy array
+        program of :mod:`repro.simulation.vectorized`, which simulates the
+        whole chunk in lock-step).  For memoryless failure models the two
+        engines consume an engine-neutral delay plan and are **bit-identical**
+        for the same ``(seed, chunk_size)`` -- they even share cache entries;
+        for renewal laws (Weibull, log-normal) the vectorized engine batches
+        its draws and is statistically equivalent instead.  ``engine=None``
+        inherits the engine advertised by the backend (so passing a
+        :class:`~repro.runtime.backends.VectorizedBackend` is enough).
         """
         check_positive_int("num_runs", num_runs)
-        if backend is None and cache is None:
+        if backend is None and cache is None and engine is None:
             if rng is None:
                 rng = np.random.default_rng(seed)
             results: List[SimulationResult] = []
@@ -219,7 +266,7 @@ class MonteCarloEstimator:
             return MonteCarloEstimate.from_results(results)
         return self._estimate_chunked(
             num_runs, rng=rng, seed=seed, backend=backend, cache=cache,
-            chunk_size=chunk_size,
+            chunk_size=chunk_size, engine=resolve_engine(engine, backend),
         )
 
     def _estimate_chunked(
@@ -231,6 +278,7 @@ class MonteCarloEstimator:
         backend: Union[None, int, str, ExecutionBackend],
         cache: Optional[ResultCache],
         chunk_size: Optional[int],
+        engine: str = "scalar",
     ) -> MonteCarloEstimate:
         if rng is not None:
             raise ValueError(
@@ -250,8 +298,7 @@ class MonteCarloEstimator:
                     "(arbitrary callables have no stable content hash); pass a "
                     "failure model instead"
                 )
-            store = cache.with_namespace("monte_carlo")
-            key = store.key_for({
+            payload = {
                 "kind": "monte_carlo_estimate",
                 "segments": self._segments,
                 "failure_model": self._failure_model,
@@ -259,7 +306,16 @@ class MonteCarloEstimator:
                 "num_runs": num_runs,
                 "seed": seed,
                 "chunk_size": plan.chunk_size,
-            })
+            }
+            # The engine is part of the key only when it can change the
+            # samples: on the memoryless fast path both engines consume the
+            # same delay plan and share entries (a cache warmed by one engine
+            # replays through the other); models the vectorized engine cannot
+            # batch fall back to the scalar loop and share entries too.
+            if engine == "vectorized" and self._vector_mode()[0] == "renewal":
+                payload["engine"] = "vectorized"
+            store = cache.with_namespace("monte_carlo")
+            key = store.key_for(payload)
             entry = store.get(key)
             if entry is not None:
                 _, arrays = entry
@@ -267,7 +323,7 @@ class MonteCarloEstimator:
                     arrays["makespans"], arrays["num_failures"], arrays["wasted_times"]
                 )
         tasks = [
-            (self, chunk_seed, size)
+            (self, chunk_seed, size, engine)
             for chunk_seed, size in zip(plan.seeds(seed), plan.sizes)
         ]
         with backend_scope(backend) as executor:
@@ -288,16 +344,53 @@ class MonteCarloEstimator:
 
 
 def _estimate_chunk(
-    args: Tuple["MonteCarloEstimator", np.random.SeedSequence, int],
+    args: Tuple["MonteCarloEstimator", np.random.SeedSequence, int, str],
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Simulate one chunk of replications (runs in a worker process).
 
     Module-level so process pools can pickle it; the estimator itself travels
     with the task (its segments, failure model and factory must therefore be
     picklable -- lambdas as ``failure_model_factory`` only work serially).
+
+    For memoryless failure models, both engines draw their attempt delays
+    from one engine-neutral :class:`PlannedExponentialDelays` built from the
+    chunk's RNG stream: the scalar engine reads it replication by replication
+    through the event loop, the vectorized engine round by round through the
+    array program, and the two are bit-identical by construction.  Renewal
+    models batch their draws on the vectorized engine (statistically
+    equivalent); models the vectorized engine cannot batch always take the
+    scalar loop.
     """
-    estimator, chunk_seed, count = args
+    estimator, chunk_seed, count, engine = args
     rng = np.random.default_rng(chunk_seed)
+    mode, resolved = estimator._vector_mode()
+    segments = estimator._segments
+    if mode == "poisson":
+        plan = PlannedExponentialDelays(
+            rng, 1.0 / resolved, count, first_rounds=len(segments) + 4
+        )
+        if engine == "vectorized":
+            batch = simulate_poisson_batch(
+                segments, resolved, estimator.downtime, rng, count, plan=plan
+            )
+            return batch.makespans, batch.num_failures, batch.wasted_times
+        makespans = np.empty(count, dtype=float)
+        num_failures = np.empty(count, dtype=float)
+        wasted_times = np.empty(count, dtype=float)
+        for index in range(count):
+            source = PlannedPoissonSource(plan, index)
+            result = simulate_segments(
+                segments, source, estimator.downtime, rng=rng
+            )
+            makespans[index] = result.makespan
+            num_failures[index] = result.num_failures
+            wasted_times[index] = result.wasted_time
+        return makespans, num_failures, wasted_times
+    if engine == "vectorized" and mode == "renewal":
+        batch = simulate_renewal_batch(
+            segments, resolved, estimator.downtime, rng, count
+        )
+        return batch.makespans, batch.num_failures, batch.wasted_times
     makespans = np.empty(count, dtype=float)
     num_failures = np.empty(count, dtype=float)
     wasted_times = np.empty(count, dtype=float)
@@ -322,6 +415,7 @@ def estimate_expected_completion_time(
     backend: Union[None, int, str, ExecutionBackend] = None,
     cache: Optional[ResultCache] = None,
     chunk_size: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> MonteCarloEstimate:
     """Monte-Carlo estimate of ``E[T(W, C, D, R, lambda)]`` (experiment E1).
 
@@ -347,5 +441,6 @@ def estimate_expected_completion_time(
     )
     estimator = MonteCarloEstimator([segment], rate, downtime)
     return estimator.estimate(
-        num_runs, rng=rng, seed=seed, backend=backend, cache=cache, chunk_size=chunk_size
+        num_runs, rng=rng, seed=seed, backend=backend, cache=cache,
+        chunk_size=chunk_size, engine=engine,
     )

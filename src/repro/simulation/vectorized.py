@@ -1,0 +1,681 @@
+"""Vectorized batch simulation: whole replication batches as NumPy array programs.
+
+The scalar executor (:mod:`repro.simulation.executor`) replays one execution
+at a time through a Python event loop -- perfectly general, but every segment
+attempt costs a handful of interpreter dispatches.  Monte-Carlo estimation and
+paired campaigns run thousands of *independent* replications of the *same*
+schedule, so the per-replication control flow can instead be advanced in
+lock-step across the whole batch: one NumPy operation per state transition
+covers every replication simultaneously, with boolean masks separating the
+replications that failed, are recovering, or have finished.
+
+Three batch engines live here:
+
+* :func:`simulate_poisson_batch` -- the exact fast path for the paper's core
+  model (Poisson platform failures).  Thanks to memorylessness, every segment
+  or recovery attempt consumes exactly one Exponential draw, so the batch can
+  be driven by a shared *delay plan* (:class:`PlannedExponentialDelays`): a
+  deterministic schedule of ``(round, replication)`` draw matrices from one
+  RNG stream.  The scalar engine consumes the very same plan through
+  :class:`PlannedPoissonSource`, which makes the two engines **bit-identical**
+  for a given seed -- the strongest possible cross-validation of the array
+  program against the event loop.
+* :func:`simulate_renewal_batch` -- the non-memoryless laws (Weibull,
+  log-normal renewal processes of Section 6).  Per-processor next-failure
+  times are carried as a ``(replications, processors)`` matrix and renewed
+  with batched draws (including :meth:`FailureDistribution.sample_residual_batch`
+  when replications start from aged processors).  Draw *order* is
+  data-dependent here, so this path is statistically -- not bit-wise --
+  equivalent to the scalar engine (pinned by KS tests).
+* :func:`generate_trace_times_batch` + :func:`replay_traces_batch` -- the
+  campaign path: batched synthetic trace generation (cumulative sums of
+  batched inter-arrival draws) and a vectorized trace replay that executes
+  *every strategy against every shared trace* in one stacked lock-step loop,
+  advancing one failure per round via prefix-sum segment jumps.  Replay of a
+  given trace is deterministic and agrees with the scalar executor to
+  floating-point rounding (~1 ulp per segment; the jumps re-associate the
+  duration additions).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._validation import check_non_negative, check_positive, check_positive_int
+from repro.core.schedule import Segment
+from repro.failures.distributions import FailureDistribution
+from repro.failures.platform import Platform
+from repro.simulation.engine import FailureSource
+from repro.simulation.executor import _MAX_FAILURES_PER_RUN
+
+__all__ = [
+    "BatchSimulationResult",
+    "PlannedExponentialDelays",
+    "PlannedPoissonSource",
+    "simulate_poisson_batch",
+    "simulate_renewal_batch",
+    "generate_trace_times_batch",
+    "replay_traces_batch",
+]
+
+#: Hard cap on the total number of trace events a batched generation may hold
+#: in memory at once (the batch analogue of ``generate_trace``'s 5e6 cap).
+_MAX_BATCH_EVENTS = 50_000_000
+
+
+class BatchSimulationResult:
+    """Per-replication sample arrays produced by a batch engine.
+
+    The batch analogue of a list of
+    :class:`~repro.simulation.executor.SimulationResult`: one entry per
+    replication, column-oriented so the Monte-Carlo aggregation can consume
+    the arrays without any conversion.
+    """
+
+    __slots__ = ("makespans", "num_failures", "wasted_times", "useful_times",
+                 "recovery_attempts")
+
+    def __init__(
+        self,
+        makespans: np.ndarray,
+        num_failures: np.ndarray,
+        wasted_times: np.ndarray,
+        useful_times: np.ndarray,
+        recovery_attempts: np.ndarray,
+    ) -> None:
+        self.makespans = makespans
+        self.num_failures = num_failures
+        self.wasted_times = wasted_times
+        self.useful_times = useful_times
+        self.recovery_attempts = recovery_attempts
+
+    def __len__(self) -> int:
+        return len(self.makespans)
+
+
+class PlannedExponentialDelays:
+    """Deterministic, engine-neutral schedule of Exponential attempt delays.
+
+    On the memoryless fast path every segment or recovery attempt consumes
+    exactly one Exponential draw, whichever engine executes it.  This class
+    pins down *which* draw: the ``j``-th attempt of replication ``i`` always
+    reads entry ``(j, i)`` of a sequence of ``(rounds, count)`` blocks drawn
+    from a single generator, each block materialised only when some
+    replication actually reaches its first round.  The block schedule is a
+    pure function of the consumption pattern (first ``first_rounds`` rounds,
+    then doubling), and the consumption pattern is a pure function of the
+    simulated dynamics -- so the scalar engine (which reads entries
+    replication by replication) and the vectorized engine (which reads them
+    round by round) draw *exactly* the same numbers from the generator and
+    therefore produce bit-identical executions.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        scale: float,
+        count: int,
+        *,
+        first_rounds: int = 8,
+    ) -> None:
+        check_positive("scale", scale)
+        check_positive_int("count", count)
+        self._rng = rng
+        self._scale = scale
+        self._count = count
+        self._first_rounds = max(int(first_rounds), 1)
+        self._blocks: List[np.ndarray] = []
+        self._offsets: List[int] = []
+        self._rounds = 0
+
+    @property
+    def rounds_drawn(self) -> int:
+        """Number of rounds materialised so far (for tests/diagnostics)."""
+        return self._rounds
+
+    def _ensure(self, round_index: int) -> None:
+        while round_index >= self._rounds:
+            size = (
+                self._first_rounds
+                if not self._blocks
+                else self._blocks[-1].shape[0] * 2
+            )
+            self._offsets.append(self._rounds)
+            self._blocks.append(
+                self._rng.exponential(self._scale, size=(size, self._count))
+            )
+            self._rounds += size
+
+    def round_delays(self, round_index: int) -> np.ndarray:
+        """The delay of every replication's ``round_index``-th attempt."""
+        self._ensure(round_index)
+        for offset, block in zip(reversed(self._offsets), reversed(self._blocks)):
+            if round_index >= offset:
+                return block[round_index - offset]
+        raise AssertionError("unreachable: _ensure guarantees coverage")
+
+    def delay(self, replication: int, round_index: int) -> float:
+        """The ``round_index``-th attempt delay of one replication (scalar view)."""
+        self._ensure(round_index)
+        for offset, block in zip(reversed(self._offsets), reversed(self._blocks)):
+            if round_index >= offset:
+                return float(block[round_index - offset, replication])
+        raise AssertionError("unreachable: _ensure guarantees coverage")
+
+
+class PlannedPoissonSource(FailureSource):
+    """Scalar :class:`FailureSource` view of one replication of a delay plan.
+
+    Handing this source to :func:`~repro.simulation.executor.simulate_segments`
+    runs the classic Python event loop on exactly the draws the vectorized
+    engine assigns to the same replication -- the scalar half of the
+    bit-identical contract between the two engines.
+    """
+
+    def __init__(self, plan: PlannedExponentialDelays, replication: int) -> None:
+        self._plan = plan
+        self._replication = replication
+        self._next_round = 0
+
+    def time_to_next_failure(self, now: float) -> float:
+        value = self._plan.delay(self._replication, self._next_round)
+        self._next_round += 1
+        return value
+
+    def register_failure(self, time: float) -> None:
+        return
+
+    def reset(self) -> None:
+        self._next_round = 0
+
+
+def _segment_durations(segments: Sequence[Segment]) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-segment (work + checkpoint, recovery) durations as float arrays.
+
+    The sums are computed exactly as the scalar executor computes them
+    (``segment.work + segment.checkpoint_cost``), which matters for the
+    bit-identical contract.
+    """
+    if not segments:
+        raise ValueError("segments must not be empty")
+    attempt = np.array([s.work + s.checkpoint_cost for s in segments], dtype=float)
+    recovery = np.array([s.recovery_cost for s in segments], dtype=float)
+    return attempt, recovery
+
+
+def simulate_poisson_batch(
+    segments: Sequence[Segment],
+    rate: float,
+    downtime: float,
+    rng: np.random.Generator,
+    count: int,
+    *,
+    plan: Optional[PlannedExponentialDelays] = None,
+) -> BatchSimulationResult:
+    """Simulate ``count`` replications under Poisson failures as one array program.
+
+    The exact fast path: bit-identical to running the scalar executor on the
+    same :class:`PlannedExponentialDelays` (which is what
+    ``MonteCarloEstimator.estimate(engine="scalar")`` does on the chunked
+    execution path), because both engines read the same draws and apply the
+    same floating-point operations in the same per-replication order.
+
+    Parameters
+    ----------
+    segments:
+        Segment decomposition of the schedule under test.
+    rate:
+        Platform failure rate ``lambda`` of the Poisson process.
+    downtime:
+        Downtime ``D`` after each failure (failures never strike during it).
+    rng:
+        Generator the delay plan draws from (ignored when ``plan`` is given).
+    count:
+        Number of replications.
+    plan:
+        Pre-built delay plan (mainly for tests that drive both engines off
+        one plan); by default a fresh plan is built from ``rng``.
+    """
+    check_positive("rate", rate)
+    check_non_negative("downtime", downtime)
+    check_positive_int("count", count)
+    attempt_dur, recovery_dur = _segment_durations(segments)
+    if plan is None:
+        plan = PlannedExponentialDelays(
+            rng, 1.0 / rate, count, first_rounds=len(segments) + 4
+        )
+
+    num_segments = len(attempt_dur)
+    now = np.zeros(count)
+    wasted = np.zeros(count)
+    useful = np.zeros(count)
+    failures = np.zeros(count, dtype=np.int64)
+    recovery_attempts = np.zeros(count, dtype=np.int64)
+    seg = np.zeros(count, dtype=np.int64)
+    recovering = np.zeros(count, dtype=bool)
+
+    active = np.arange(count)
+    round_index = 0
+    while active.size:
+        delays = plan.round_delays(round_index)[active]
+        seg_active = seg[active]
+        rec_active = recovering[active]
+        target = np.where(
+            rec_active, recovery_dur[seg_active], attempt_dur[seg_active]
+        )
+        if rec_active.any():
+            # A recovery attempt starts (and is counted) before its delay is
+            # compared, exactly like the scalar executor.
+            recovery_attempts[active[rec_active]] += 1
+
+        ok = delays >= target
+
+        completed = active[ok]
+        completed_dur = target[ok]
+        now[completed] += completed_dur
+        completed_rec = rec_active[ok]
+        recovered = completed[completed_rec]
+        wasted[recovered] += completed_dur[completed_rec]
+        recovering[recovered] = False
+        finished_work = completed[~completed_rec]
+        useful[finished_work] += completed_dur[~completed_rec]
+        seg[finished_work] += 1
+
+        struck = active[~ok]
+        if struck.size:
+            lost = delays[~ok]
+            failures[struck] += 1
+            now[struck] += lost
+            wasted[struck] += lost
+            if downtime:
+                now[struck] += downtime
+                wasted[struck] += downtime
+            recovering[struck] = True
+
+        active = active[seg[active] < num_segments]
+        round_index += 1
+        if round_index > 2 * _MAX_FAILURES_PER_RUN + num_segments:
+            # Batch analogue of the scalar executor's failure cap: a
+            # replication only stays active by failing, so this many rounds
+            # means some replication exceeded the cap.
+            raise RuntimeError(
+                "simulation aborted after "
+                f"{_MAX_FAILURES_PER_RUN} failures; the instance parameters make "
+                "completion astronomically unlikely"
+            )
+
+    return BatchSimulationResult(
+        makespans=now,
+        num_failures=failures.astype(float),
+        wasted_times=wasted,
+        useful_times=useful,
+        recovery_attempts=recovery_attempts,
+    )
+
+
+def simulate_renewal_batch(
+    segments: Sequence[Segment],
+    platform: Platform,
+    downtime: float,
+    rng: np.random.Generator,
+    count: int,
+    *,
+    rejuvenate_all_on_failure: bool = False,
+    initial_ages: Optional[np.ndarray] = None,
+) -> BatchSimulationResult:
+    """Simulate ``count`` replications under per-processor renewal failures.
+
+    The batch counterpart of
+    :class:`~repro.simulation.engine.RenewalPlatformFailureSource` driving the
+    scalar executor: each replication carries the absolute next-failure time
+    of each of the platform's processors; the platform fails when the earliest
+    processor does, and only that processor is renewed (all of them when
+    ``rejuvenate_all_on_failure``, the assumption of [12] the paper argues
+    against).  Scheduled failures that land inside a downtime window are
+    skipped by renewing from the scheduled time, exactly like the scalar
+    source.
+
+    Draws are batched across replications, so their *order* differs from the
+    scalar engine's: this path is statistically -- not bit-wise -- equivalent
+    (the KS tests in ``tests/test_vectorized.py`` pin the agreement down).
+
+    ``initial_ages`` optionally starts every processor with a given age (a
+    scalar, or an array broadcastable to ``(count, num_processors)``): the
+    first failure of each processor is then drawn from the *conditional*
+    residual-life distribution via
+    :meth:`~repro.failures.distributions.FailureDistribution.sample_residual_batch`.
+    This models a platform that has already been running -- relevant for
+    infant-mortality Weibull laws (shape < 1), where young and aged
+    processors behave very differently.  The default (``None``) draws fresh
+    lifetimes, matching the scalar source.
+    """
+    check_non_negative("downtime", downtime)
+    check_positive_int("count", count)
+    attempt_dur, recovery_dur = _segment_durations(segments)
+    law: FailureDistribution = platform.failure_law
+    num_procs = platform.num_processors
+
+    if initial_ages is None:
+        next_fail = np.asarray(
+            law.sample(rng, size=(count, num_procs)), dtype=float
+        ).reshape(count, num_procs)
+    else:
+        ages = np.broadcast_to(
+            np.asarray(initial_ages, dtype=float), (count, num_procs)
+        )
+        next_fail = law.sample_residual_batch(rng, ages).reshape(count, num_procs)
+
+    num_segments = len(attempt_dur)
+    now = np.zeros(count)
+    wasted = np.zeros(count)
+    useful = np.zeros(count)
+    failures = np.zeros(count, dtype=np.int64)
+    recovery_attempts = np.zeros(count, dtype=np.int64)
+    seg = np.zeros(count, dtype=np.int64)
+    recovering = np.zeros(count, dtype=bool)
+    alive = np.ones(count, dtype=bool)
+
+    round_index = 0
+    while alive.any():
+        # Renew processors whose scheduled failure fell inside a downtime
+        # window (failures do not strike during downtime, Section 2).
+        while True:
+            due = alive[:, None] & (next_fail <= now[:, None])
+            overdue = int(due.sum())
+            if not overdue:
+                break
+            next_fail[due] += np.asarray(
+                law.sample(rng, size=overdue), dtype=float
+            ).reshape(overdue)
+
+        active = np.flatnonzero(alive)
+        nearest = next_fail[active].min(axis=1)
+        delays = nearest - now[active]
+        seg_active = seg[active]
+        rec_active = recovering[active]
+        target = np.where(
+            rec_active, recovery_dur[seg_active], attempt_dur[seg_active]
+        )
+        if rec_active.any():
+            recovery_attempts[active[rec_active]] += 1
+
+        ok = delays >= target
+
+        completed = active[ok]
+        completed_dur = target[ok]
+        now[completed] += completed_dur
+        completed_rec = rec_active[ok]
+        recovered = completed[completed_rec]
+        wasted[recovered] += completed_dur[completed_rec]
+        recovering[recovered] = False
+        finished_work = completed[~completed_rec]
+        useful[finished_work] += completed_dur[~completed_rec]
+        seg[finished_work] += 1
+        done = finished_work[seg[finished_work] >= num_segments]
+        alive[done] = False
+
+        struck = active[~ok]
+        if struck.size:
+            lost = delays[~ok]
+            failures[struck] += 1
+            now[struck] += lost
+            wasted[struck] += lost
+            if rejuvenate_all_on_failure:
+                next_fail[struck] = now[struck][:, None] + np.asarray(
+                    law.sample(rng, size=(struck.size, num_procs)), dtype=float
+                ).reshape(struck.size, num_procs)
+            else:
+                failed_proc = np.argmin(next_fail[struck], axis=1)
+                next_fail[struck, failed_proc] = now[struck] + np.asarray(
+                    law.sample(rng, size=struck.size), dtype=float
+                ).reshape(struck.size)
+            if downtime:
+                now[struck] += downtime
+                wasted[struck] += downtime
+            recovering[struck] = True
+
+        round_index += 1
+        if round_index > 2 * _MAX_FAILURES_PER_RUN + num_segments:
+            raise RuntimeError(
+                "simulation aborted after "
+                f"{_MAX_FAILURES_PER_RUN} failures; the instance parameters make "
+                "completion astronomically unlikely"
+            )
+
+    return BatchSimulationResult(
+        makespans=now,
+        num_failures=failures.astype(float),
+        wasted_times=wasted,
+        useful_times=useful,
+        recovery_attempts=recovery_attempts,
+    )
+
+
+def generate_trace_times_batch(
+    law: FailureDistribution,
+    horizon: float,
+    num_processors: int,
+    rng: np.random.Generator,
+    count: int,
+) -> np.ndarray:
+    """Generate ``count`` platform failure traces as one padded time matrix.
+
+    The batch counterpart of :func:`repro.failures.traces.generate_trace`:
+    each of the ``count`` traces superposes ``num_processors`` independent
+    renewal processes with inter-arrival law ``law``, truncated at
+    ``horizon``.  Inter-arrival draws are batched across all traces and
+    processors and turned into absolute times by a cumulative sum, extending
+    the draw matrix until every renewal chain has crossed the horizon.
+
+    Returns a ``(count, width)`` float matrix: each row holds that trace's
+    event times in increasing order, padded with ``+inf`` (every row keeps at
+    least one ``+inf`` column so replay cursors always have a sentinel).
+    """
+    check_positive("horizon", horizon)
+    check_positive_int("num_processors", num_processors)
+    check_positive_int("count", count)
+    mean = law.mean()
+    # Oversample enough that the extension loop almost never fires (its cost
+    # is a second batched draw, not an error).
+    per_chain = max(8, int(1.6 * horizon / mean) + 24)
+    if count * num_processors * per_chain > _MAX_BATCH_EVENTS:
+        raise RuntimeError(
+            f"generate_trace_times_batch would draw more than {_MAX_BATCH_EVENTS} "
+            "inter-arrival times at once; reduce the chunk size, the horizon or "
+            "the failure rate"
+        )
+    draws = np.asarray(
+        law.sample(rng, size=(count, num_processors, per_chain)), dtype=float
+    ).reshape(count, num_processors, per_chain)
+    times = np.cumsum(draws, axis=2)
+    while bool((times[:, :, -1] < horizon).any()):
+        if times.size > _MAX_BATCH_EVENTS:
+            raise RuntimeError(
+                f"generate_trace_times_batch exceeded {_MAX_BATCH_EVENTS} draws; "
+                "reduce the horizon or the failure rate"
+            )
+        extension = max(per_chain // 2, 8)
+        extra = np.asarray(
+            law.sample(rng, size=(count, num_processors, extension)), dtype=float
+        ).reshape(count, num_processors, extension)
+        times = np.concatenate(
+            [times, times[:, :, -1:] + np.cumsum(extra, axis=2)], axis=2
+        )
+    # Every chain's last time is >= horizon, so every row keeps at least one
+    # +inf sentinel after masking -- no extra padding column needed.
+    flat = np.where(times < horizon, times, np.inf).reshape(count, -1)
+    if num_processors > 1:
+        # Superpose the per-processor chains; a single chain is already
+        # sorted (cumulative sums are increasing).
+        flat.sort(axis=1)
+    return flat
+
+
+def replay_traces_batch(
+    segment_lists: Sequence[Sequence[Segment]],
+    times: np.ndarray,
+    downtime: float,
+) -> np.ndarray:
+    """Replay every strategy against every trace in one stacked lock-step loop.
+
+    ``segment_lists`` holds one segment decomposition per strategy and
+    ``times`` a ``(num_traces, width)`` padded time matrix from
+    :func:`generate_trace_times_batch` (or packed from explicit
+    :class:`~repro.failures.traces.FailureTrace` objects).  All
+    ``num_strategies * num_traces`` executions advance together, one
+    *failure* (not one segment attempt) per lock-step round: every round
+    completes the pending recovery, jumps over all consecutive segments that
+    fit before the next trace event (a per-strategy ``searchsorted`` against
+    the prefix sums of segment durations), and then absorbs that event.
+    Rounds therefore scale with the failure count, not the segment count.
+
+    The returned matrix has shape ``(num_strategies, num_traces)`` and
+    matches replaying each trace through the scalar executor with a
+    :class:`~repro.simulation.engine.TraceFailureSource` to floating-point
+    rounding (the prefix-sum jumps re-associate the duration additions, so
+    agreement is to ~1 ulp per segment rather than bit-for-bit; the
+    equivalence tests pin it at 1e-9 relative).
+    """
+    check_non_negative("downtime", downtime)
+    if not segment_lists:
+        raise ValueError("segment_lists must not be empty")
+    times = np.asarray(times, dtype=float)
+    if times.ndim != 2:
+        raise ValueError(f"times must be a 2-D padded matrix, got shape {times.shape}")
+    num_strategies = len(segment_lists)
+    num_traces, width = times.shape
+
+    seg_counts = np.array([len(segs) for segs in segment_lists], dtype=np.int64)
+    if (seg_counts == 0).any():
+        raise ValueError("every strategy needs at least one segment")
+    max_segments = int(seg_counts.max())
+    attempt_dur = np.zeros((num_strategies, max_segments))
+    recovery_dur = np.zeros((num_strategies, max_segments))
+    for index, segs in enumerate(segment_lists):
+        attempt, recovery = _segment_durations(segs)
+        attempt_dur[index, : len(segs)] = attempt
+        recovery_dur[index, : len(segs)] = recovery
+
+    rows = num_strategies * num_traces
+    # Prefix sums of the attempt durations, one array per strategy: entry k
+    # is the failure-free time of segments 0..k-1, so "how many segments
+    # complete before the next event" is a searchsorted query.
+    prefixes = [
+        np.concatenate(([0.0], np.cumsum(attempt_dur[s, : seg_counts[s]])))
+        for s in range(num_strategies)
+    ]
+
+    # The whole loop works on compressed per-row state: finished rows are
+    # squeezed out (their makespan scattered to the output via ``out_index``),
+    # so every per-round NumPy call touches only the rows still executing.
+    # Rows stay sorted by strategy (boolean compression preserves order),
+    # which keeps each strategy's rows a contiguous slice.
+    times_flat = times.ravel()
+    recovery_flat = recovery_dur.ravel()
+    trace_base = np.tile(np.arange(num_traces, dtype=np.int64) * width, num_strategies)
+    duration_base = np.repeat(
+        np.arange(num_strategies, dtype=np.int64) * max_segments, num_traces
+    )
+    strat = np.repeat(np.arange(num_strategies, dtype=np.int64), num_traces)
+    limit = np.repeat(seg_counts, num_traces)
+    out_index = np.arange(rows)
+
+    makespans = np.empty(rows)
+    now = np.zeros(rows)
+    seg = np.zeros(rows, dtype=np.int64)
+    cursor = np.zeros(rows, dtype=np.int64)
+    # Rows recovering from the failure that ended their previous round.
+    # (Almost every surviving row, every round -- the exception is a row
+    # whose attempt or recovery completed exactly at an event time, which is
+    # not struck and owes no recovery.)
+    pending_recovery = np.zeros(rows, dtype=bool)
+    strategy_ids = np.arange(num_strategies + 1)
+    bounds: Optional[np.ndarray] = None
+
+    # Round structure: recover (if owed and it fits), jump segments, absorb
+    # the next failure.
+    round_index = 0
+    while now.size:
+        next_time = times_flat[trace_base + cursor]
+        # Skip events at or before the current time (they fell inside a
+        # downtime window), as TraceFailureSource does at query time.
+        while True:
+            stale = next_time <= now
+            if not stale.any():
+                break
+            cursor[stale] += 1
+            next_time[stale] = times_flat[trace_base[stale] + cursor[stale]]
+
+        if not pending_recovery.any():
+            attempting = np.ones(now.size, dtype=bool)
+        else:
+            # Pending recoveries: the ones that fit before the event complete
+            # and re-attempt their segment within the same round.
+            rec_cost = recovery_flat[duration_base + seg]
+            recovered = pending_recovery & (next_time - now >= rec_cost)
+            now += np.where(recovered, rec_cost, 0.0)
+            attempting = ~pending_recovery | recovered
+
+        # Segment jumps: every recovered row completes all consecutive
+        # segments that fit before the next event in one step.  For rows
+        # whose recovery did not fit, ``reach`` is pinned to their current
+        # segment, so their advance is exactly zero.
+        if bounds is None:
+            bounds = np.searchsorted(strat, strategy_ids)
+        for s in range(num_strategies):
+            lo, hi = bounds[s], bounds[s + 1]
+            if lo == hi:
+                continue
+            prefix = prefixes[s]
+            prefix_at_seg = prefix[seg[lo:hi]]
+            reach = np.searchsorted(
+                prefix, next_time[lo:hi] - now[lo:hi] + prefix_at_seg,
+                side="right",
+            ) - 1
+            reach = np.where(attempting[lo:hi], reach, seg[lo:hi])
+            now[lo:hi] += prefix[reach] - prefix_at_seg
+            seg[lo:hi] = reach
+
+        finished = seg >= limit
+        if finished.any():
+            makespans[out_index[finished]] = now[finished]
+            keep = ~finished
+            now = now[keep]
+            seg = seg[keep]
+            cursor = cursor[keep]
+            trace_base = trace_base[keep]
+            duration_base = duration_base[keep]
+            strat = strat[keep]
+            limit = limit[keep]
+            out_index = out_index[keep]
+            next_time = next_time[keep]
+            bounds = None  # row count changed; regroup next round
+
+        # Every surviving row whose clock has not caught up with the event is
+        # struck by it -- during its recovery (if it did not fit) or during
+        # the segment that did not fit (it jumped short of the limit).  A row
+        # that landed *exactly* on the event time (an attempt or recovery
+        # completing at the very instant of a trace event) is not struck: the
+        # scalar TraceFailureSource skips events at or before `now` when next
+        # queried, so these rows simply advance their cursor through the
+        # stale-event loop next round and re-attempt against the next event.
+        if now.size:
+            struck = next_time > now
+            now = np.where(struck, next_time + downtime, now)
+            cursor += struck  # consume the event that just struck
+            pending_recovery = struck
+
+        round_index += 1
+        if round_index > 2 * _MAX_FAILURES_PER_RUN:
+            # Batch analogue of the scalar executor's per-run failure cap:
+            # every round either strikes a failure into a surviving row or
+            # (after an exact event-time tie) consumes a stale event.
+            raise RuntimeError(
+                "simulation aborted after "
+                f"{_MAX_FAILURES_PER_RUN} failures; the instance parameters "
+                "make completion astronomically unlikely"
+            )
+
+    return makespans.reshape(num_strategies, num_traces)

@@ -10,7 +10,7 @@ representation the dynamic program consumes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro._validation import (

@@ -12,7 +12,6 @@ aggregates.
 
 from __future__ import annotations
 
-import itertools
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx

@@ -288,7 +288,9 @@ def random_layered_dag(
     )
     tasks: List[Task] = []
     deps: List[Tuple[str, str]] = []
-    node = lambda l, i: f"{name}.L{l}N{i}"  # noqa: E731 - tiny local helper
+    def node(layer_index: int, position: int) -> str:
+        return f"{name}.L{layer_index}N{position}"
+
     idx = 0
     for layer in range(layers):
         for i in range(width):

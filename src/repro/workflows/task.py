@@ -8,7 +8,7 @@ and Daly, where the job can be cut anywhere).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro._validation import check_non_negative, check_positive

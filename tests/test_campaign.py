@@ -1,13 +1,12 @@
 """Tests for the paired simulation campaign runner."""
 
-import numpy as np
 import pytest
 
 from repro.core.chain_dp import optimal_chain_checkpoints
 from repro.core.schedule import Schedule
 from repro.failures.distributions import ExponentialFailure, WeibullFailure
-from repro.failures.traces import FailureEvent, FailureTrace
-from repro.simulation.campaign import CampaignResult, CampaignRunner
+from repro.failures.traces import FailureTrace
+from repro.simulation.campaign import CampaignRunner
 from repro.workflows.generators import uniform_random_chain
 
 

@@ -1,6 +1,5 @@
 """Tests for the command-line interface."""
 
-import json
 
 import pytest
 
@@ -103,6 +102,44 @@ class TestSimulate:
     def test_rejects_out_of_range_position(self, chain_file):
         with pytest.raises(SystemExit, match="out of range"):
             main(["simulate", str(chain_file), "--rate", "0.02", "--checkpoint-after", "99"])
+
+    def test_engine_flag_selects_vectorized_sampler(self, chain_file, capsys):
+        exit_code = main([
+            "simulate", str(chain_file), "--rate", "0.02", "--checkpoint-after", "2,5",
+            "--runs", "200", "--seed", "1", "--engine", "vectorized",
+        ])
+        assert exit_code == 0
+        vectorized_out = capsys.readouterr().out
+        assert "simulated mean" in vectorized_out
+        # Memoryless model: the scalar engine prints the exact same numbers.
+        main([
+            "simulate", str(chain_file), "--rate", "0.02", "--checkpoint-after", "2,5",
+            "--runs", "200", "--seed", "1", "--engine", "scalar",
+        ])
+        assert capsys.readouterr().out == vectorized_out
+
+    def test_invalid_engine_exits_cleanly(self, chain_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["simulate", str(chain_file), "--rate", "0.02", "--engine", "gpu"])
+        assert excinfo.value.code == 2  # argparse usage error, not a traceback
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_invalid_parallel_exits_cleanly(self, chain_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["simulate", str(chain_file), "--rate", "0.02", "--parallel", "-3"])
+        assert excinfo.value.code == 2
+        assert "worker count" in capsys.readouterr().err
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        # Either the installed distribution version or the source-tree tag.
+        assert any(ch.isdigit() for ch in out)
 
 
 class TestExperimentCommand:

@@ -1,6 +1,5 @@
 """Tests for the synthetic workflow generators."""
 
-import numpy as np
 import pytest
 
 from repro.workflows.generators import (

@@ -5,7 +5,6 @@ import pytest
 
 from repro import (
     CheckpointPlan,
-    ExponentialFailure,
     LinearChain,
     MonteCarloEstimator,
     Platform,

@@ -1,6 +1,5 @@
 """Tests for the Monte-Carlo estimator."""
 
-import math
 
 import numpy as np
 import pytest

@@ -1,6 +1,5 @@
 """Tests for the divisible-job periodic checkpointing baselines."""
 
-import math
 
 import pytest
 

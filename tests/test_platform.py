@@ -1,6 +1,5 @@
 """Tests for the platform model."""
 
-import math
 
 import numpy as np
 import pytest

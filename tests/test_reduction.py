@@ -2,11 +2,9 @@
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.analysis.reduction import (
-    ReducedSchedulingInstance,
     ThreePartitionInstance,
     generate_no_instance,
     generate_yes_instance,

@@ -126,10 +126,14 @@ class TestResultCache:
         assert len(cache) == 0
 
     def test_torn_entry_counts_as_miss(self, tmp_path):
+        from repro.runtime.cache import CACHE_VERSION
+
         cache = ResultCache(tmp_path)
         key = cache.key_for({"x": 3})
         cache.put(key, {"v": 1})
-        meta_path = tmp_path / "v1" / "results" / key[:2] / f"{key}.json"
+        meta_path = (
+            tmp_path / f"v{CACHE_VERSION}" / "results" / key[:2] / f"{key}.json"
+        )
         meta_path.write_text("{not json", encoding="utf-8")
         assert cache.get(key) is None
 

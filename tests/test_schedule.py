@@ -5,7 +5,6 @@ import pytest
 from repro.core.expected_time import expected_completion_time
 from repro.core.schedule import CheckpointPlan, Schedule, Segment, expected_makespan
 from repro.models.checkpoint import FrontierCheckpointCost
-from repro.workflows.chain import LinearChain
 from repro.workflows.dag import Workflow
 from repro.workflows.task import Task
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis.sensitivity import placement_penalty, rate_sensitivity_sweep
-from repro.workflows.chain import LinearChain
 from repro.workflows.generators import uniform_random_chain
 
 

@@ -4,7 +4,6 @@ import json
 
 import pytest
 
-from repro.workflows.chain import LinearChain
 from repro.workflows.generators import montage_like, uniform_random_chain
 from repro.workflows.serialization import (
     chain_from_dict,

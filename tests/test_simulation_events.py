@@ -1,8 +1,6 @@
 """Tests for simulation event records and execution logs."""
 
-import math
 
-import pytest
 
 from repro.simulation.events import EventType, ExecutionLog, SimulationEvent
 

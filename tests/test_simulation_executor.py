@@ -1,6 +1,5 @@
 """Tests for the discrete-event executor."""
 
-import math
 
 import numpy as np
 import pytest

@@ -9,7 +9,6 @@ from repro.baselines.strategies import (
     daly_period_chain,
     evaluate_chain_strategies,
 )
-from repro.core.chain_dp import optimal_chain_checkpoints
 from repro.workflows.chain import LinearChain
 from repro.workflows.generators import uniform_random_chain
 

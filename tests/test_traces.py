@@ -2,7 +2,6 @@
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.failures.distributions import (
@@ -13,7 +12,6 @@ from repro.failures.distributions import (
 from repro.failures.traces import (
     FailureEvent,
     FailureTrace,
-    TraceStatistics,
     generate_trace,
     merge_traces,
 )

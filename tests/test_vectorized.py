@@ -1,0 +1,496 @@
+"""Tests for the vectorized batch simulation engine.
+
+The load-bearing guarantees, mirroring the contracts documented in
+:mod:`repro.simulation.vectorized`:
+
+* **exact equivalence** on the memoryless (Poisson) fast path: for the same
+  seed and chunk plan, ``engine="scalar"`` and ``engine="vectorized"``
+  produce bit-identical samples (they share one engine-neutral delay plan),
+  and therefore identical estimates and cache entries;
+* **statistical equivalence** on the renewal laws (Weibull, log-normal) and
+  on trace-driven campaigns, pinned by two-sample Kolmogorov-Smirnov tests;
+* **determinism**: the vectorized engine is bit-identical across backends
+  and worker counts for a given seed, and a warm disk cache replays a
+  vectorized run bit-for-bit.
+"""
+
+import dataclasses
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.schedule import Schedule
+from repro.failures.distributions import (
+    ExponentialFailure,
+    LogNormalFailure,
+    WeibullFailure,
+)
+from repro.failures.platform import Platform
+from repro.failures.traces import FailureEvent, FailureTrace
+from repro.runtime import (
+    ChainSpec,
+    FailureSpec,
+    ProcessPoolBackend,
+    ResultCache,
+    ScenarioSpec,
+    SerialBackend,
+    VectorizedBackend,
+    resolve_backend,
+    resolve_engine,
+)
+from repro.simulation.campaign import CampaignRunner
+from repro.simulation.engine import TraceFailureSource
+from repro.simulation.executor import simulate_segments
+from repro.simulation.monte_carlo import MonteCarloEstimator, _estimate_chunk
+from repro.simulation.vectorized import (
+    PlannedExponentialDelays,
+    PlannedPoissonSource,
+    generate_trace_times_batch,
+    replay_traces_batch,
+    simulate_poisson_batch,
+    simulate_renewal_batch,
+)
+from repro.workflows.generators import uniform_random_chain
+
+
+def ks_2sample_pvalue(a, b) -> float:
+    """Two-sample Kolmogorov-Smirnov p-value (asymptotic), NumPy only.
+
+    Standard Numerical-Recipes formulation: D is the supremum distance
+    between the two empirical CDFs and the p-value comes from the
+    Kolmogorov distribution with the usual small-sample correction.
+    """
+    a = np.sort(np.asarray(a, dtype=float))
+    b = np.sort(np.asarray(b, dtype=float))
+    n1, n2 = len(a), len(b)
+    pooled = np.concatenate([a, b])
+    cdf1 = np.searchsorted(a, pooled, side="right") / n1
+    cdf2 = np.searchsorted(b, pooled, side="right") / n2
+    d = float(np.abs(cdf1 - cdf2).max())
+    n_eff = math.sqrt(n1 * n2 / (n1 + n2))
+    lam = (n_eff + 0.12 + 0.11 / n_eff) * d
+    total = 0.0
+    for k in range(1, 101):
+        total += (-1.0) ** (k - 1) * math.exp(-2.0 * k * k * lam * lam)
+    return max(0.0, min(1.0, 2.0 * total))
+
+
+@pytest.fixture
+def schedule():
+    chain = uniform_random_chain(8, seed=77)
+    return Schedule.for_chain(chain, [2, 5, 7])
+
+
+@pytest.fixture
+def poisson_estimator(schedule):
+    return MonteCarloEstimator(schedule, 0.05, 0.5)
+
+
+class TestPoissonExactEquivalence:
+    """Same seed, same chunk plan => bit-identical engines (memoryless models)."""
+
+    def test_estimates_identical_for_rate_model(self, poisson_estimator):
+        scalar = poisson_estimator.estimate(400, seed=9, engine="scalar", chunk_size=100)
+        vectorized = poisson_estimator.estimate(
+            400, seed=9, engine="vectorized", chunk_size=100
+        )
+        assert scalar == vectorized
+
+    def test_estimates_identical_for_exponential_platform(self, schedule):
+        platform = Platform(num_processors=4, failure_law=ExponentialFailure(rate=0.02))
+        estimator = MonteCarloEstimator(schedule, platform, 0.5)
+        scalar = estimator.estimate(300, seed=4, engine="scalar", chunk_size=150)
+        vectorized = estimator.estimate(300, seed=4, engine="vectorized", chunk_size=150)
+        assert scalar == vectorized
+
+    def test_chunk_samples_identical(self, poisson_estimator):
+        seed = np.random.SeedSequence(21)
+        scalar = _estimate_chunk((poisson_estimator, seed, 200, "scalar"))
+        vectorized = _estimate_chunk((poisson_estimator, seed, 200, "vectorized"))
+        for s_arr, v_arr in zip(scalar, vectorized):
+            np.testing.assert_array_equal(s_arr, v_arr)
+
+    def test_batch_engine_matches_event_loop_on_shared_plan(self, schedule):
+        rate, downtime, count = 0.08, 0.3, 64
+        rng = np.random.default_rng(5)
+        plan = PlannedExponentialDelays(
+            rng, 1.0 / rate, count, first_rounds=len(schedule.segments()) + 4
+        )
+        batch = simulate_poisson_batch(
+            schedule.segments(), rate, downtime, rng, count, plan=plan
+        )
+        for index in range(count):
+            source = PlannedPoissonSource(plan, index)
+            result = simulate_segments(schedule.segments(), source, downtime)
+            assert result.makespan == batch.makespans[index]
+            assert result.num_failures == batch.num_failures[index]
+            assert result.wasted_time == batch.wasted_times[index]
+            assert result.useful_time == batch.useful_times[index]
+            assert result.num_recovery_attempts == batch.recovery_attempts[index]
+
+    def test_engine_inherited_from_vectorized_backend(self, poisson_estimator):
+        explicit = poisson_estimator.estimate(
+            200, seed=3, engine="vectorized", chunk_size=100
+        )
+        with VectorizedBackend() as backend:
+            inherited = poisson_estimator.estimate(
+                200, seed=3, backend=backend, chunk_size=100
+            )
+        assert explicit == inherited
+
+    def test_engines_share_cache_entries_on_fast_path(self, poisson_estimator, tmp_path):
+        cache = ResultCache(tmp_path)
+        scalar = poisson_estimator.estimate(
+            150, seed=8, engine="scalar", cache=cache, chunk_size=50
+        )
+        store = cache.with_namespace("monte_carlo")
+        assert len(store) == 1
+        vectorized = poisson_estimator.estimate(
+            150, seed=8, engine="vectorized", cache=cache, chunk_size=50
+        )
+        # The vectorized request replayed the scalar-warmed entry: same key,
+        # no second entry, identical numbers.
+        assert len(store) == 1
+        assert scalar == vectorized
+
+    def test_vectorized_identical_across_worker_counts(self, poisson_estimator):
+        serial = poisson_estimator.estimate(
+            120, seed=6, engine="vectorized", chunk_size=30
+        )
+        with VectorizedBackend(2) as pool:  # spec form: the wrapper owns the pool
+            pooled = poisson_estimator.estimate(120, seed=6, backend=pool, chunk_size=30)
+        assert serial == pooled
+
+
+class TestRenewalStatisticalEquivalence:
+    """Weibull/log-normal renewal: engines agree in distribution, not bit-wise."""
+
+    @pytest.mark.parametrize(
+        "law",
+        [
+            WeibullFailure.from_mtbf(60.0, shape=0.7),
+            LogNormalFailure.from_mtbf(60.0, sigma=1.0),
+        ],
+        ids=["weibull", "lognormal"],
+    )
+    def test_ks_agreement(self, schedule, law):
+        platform = Platform(num_processors=2, failure_law=law)
+        estimator = MonteCarloEstimator(schedule, platform, 0.5)
+        scalar = _estimate_chunk((estimator, np.random.SeedSequence(1), 1500, "scalar"))
+        vectorized = _estimate_chunk(
+            (estimator, np.random.SeedSequence(2), 1500, "vectorized")
+        )
+        assert ks_2sample_pvalue(scalar[0], vectorized[0]) > 0.01
+
+    def test_vectorized_renewal_deterministic(self, schedule):
+        platform = Platform(
+            num_processors=2, failure_law=WeibullFailure.from_mtbf(60.0, shape=0.7)
+        )
+        estimator = MonteCarloEstimator(schedule, platform, 0.5)
+        a = estimator.estimate(200, seed=5, engine="vectorized", chunk_size=100)
+        b = estimator.estimate(200, seed=5, engine="vectorized", chunk_size=100)
+        assert a == b
+
+    def test_renewal_engines_get_distinct_cache_entries(self, schedule, tmp_path):
+        platform = Platform(
+            num_processors=1, failure_law=WeibullFailure.from_mtbf(60.0, shape=0.7)
+        )
+        estimator = MonteCarloEstimator(schedule, platform, 0.5)
+        cache = ResultCache(tmp_path)
+        estimator.estimate(80, seed=2, engine="scalar", cache=cache, chunk_size=40)
+        estimator.estimate(80, seed=2, engine="vectorized", cache=cache, chunk_size=40)
+        assert len(cache.with_namespace("monte_carlo")) == 2
+
+    def test_initial_ages_feed_residual_sampling(self, schedule):
+        # Infant-mortality Weibull (shape < 1): a platform of aged processors
+        # fails far less often than a freshly rebooted one, so aged starts
+        # must yield fewer failures on average.
+        law = WeibullFailure.from_mtbf(60.0, shape=0.5)
+        platform = Platform(num_processors=2, failure_law=law)
+        fresh = simulate_renewal_batch(
+            schedule.segments(), platform, 0.5, np.random.default_rng(3), 600
+        )
+        aged = simulate_renewal_batch(
+            schedule.segments(), platform, 0.5, np.random.default_rng(3), 600,
+            initial_ages=500.0,
+        )
+        assert aged.num_failures.mean() < fresh.num_failures.mean()
+        assert np.all(aged.makespans > 0)
+
+
+class TestCampaignEngines:
+    @pytest.fixture
+    def runner(self):
+        chain = uniform_random_chain(8, seed=42)
+        schedules = {
+            "optimal": Schedule.for_chain(chain, [3, 7]),
+            "all": Schedule.for_chain(chain, range(chain.n)),
+        }
+        return CampaignRunner(
+            schedules, WeibullFailure.from_mtbf(50.0, shape=0.7), downtime=0.5
+        )
+
+    def test_statistical_agreement_per_strategy(self, runner):
+        scalar = runner.run(800, seed=3, engine="scalar", chunk_size=400)
+        vectorized = runner.run(800, seed=4, engine="vectorized", chunk_size=400)
+        for name in scalar.makespans:
+            p = ks_2sample_pvalue(scalar.makespans[name], vectorized.makespans[name])
+            assert p > 0.01, f"KS rejected engine agreement for {name!r} (p={p:.4f})"
+        assert scalar.ranking() == vectorized.ranking()
+
+    def test_vectorized_campaign_deterministic_across_backends(self, runner):
+        serial = runner.run(60, seed=7, engine="vectorized", chunk_size=30)
+        with VectorizedBackend(2) as pool:  # spec form: the wrapper owns the pool
+            pooled = runner.run(60, seed=7, backend=pool, chunk_size=30)
+        assert serial.makespans == pooled.makespans
+
+    def test_vectorized_backend_with_cache_replays_bit_identically(
+        self, runner, tmp_path
+    ):
+        cache = ResultCache(tmp_path)
+        with VectorizedBackend() as backend:
+            cold = runner.run(50, seed=9, backend=backend, cache=cache, chunk_size=25)
+            warm = runner.run(50, seed=9, backend=backend, cache=cache, chunk_size=25)
+        assert cold.makespans == warm.makespans
+        # And the replay really came from disk: a fresh cacheless run matches.
+        fresh = runner.run(50, seed=9, engine="vectorized", chunk_size=25)
+        assert {k: list(v) for k, v in fresh.makespans.items()} == {
+            k: list(v) for k, v in cold.makespans.items()
+        }
+
+    def test_campaign_engines_get_distinct_cache_entries(self, runner, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner.run(40, seed=1, engine="scalar", cache=cache, chunk_size=20)
+        runner.run(40, seed=1, engine="vectorized", cache=cache, chunk_size=20)
+        assert len(cache.with_namespace("campaign")) == 2
+
+
+class TestScenarioSpecEngine:
+    @pytest.fixture
+    def spec(self):
+        return ScenarioSpec(
+            name="vec-demo",
+            chain=ChainSpec(n=6, seed=12),
+            failure=FailureSpec(kind="weibull", mtbf=60.0, shape=0.7),
+            strategies=("optimal_dp", "checkpoint_none"),
+            num_runs=40,
+            downtime=0.5,
+            seed=3,
+        )
+
+    def test_engine_field_roundtrips(self, spec):
+        vec = dataclasses.replace(spec, engine="vectorized")
+        assert ScenarioSpec.from_json(vec.to_json()) == vec
+        # Legacy payloads without the field still load (engine defaults None).
+        payload = spec.to_dict()
+        payload.pop("engine")
+        assert ScenarioSpec.from_dict(payload) == spec
+
+    def test_engine_validated(self, spec):
+        with pytest.raises(ValueError, match="engine"):
+            dataclasses.replace(spec, engine="gpu")
+
+    def test_cache_key_distinguishes_engines_only_when_results_differ(self, spec):
+        scalar = dataclasses.replace(spec, engine="scalar")
+        vectorized = dataclasses.replace(spec, engine="vectorized")
+        # None and "scalar" run the same executor: same key (legacy compat).
+        assert spec.cache_key() == scalar.cache_key()
+        # The vectorized engine draws its traces differently: its own key.
+        assert vectorized.cache_key() != spec.cache_key()
+
+    def test_vectorized_spec_runs_deterministically(self, spec):
+        vec = dataclasses.replace(spec, engine="vectorized")
+        a = vec.run(chunk_size=20)
+        b = vec.run(chunk_size=20)
+        assert {k: list(v) for k, v in a.makespans.items()} == {
+            k: list(v) for k, v in b.makespans.items()
+        }
+        # And a VectorizedBackend placement does not change a scalar spec.
+        with VectorizedBackend() as backend:
+            scalar_on_vec_backend = spec.run(backend=backend, chunk_size=20)
+        plain = spec.run(chunk_size=20)
+        assert {k: list(v) for k, v in scalar_on_vec_backend.makespans.items()} == {
+            k: list(v) for k, v in plain.makespans.items()
+        }
+
+
+class TestTraceReplayBatch:
+    def _reference(self, segment_lists, times, downtime, horizon):
+        reference = np.empty((len(segment_lists), times.shape[0]))
+        for trace_index in range(times.shape[0]):
+            finite = times[trace_index][np.isfinite(times[trace_index])]
+            trace = FailureTrace(
+                events=tuple(FailureEvent(time=float(t)) for t in finite),
+                horizon=horizon,
+                num_processors=1,
+            )
+            for strat_index, segments in enumerate(segment_lists):
+                result = simulate_segments(
+                    segments, TraceFailureSource(trace), downtime
+                )
+                reference[strat_index, trace_index] = result.makespan
+        return reference
+
+    @pytest.mark.parametrize("downtime", [0.0, 0.5])
+    @pytest.mark.parametrize("num_processors", [1, 3])
+    def test_replay_matches_scalar_executor(self, downtime, num_processors):
+        chain = uniform_random_chain(10, seed=9)
+        segment_lists = [
+            Schedule.for_chain(chain, [4, 9]).segments(),
+            Schedule.for_chain(chain, range(chain.n)).segments(),
+            Schedule.for_chain(chain, [chain.n - 1]).segments(),
+        ]
+        law = WeibullFailure.from_mtbf(40.0, shape=0.7)
+        horizon = 600.0
+        times = generate_trace_times_batch(
+            law, horizon, num_processors, np.random.default_rng(2), 80
+        )
+        batch = replay_traces_batch(segment_lists, times, downtime)
+        reference = self._reference(segment_lists, times, downtime, horizon)
+        # The prefix-sum jumps re-associate additions: agreement to rounding.
+        np.testing.assert_allclose(batch, reference, rtol=1e-9)
+
+    def test_generated_times_are_sorted_padded_and_plausible(self):
+        law = ExponentialFailure(rate=0.05)
+        horizon = 400.0
+        times = generate_trace_times_batch(
+            law, horizon, 2, np.random.default_rng(11), 300
+        )
+        finite_mask = np.isfinite(times)
+        with np.errstate(invalid="ignore"):
+            gaps = np.diff(times, axis=1)
+        assert np.all(gaps[~np.isnan(gaps)] >= 0)  # inf-inf padding gaps are nan
+        assert np.all(times[finite_mask] < horizon)
+        # Every row keeps at least one +inf sentinel for replay cursors.
+        assert np.all(~finite_mask[:, -1])
+        # Expected event count: 2 processors at rate 0.05 over 400 time units.
+        counts = finite_mask.sum(axis=1)
+        assert abs(counts.mean() - 2 * 0.05 * horizon) < 3.0
+
+    def test_generated_times_deterministic(self):
+        law = WeibullFailure.from_mtbf(40.0, shape=0.7)
+        a = generate_trace_times_batch(law, 200.0, 1, np.random.default_rng(3), 50)
+        b = generate_trace_times_batch(law, 200.0, 1, np.random.default_rng(3), 50)
+        np.testing.assert_array_equal(a, b)
+
+    def test_event_exactly_at_completion_instant_is_skipped(self):
+        # An event landing on the very instant an attempt completes must be
+        # skipped, exactly as TraceFailureSource does at its next query --
+        # probability zero under continuous laws, but reachable with explicit
+        # integer-valued traces.
+        from repro.core.schedule import Segment
+
+        segments = [
+            Segment(tasks=("a",), work=9.0, checkpoint_cost=1.0,
+                    recovery_cost=1.0, checkpointed=True),
+            Segment(tasks=("b",), work=5.0, checkpoint_cost=0.0,
+                    recovery_cost=1.0, checkpointed=False),
+        ]
+        horizon = 100.0
+        event_times = [10.0]  # == completion instant of the first segment
+        times = np.array([event_times + [np.inf]])
+        batch = replay_traces_batch([segments], times, 0.5)
+        trace = FailureTrace(
+            events=tuple(FailureEvent(time=t) for t in event_times),
+            horizon=horizon,
+        )
+        scalar = simulate_segments(segments, TraceFailureSource(trace), 0.5)
+        assert batch[0, 0] == scalar.makespan == 15.0
+
+
+class TestResidualBatchSampling:
+    @pytest.mark.parametrize(
+        "law",
+        [
+            WeibullFailure.from_mtbf(100.0, shape=0.7),
+            WeibullFailure.from_mtbf(100.0, shape=1.5),
+            LogNormalFailure.from_mtbf(100.0, sigma=1.0),
+        ],
+        ids=["weibull-infant", "weibull-wearout", "lognormal"],
+    )
+    def test_batch_matches_scalar_for_same_uniforms(self, law):
+        ages = np.array([1.0, 10.0, 50.0, 200.0, 999.0])
+        batch = law.sample_residual_batch(np.random.default_rng(7), ages)
+        rng = np.random.default_rng(7)
+        scalar = np.array([law.sample_residual(rng, age) for age in ages])
+        # Same uniforms through the same conditional inverse transform.
+        np.testing.assert_allclose(batch, scalar, rtol=1e-9)
+
+    def test_memoryless_law_ignores_ages(self):
+        law = ExponentialFailure(rate=0.1)
+        ages = np.array([0.0, 5.0, 500.0])
+        batch = law.sample_residual_batch(np.random.default_rng(3), ages)
+        fresh = law.sample(np.random.default_rng(3), size=3)
+        np.testing.assert_array_equal(batch, fresh)
+
+    def test_conditional_distribution_is_correct(self):
+        # Empirical survival of residual draws must match the conditional
+        # survival S(age + t) / S(age).
+        law = WeibullFailure.from_mtbf(100.0, shape=0.7)
+        age = 50.0
+        samples = law.sample_residual_batch(
+            np.random.default_rng(13), np.full(20_000, age)
+        )
+        for t in (10.0, 50.0, 200.0):
+            empirical = float((samples > t).mean())
+            assert abs(empirical - law.conditional_survival(t, age)) < 0.02
+
+    def test_rejects_bad_ages(self):
+        law = WeibullFailure.from_mtbf(100.0, shape=0.7)
+        with pytest.raises(ValueError):
+            law.sample_residual_batch(np.random.default_rng(0), np.array([-1.0]))
+        with pytest.raises(ValueError):
+            law.sample_residual_batch(np.random.default_rng(0), np.array([np.inf]))
+
+
+class TestVectorizedBackendAndEngineSpellings:
+    def test_resolve_backend_vectorized(self):
+        backend = resolve_backend("vectorized")
+        assert isinstance(backend, VectorizedBackend)
+        assert backend.engine == "vectorized"
+        assert isinstance(backend.inner, SerialBackend)
+        assert backend.num_workers == 1
+
+    def test_composition_with_pool(self):
+        with ProcessPoolBackend(2) as pool:
+            backend = VectorizedBackend(pool)
+            assert backend.num_workers == 2
+            # A borrowed inner backend is not closed with the wrapper.
+            backend.close()
+            assert pool.map(_identity, [1, 2]) == [1, 2]
+
+    def test_cannot_nest_vectorized_backends(self):
+        with pytest.raises(TypeError):
+            VectorizedBackend(VectorizedBackend())
+
+    def test_resolve_engine_spellings(self):
+        assert resolve_engine(None) == "scalar"
+        assert resolve_engine(None, VectorizedBackend()) == "vectorized"
+        assert resolve_engine("Vectorized") == "vectorized"
+        assert resolve_engine("scalar", VectorizedBackend()) == "scalar"
+        # The string backend spec implies the engine like the instance does.
+        assert resolve_engine(None, "vectorized") == "vectorized"
+        assert resolve_engine(None, "serial") == "scalar"
+        assert resolve_engine(None, 4) == "scalar"
+        with pytest.raises(ValueError, match="unknown engine"):
+            resolve_engine("gpu")
+        with pytest.raises(TypeError):
+            resolve_engine(3)
+
+    def test_backend_string_spec_selects_vectorized_engine(self, poisson_estimator):
+        explicit = poisson_estimator.estimate(
+            150, seed=2, engine="vectorized", chunk_size=50
+        )
+        via_spec = poisson_estimator.estimate(
+            150, seed=2, backend="vectorized", chunk_size=50
+        )
+        assert explicit == via_spec
+
+    def test_estimate_rejects_unknown_engine(self, poisson_estimator):
+        with pytest.raises(ValueError, match="unknown engine"):
+            poisson_estimator.estimate(10, seed=0, engine="bogus")
+
+
+def _identity(x):
+    return x

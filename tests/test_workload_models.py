@@ -1,6 +1,5 @@
 """Tests for the workload scaling models W(p)."""
 
-import math
 
 import pytest
 from hypothesis import given, settings
