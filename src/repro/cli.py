@@ -1,6 +1,6 @@
 """Command-line interface for the checkpoint-scheduling library.
 
-Four sub-commands cover the everyday uses of the library without writing any
+Seven sub-commands cover the everyday uses of the library without writing any
 Python:
 
 * ``repro solve-chain``   -- optimal checkpoint placement for a chain stored
@@ -10,7 +10,13 @@ Python:
 * ``repro simulate``      -- Monte-Carlo estimate of the expected makespan of
   a chain under a given placement;
 * ``repro experiment``    -- run one of the E1-E10 experiments and print its
-  table (optionally as CSV); without an id, list the available experiments.
+  table (optionally as CSV); without an id, list the available experiments;
+* ``repro serve``         -- run the scenario service (job queue + HTTP API,
+  see :mod:`repro.service`);
+* ``repro submit``        -- submit a ``ScenarioSpec`` JSON file (or a
+  registry experiment) to a running service, optionally waiting for the
+  result;
+* ``repro jobs``          -- list, inspect or cancel service jobs.
 
 The simulation-heavy sub-commands (``simulate``, ``experiment``) accept
 ``--parallel N`` to fan replication chunks out over ``N`` worker processes,
@@ -30,6 +36,7 @@ summary.  It is installed as the ``repro`` console script.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
@@ -107,6 +114,9 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     # Shared parallel-runtime switches for the simulation-heavy sub-commands.
+    # Split in two parents: `serve` takes the placement/cache switches but
+    # deliberately NOT --engine -- a scenario's samples are defined by its
+    # spec (which carries the engine), never by the server it lands on.
     runtime_options = argparse.ArgumentParser(add_help=False)
     runtime_group = runtime_options.add_argument_group("parallel runtime")
     runtime_group.add_argument(
@@ -116,14 +126,6 @@ def build_parser() -> argparse.ArgumentParser:
         "default, keeps the historical serial sampler, whose draws differ)",
     )
     runtime_group.add_argument(
-        "--engine", choices=("scalar", "vectorized"), default=None,
-        help="how each simulation chunk executes: 'scalar' (the Python event "
-        "loop) or 'vectorized' (the NumPy array program, typically an order "
-        "of magnitude faster on a single core); either choice selects the "
-        "chunked deterministic sampler, and for memoryless failure models "
-        "the two engines produce bit-identical results",
-    )
-    runtime_group.add_argument(
         "--cache", action="store_true",
         help="memoise simulation results in the disk cache (~/.cache/repro "
         "or $REPRO_CACHE_DIR)",
@@ -131,6 +133,16 @@ def build_parser() -> argparse.ArgumentParser:
     runtime_group.add_argument(
         "--cache-dir", type=str, default=None, metavar="PATH",
         help="use PATH as the cache root (implies --cache)",
+    )
+    engine_options = argparse.ArgumentParser(add_help=False)
+    engine_group = engine_options.add_argument_group("execution engine")
+    engine_group.add_argument(
+        "--engine", choices=("scalar", "vectorized"), default=None,
+        help="how each simulation chunk executes: 'scalar' (the Python event "
+        "loop) or 'vectorized' (the NumPy array program, typically an order "
+        "of magnitude faster on a single core); either choice selects the "
+        "chunked deterministic sampler, and for memoryless failure models "
+        "the two engines produce bit-identical results",
     )
 
     solve_chain = subparsers.add_parser(
@@ -159,7 +171,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     simulate = subparsers.add_parser(
         "simulate", help="Monte-Carlo estimate of a chain schedule's expected makespan",
-        parents=[runtime_options],
+        parents=[runtime_options, engine_options],
     )
     simulate.add_argument("chain", help="path to a repro-chain JSON file")
     simulate.add_argument("--rate", type=float, required=True)
@@ -171,11 +183,62 @@ def build_parser() -> argparse.ArgumentParser:
 
     experiment = subparsers.add_parser(
         "experiment", help="run one of the reproduction experiments (E1-E10)",
-        parents=[runtime_options],
+        parents=[runtime_options, engine_options],
     )
     experiment.add_argument("id", nargs="?", default=None, type=_experiment_id,
                             help="experiment identifier (omit to list all experiments)")
     experiment.add_argument("--csv", action="store_true", help="print CSV instead of a table")
+
+    # No engine_options: each job's engine comes from its spec (campaigns)
+    # or its submission payload (experiments), never from the server.
+    serve = subparsers.add_parser(
+        "serve", help="run the scenario service (job queue + HTTP API)",
+        parents=[runtime_options],
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind (default: %(default)s)")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="port to bind; 0 picks an ephemeral port (default: %(default)s)")
+    serve.add_argument("--db", default=None, metavar="PATH",
+                       help="sqlite job database; jobs survive restarts "
+                       "(default: in-memory, lost on exit)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="concurrent job worker threads (default: %(default)s); "
+                       "each job's chunks additionally fan out over --parallel")
+    serve.add_argument("--verbose", action="store_true", help="log every HTTP request")
+
+    submit = subparsers.add_parser(
+        "submit", help="submit a campaign (ScenarioSpec JSON) or experiment to a service"
+    )
+    submit.add_argument("spec", nargs="?", default=None,
+                        help="path to a ScenarioSpec JSON file (omit with --experiment)")
+    submit.add_argument("--experiment", default=None, type=_experiment_id, metavar="ID",
+                        help="submit a registry experiment instead of a spec file")
+    submit.add_argument("--engine", choices=("scalar", "vectorized"), default=None,
+                        help="execution engine for --experiment submissions")
+    submit.add_argument("--url", default="http://127.0.0.1:8765",
+                        help="service address (default: %(default)s)")
+    submit.add_argument("--chunk-size", type=int, default=None,
+                        help="replications per chunk for campaign submissions")
+    submit.add_argument("--wait", action="store_true",
+                        help="poll until the job finishes and print its result")
+    submit.add_argument("--timeout", type=float, default=600.0,
+                        help="--wait timeout in seconds (default: %(default)s)")
+    submit.add_argument("--csv", action="store_true",
+                        help="with --wait, print the result as CSV")
+
+    jobs = subparsers.add_parser(
+        "jobs", help="list, inspect or cancel jobs on a scenario service"
+    )
+    jobs.add_argument("id", nargs="?", default=None,
+                      help="job id to inspect (omit to list jobs)")
+    jobs.add_argument("--url", default="http://127.0.0.1:8765",
+                      help="service address (default: %(default)s)")
+    jobs.add_argument("--state", default=None,
+                      choices=("queued", "running", "done", "failed", "cancelled"),
+                      help="filter the listing by state")
+    jobs.add_argument("--cancel", action="store_true",
+                      help="cancel the given job instead of inspecting it")
 
     return parser
 
@@ -238,9 +301,11 @@ def _runtime_from_args(args: argparse.Namespace):
 
     ``--engine vectorized`` composes with ``--parallel N``: the chunks are
     placed on the worker pool and each executes as an array program (a pool
-    of vectorized chunks).
+    of vectorized chunks).  Sub-commands without the engine switch (serve)
+    resolve it as None.
     """
-    if args.engine == "vectorized":
+    engine = getattr(args, "engine", None)
+    if engine == "vectorized":
         # Hand the wrapper the *spec*, not a backend instance, so it owns the
         # inner pool and the handlers' backend.close() shuts the workers down.
         backend = VectorizedBackend(args.parallel if args.parallel else None)
@@ -249,7 +314,7 @@ def _runtime_from_args(args: argparse.Namespace):
     cache = None
     if args.cache or args.cache_dir:
         cache = ResultCache(args.cache_dir)
-    return backend, cache, args.engine
+    return backend, cache, engine
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -295,6 +360,131 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported lazily: the service pulls in the experiment registry and the
+    # whole runtime, which the lightweight solve-* commands never need.
+    from repro.service.jobs import JobStore
+    from repro.service.queue import JobScheduler
+    from repro.service.server import ScenarioServer
+
+    backend, cache, _engine = _runtime_from_args(args)
+    store = JobStore(args.db)
+    scheduler = JobScheduler(
+        store, num_workers=args.workers, backend=backend, cache=cache
+    )
+    server = ScenarioServer(
+        scheduler, host=args.host, port=args.port, verbose=args.verbose
+    )
+    where = args.db if args.db else "in-memory (lost on exit; use --db to persist)"
+    print(f"scenario service listening on {server.url}")
+    print(f"job store          : {where}")
+    if scheduler.recovered:
+        print(f"recovered jobs     : {scheduler.recovered} (re-queued after restart)")
+    print(f"workers            : {scheduler.num_workers} x {scheduler.backend!r}")
+    print("endpoints          : POST /v1/jobs  GET /v1/jobs[/{id}]  "
+          "DELETE /v1/jobs/{id}  GET /v1/scenarios  GET /v1/healthz")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down (interrupted jobs are re-queued on the next "
+              "start when using --db)")
+    finally:
+        # A worker abandoned mid-job may still be using the backend and the
+        # store; closing either would block on (or crash) that job, defeating
+        # the bounded shutdown.  Threads, pool children and the sqlite handle
+        # all die with the process.
+        if not scheduler.abandoned_workers:
+            if backend is not None:
+                backend.close()
+            store.close()
+    return 0
+
+
+def _print_job_result(job: dict, *, csv: bool) -> None:
+    """Render a finished job's payload the way the direct commands would."""
+    from repro.experiments.reporting import ResultTable
+    from repro.service.client import ServiceClient
+
+    result = job.get("result") or {}
+    if result.get("type") == "campaign":
+        table = ServiceClient.campaign_result(job).to_table()
+    elif result.get("type") == "table":
+        table = ResultTable(
+            title=result["title"], columns=list(result["columns"]),
+            rows=[dict(row) for row in result["rows"]],
+        )
+    else:
+        print(job)
+        return
+    print(table.to_csv() if csv else table.to_text())
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    if (args.spec is None) == (args.experiment is None):
+        raise SystemExit("provide either a ScenarioSpec JSON file or --experiment ID")
+    client = ServiceClient(args.url)
+    try:
+        if args.experiment is not None:
+            job = client.submit_experiment(args.experiment, engine=args.engine)
+        else:
+            try:
+                with open(args.spec, "r", encoding="utf-8") as handle:
+                    scenario = json.load(handle)
+            except (OSError, json.JSONDecodeError) as exc:
+                print(f"error: cannot read spec {args.spec!r}: {exc}", file=sys.stderr)
+                return 1
+            job = client.submit_campaign(scenario, chunk_size=args.chunk_size)
+        reused = " (deduplicated: reusing an equivalent job)" if job["deduplicated"] else ""
+        print(f"job {job['id']}: {job['state']}{reused}")
+        if not args.wait:
+            return 0
+        job = client.wait(job["id"], timeout=args.timeout)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if job["state"] != "done":
+        detail = f": {job['error']}" if job.get("error") else ""
+        print(f"job {job['id']} {job['state']}{detail}", file=sys.stderr)
+        return 1
+    _print_job_result(job, csv=args.csv)
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        if args.id is None:
+            if args.cancel:
+                raise SystemExit("--cancel requires a job id")
+            records = client.jobs(state=args.state)
+            if not records:
+                print("no jobs")
+                return 0
+            print(f"{'id':<16s}  {'kind':<10s}  {'state':<9s}  {'progress':<9s}  error")
+            for job in records:
+                progress = job["progress"]
+                total = progress["chunks_total"]
+                shown = f"{progress['chunks_done']}/{total}" if total else "-"
+                print(f"{job['id']:<16s}  {job['kind']:<10s}  {job['state']:<9s}  "
+                      f"{shown:<9s}  {job.get('error') or ''}")
+            return 0
+        if args.cancel:
+            job = client.cancel(args.id)
+            print(f"job {job['id']}: {job['state']}"
+                  + (" (cancellation requested)" if job["state"] == "running" else ""))
+            return 0
+        job = client.job(args.id)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(job, indent=2, sort_keys=True))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for the ``repro`` console script."""
     parser = build_parser()
@@ -304,6 +494,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "solve-dag": _cmd_solve_dag,
         "simulate": _cmd_simulate,
         "experiment": _cmd_experiment,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "jobs": _cmd_jobs,
     }
     return handlers[args.command](args)
 

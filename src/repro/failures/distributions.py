@@ -32,8 +32,108 @@ __all__ = [
     "ExponentialFailure",
     "WeibullFailure",
     "LogNormalFailure",
+    "inverse_normal_cdf",
     "superposed_rate",
 ]
+
+# Coefficients of Wichura's algorithm AS241 (PPND16): three rational
+# approximations to the inverse of the standard normal CDF, accurate to
+# ~1e-15 relative over the full double range.  Hand-rolled here because the
+# project deliberately depends only on NumPy (no scipy.special.ndtri).
+_AS241_A = (
+    3.3871328727963666080e0, 1.3314166789178437745e2, 1.9715909503065514427e3,
+    1.3731693765509461125e4, 4.5921953931549871457e4, 6.7265770927008700853e4,
+    3.3430575583588128105e4, 2.5090809287301226727e3,
+)
+_AS241_B = (
+    1.0, 4.2313330701600911252e1, 6.8718700749205790830e2,
+    5.3941960214247511077e3, 2.1213794301586595867e4, 3.9307895800092710610e4,
+    2.8729085735721942674e4, 5.2264952788528545610e3,
+)
+_AS241_C = (
+    1.42343711074968357734e0, 4.63033784615654529590e0,
+    5.76949722146069140550e0, 3.64784832476320460504e0,
+    1.27045825245236838258e0, 2.41780725177450611770e-1,
+    2.27238449892691845833e-2, 7.74545014278341407640e-4,
+)
+_AS241_D = (
+    1.0, 2.05319162663775882187e0, 1.67638483018380384940e0,
+    6.89767334985100004550e-1, 1.48103976427480074590e-1,
+    1.51986665636164571966e-2, 5.47593808499534494600e-4,
+    1.05075007164441684324e-9,
+)
+_AS241_E = (
+    6.65790464350110377720e0, 5.46378491116411436990e0,
+    1.78482653991729133580e0, 2.96560571828504891230e-1,
+    2.65321895265761230930e-2, 1.24266094738807843860e-3,
+    2.71155556874348757815e-5, 2.01033439929228813265e-7,
+)
+_AS241_F = (
+    1.0, 5.99832206555887937690e-1, 1.36929880922735805310e-1,
+    1.48753612908506148525e-2, 7.86869131145613259100e-4,
+    1.84631831751005468180e-5, 1.42151175831644588870e-7,
+    2.04426310338993978564e-15,
+)
+
+
+def _as241_poly(coeffs, r: np.ndarray) -> np.ndarray:
+    """Evaluate an AS241 polynomial (ascending coefficients) via Horner."""
+    out = np.full_like(r, coeffs[-1])
+    for coeff in reversed(coeffs[:-1]):
+        out = out * r + coeff
+    return out
+
+
+def inverse_normal_cdf(p) -> np.ndarray:
+    """Vectorized inverse of the standard normal CDF (quantile function).
+
+    Implements Wichura's algorithm AS241 (routine PPND16), a piecewise
+    rational approximation with ~1e-15 relative accuracy: the central region
+    ``|p - 0.5| <= 0.425`` uses one rational in ``0.180625 - q**2``, the tails
+    two rationals in ``sqrt(-log(min(p, 1-p)))``.  ``p <= 0`` maps to
+    ``-inf`` and ``p >= 1`` to ``+inf``.
+
+    This is the closed-form core of
+    :meth:`LogNormalFailure._inverse_survival_batch`; kept public because an
+    exact normal quantile with no scipy dependency is useful on its own.
+    """
+    p = np.asarray(p, dtype=float)
+    scalar_input = p.ndim == 0
+    p = np.atleast_1d(p)
+    out = np.empty_like(p)
+
+    low = p <= 0.0
+    high = p >= 1.0
+    out[low] = -np.inf
+    out[high] = np.inf
+
+    valid = ~(low | high)
+    q = p[valid] - 0.5
+    result = np.empty_like(q)
+
+    central = np.abs(q) <= 0.425
+    if central.any():
+        r = 0.180625 - q[central] ** 2
+        result[central] = q[central] * (
+            _as241_poly(_AS241_A, r) / _as241_poly(_AS241_B, r)
+        )
+    tail = ~central
+    if tail.any():
+        q_tail = q[tail]
+        r = np.where(q_tail < 0.0, p[valid][tail], 1.0 - p[valid][tail])
+        r = np.sqrt(-np.log(r))
+        near = r <= 5.0
+        value = np.empty_like(r)
+        if near.any():
+            rn = r[near] - 1.6
+            value[near] = _as241_poly(_AS241_C, rn) / _as241_poly(_AS241_D, rn)
+        if (~near).any():
+            rf = r[~near] - 5.0
+            value[~near] = _as241_poly(_AS241_E, rf) / _as241_poly(_AS241_F, rf)
+        result[tail] = np.where(q_tail < 0.0, -value, value)
+
+    out[valid] = result
+    return out[0] if scalar_input else out
 
 
 class FailureDistribution(ABC):
@@ -383,6 +483,25 @@ class LogNormalFailure(FailureDistribution):
     def sample(self, rng: np.random.Generator, size: Optional[int] = None):
         out = rng.lognormal(mean=self.mu, sigma=self.sigma, size=size)
         return float(out) if size is None else out
+
+    def _inverse_survival_batch(self, s: np.ndarray) -> np.ndarray:
+        """Closed-form vectorized inverse survival via the normal quantile.
+
+        ``survival(t) = s`` means ``Phi((log t - mu) / sigma) = 1 - s``, so
+        ``t = exp(mu - sigma * Phi^{-1}(s))`` (using the symmetry
+        ``Phi^{-1}(1 - s) = -Phi^{-1}(s)``, which keeps full precision for
+        tiny survival values where ``1 - s`` would round) with
+        :func:`inverse_normal_cdf` standing in for ``Phi^{-1}``.  Replaces the
+        base class's per-element bisection -- itself limited to ~1e-7 in the
+        deep tail by the ``1 - cdf`` cancellation inside ``survival`` -- with
+        an AS241 evaluation accurate to ~1e-15: the log-normal counterpart of
+        the Weibull ``-log`` closed form, and the step that makes
+        :meth:`sample_residual_batch` loop-free for this law.
+        """
+        s = np.asarray(s, dtype=float)
+        with np.errstate(over="ignore"):
+            out = np.exp(self.mu - self.sigma * inverse_normal_cdf(np.clip(s, 0.0, 1.0)))
+        return np.where(s >= 1.0, 0.0, np.where(s <= 0.0, np.inf, out))
 
     @classmethod
     def from_mtbf(cls, mtbf: float, sigma: float) -> "LogNormalFailure":

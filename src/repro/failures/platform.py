@@ -75,6 +75,17 @@ class Platform:
         Downtime ``D >= 0`` incurred after each failure before recovery can
         start (rejuvenation/reboot or replacement by a spare).  Failures may
         strike during recovery but not during downtime (Section 2).
+    rejuvenate_all_on_failure:
+        When True, *all* processors restart their failure clocks after any
+        platform failure -- the assumption the paper attributes to Bouguerra
+        et al. [12] and criticises as unreasonable for Weibull laws.  Making
+        it a platform field (rather than a per-call flag) lets every consumer
+        of the platform -- the scalar
+        :class:`~repro.simulation.engine.RenewalPlatformFailureSource`, the
+        vectorized :func:`~repro.simulation.vectorized.simulate_renewal_batch`
+        and :meth:`platform_failure_times` -- honour the same semantics, so
+        experiments can quantify the difference on either engine.  For
+        Exponential laws the flag has no observable effect (memorylessness).
     """
 
     num_processors: int = 1
@@ -82,6 +93,7 @@ class Platform:
         default_factory=lambda: ExponentialFailure(rate=1e-5)
     )
     downtime: float = 0.0
+    rejuvenate_all_on_failure: bool = False
 
     def __post_init__(self) -> None:
         check_positive_int("num_processors", self.num_processors)
@@ -90,6 +102,11 @@ class Platform:
             raise TypeError(
                 "failure_law must be a FailureDistribution, got "
                 f"{type(self.failure_law).__name__}"
+            )
+        if not isinstance(self.rejuvenate_all_on_failure, bool):
+            raise TypeError(
+                "rejuvenate_all_on_failure must be a bool, got "
+                f"{type(self.rejuvenate_all_on_failure).__name__}"
             )
         object.__setattr__(self, "downtime", float(self.downtime))
 
@@ -186,7 +203,7 @@ class Platform:
         rng: np.random.Generator,
         horizon: float,
         *,
-        rejuvenate_all_on_failure: bool = False,
+        rejuvenate_all_on_failure: Optional[bool] = None,
     ) -> List[float]:
         """Generate the absolute platform-level failure times up to ``horizon``.
 
@@ -202,13 +219,13 @@ class Platform:
             Generate failures strictly before this absolute time.
         rejuvenate_all_on_failure:
             When True, *all* processors are rejuvenated (their failure clocks
-            restart) after any platform failure.  This is the assumption the
-            paper attributes to Bouguerra et al. [12] and criticises as
-            unreasonable for Weibull laws; it is provided so experiments can
-            quantify the difference.  For Exponential laws the flag has no
-            observable effect (memorylessness).
+            restart) after any platform failure.  ``None`` (the default)
+            inherits the platform's own ``rejuvenate_all_on_failure`` field;
+            an explicit bool overrides it for this call.
         """
         check_positive("horizon", horizon)
+        if rejuvenate_all_on_failure is None:
+            rejuvenate_all_on_failure = self.rejuvenate_all_on_failure
         states = self.initial_states(rng)
         failures: List[float] = []
         guard = 0

@@ -65,6 +65,18 @@ class ExecutionBackend(ABC):
     def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
         """Apply ``fn`` to every item and return the results in input order."""
 
+    def imap(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> Iterator[Any]:
+        """Lazily apply ``fn``, yielding results in input order as they finish.
+
+        Same ordered contract as :meth:`map`, but the caller observes each
+        result as soon as it (and every earlier one) is available -- which is
+        what lets long campaigns report per-chunk progress (see
+        :meth:`~repro.simulation.campaign.CampaignRunner.run`).  The base
+        implementation simply materialises :meth:`map`; concrete backends
+        override it to stream.
+        """
+        return iter(self.map(fn, items))
+
     def close(self) -> None:
         """Release any resources (worker processes); idempotent."""
 
@@ -85,6 +97,10 @@ class SerialBackend(ExecutionBackend):
 
     def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
         return [fn(item) for item in items]
+
+    def imap(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> Iterator[Any]:
+        for item in items:
+            yield fn(item)
 
     def __repr__(self) -> str:
         return "SerialBackend()"
@@ -134,6 +150,14 @@ class ProcessPoolBackend(ExecutionBackend):
         # items are already coarse chunks of replications.
         return list(self._ensure_executor().map(fn, items, chunksize=1))
 
+    def imap(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> Iterator[Any]:
+        items = list(items)
+        if not items:
+            return iter(())
+        # The executor.map iterator is lazy: result i is yielded as soon as
+        # items 0..i have completed, while later items keep computing.
+        return self._ensure_executor().map(fn, items, chunksize=1)
+
     def close(self) -> None:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
@@ -174,6 +198,9 @@ class VectorizedBackend(ExecutionBackend):
 
     def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
         return self.inner.map(fn, items)
+
+    def imap(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> Iterator[Any]:
+        return self.inner.imap(fn, items)
 
     def close(self) -> None:
         if self._owns_inner:

@@ -89,6 +89,10 @@ class ResultCache:
         self.readonly = readonly
         self.hits = 0
         self.misses = 0
+        # Namespaced views report their hits/misses to the cache they were
+        # derived from, so the instance a caller handed to the runtime shows
+        # the campaign's replay statistics (see with_namespace).
+        self._parent: Optional["ResultCache"] = None
 
     # ------------------------------------------------------------------
     # Keys and paths
@@ -106,8 +110,24 @@ class ResultCache:
         return base / f"{key}.json", base / f"{key}.npz"
 
     def with_namespace(self, namespace: str) -> "ResultCache":
-        """A view of the same cache root under a different namespace."""
-        return ResultCache(self.root, namespace=namespace, readonly=self.readonly)
+        """A view of the same cache root under a different namespace.
+
+        The view shares the parent's hit/miss statistics: a replay through a
+        namespaced view increments the counters of the cache the caller
+        originally passed in.
+        """
+        view = ResultCache(self.root, namespace=namespace, readonly=self.readonly)
+        view._parent = self
+        return view
+
+    def _count(self, hit: bool) -> None:
+        node: Optional["ResultCache"] = self
+        while node is not None:
+            if hit:
+                node.hits += 1
+            else:
+                node.misses += 1
+            node = node._parent
 
     # ------------------------------------------------------------------
     # Read / write
@@ -124,7 +144,7 @@ class ResultCache:
             with open(meta_path, "r", encoding="utf-8") as handle:
                 meta = json.load(handle)
         except (OSError, json.JSONDecodeError):
-            self.misses += 1
+            self._count(hit=False)
             return None
         arrays: Dict[str, np.ndarray] = {}
         if meta.get("has_arrays"):
@@ -132,9 +152,9 @@ class ResultCache:
                 with np.load(npz_path) as npz:
                     arrays = {name: npz[name].copy() for name in npz.files}
             except (OSError, ValueError):
-                self.misses += 1
+                self._count(hit=False)
                 return None
-        self.hits += 1
+        self._count(hit=True)
         return meta, arrays
 
     def put(

@@ -269,11 +269,21 @@ class ScenarioSpec:
             horizon_factor=self.horizon_factor,
         )
 
-    def run(self, *, backend=None, cache=None, chunk_size: Optional[int] = None):
+    def run(
+        self,
+        *,
+        backend=None,
+        cache=None,
+        chunk_size: Optional[int] = None,
+        progress=None,
+    ):
         """Execute the campaign; see :meth:`CampaignRunner.run` for the knobs.
 
         The result is bit-identical for a given spec whatever the backend or
         worker count, and a warm cache replays it without simulating at all.
+        ``progress`` is the optional per-chunk ``callback(done, total)`` of
+        :meth:`CampaignRunner.run` -- the scenario service threads its
+        job-progress and cancellation hook through here.
         """
         from repro.runtime.backends import backend_scope
 
@@ -291,6 +301,7 @@ class ScenarioSpec:
                 # Pin the engine explicitly: a spec with engine=None is a
                 # scalar campaign even on a VectorizedBackend placement.
                 engine=self.engine if self.engine is not None else "scalar",
+                progress=progress,
             )
 
 

@@ -1,0 +1,220 @@
+"""Python client for the scenario service.
+
+A thin, dependency-free (urllib) wrapper over the HTTP API of
+:mod:`repro.service.server`, plus the one non-trivial conversion: rebuilding
+a :class:`~repro.simulation.campaign.CampaignResult` from a finished job's
+payload (bit-identical to the samples the server computed, because JSON
+round-trips IEEE-754 doubles exactly).
+
+>>> client = ServiceClient("http://127.0.0.1:8765")   # doctest: +SKIP
+>>> job = client.submit_campaign(spec)                # doctest: +SKIP
+>>> done = client.wait(job["id"])                     # doctest: +SKIP
+>>> result = client.campaign_result(done)             # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Union
+
+from repro.runtime.scenario import ScenarioSpec
+from repro.simulation.campaign import CampaignResult
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """An HTTP request the service rejected (or could not complete).
+
+    Attributes
+    ----------
+    status:
+        HTTP status code, or None for transport-level failures.
+    payload:
+        Decoded JSON error body when the server provided one.
+    """
+
+    def __init__(self, message: str, *, status: Optional[int] = None, payload=None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    """Talks to a running scenario service.
+
+    Parameters
+    ----------
+    base_url:
+        Server address, e.g. ``"http://127.0.0.1:8765"``.
+    timeout:
+        Per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str = "http://127.0.0.1:8765", *, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Raw transport
+    # ------------------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        data = json.dumps(payload).encode("utf-8") if payload is not None else None
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                body = json.loads(exc.read().decode("utf-8"))
+                message = body.get("error", str(exc))
+            except Exception:  # noqa: BLE001 - any unreadable body falls back
+                body, message = None, str(exc)
+            raise ServiceError(
+                f"{method} {path} failed ({exc.code}): {message}",
+                status=exc.code, payload=body,
+            ) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach the scenario service at {self.base_url}: {exc.reason}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        """``GET /v1/healthz``."""
+        return self._request("GET", "/v1/healthz")
+
+    def scenarios(self) -> Dict[str, Any]:
+        """``GET /v1/scenarios`` -- the experiment/engine catalog."""
+        return self._request("GET", "/v1/scenarios")
+
+    def preview_sweep(
+        self, scenario: Union[ScenarioSpec, Dict[str, Any]], axes: Dict[str, List[Any]]
+    ) -> Dict[str, Any]:
+        """``POST /v1/scenarios/preview`` -- expand a sweep without running it."""
+        if isinstance(scenario, ScenarioSpec):
+            scenario = scenario.to_dict()
+        return self._request(
+            "POST", "/v1/scenarios/preview", {"scenario": scenario, "axes": axes}
+        )
+
+    def submit_campaign(
+        self,
+        scenario: Union[ScenarioSpec, Dict[str, Any]],
+        *,
+        chunk_size: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Submit a campaign; returns the job dict (``job["deduplicated"]`` set).
+
+        Accepts a :class:`ScenarioSpec` or its plain-dict form.
+        """
+        if isinstance(scenario, ScenarioSpec):
+            scenario = scenario.to_dict()
+        body: Dict[str, Any] = {"kind": "campaign", "scenario": scenario}
+        if chunk_size is not None:
+            body["chunk_size"] = chunk_size
+        reply = self._request("POST", "/v1/jobs", body)
+        job = reply["job"]
+        job["deduplicated"] = reply.get("deduplicated", False)
+        return job
+
+    def submit_experiment(
+        self,
+        experiment: str,
+        *,
+        engine: Optional[str] = None,
+        params: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Submit a registry experiment (E1-E10) run."""
+        body: Dict[str, Any] = {"kind": "experiment", "experiment": experiment}
+        if engine is not None:
+            body["engine"] = engine
+        if params:
+            body["params"] = params
+        reply = self._request("POST", "/v1/jobs", body)
+        job = reply["job"]
+        job["deduplicated"] = reply.get("deduplicated", False)
+        return job
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        """``GET /v1/jobs/{id}`` -- full record including any result."""
+        return self._request("GET", f"/v1/jobs/{job_id}")["job"]
+
+    def jobs(
+        self,
+        *,
+        state: Optional[str] = None,
+        kind: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> List[Dict[str, Any]]:
+        """``GET /v1/jobs`` -- job summaries, newest first."""
+        query = "&".join(
+            f"{key}={value}"
+            for key, value in (("state", state), ("kind", kind), ("limit", limit))
+            if value is not None
+        )
+        path = "/v1/jobs" + (f"?{query}" if query else "")
+        return self._request("GET", path)["jobs"]
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """``DELETE /v1/jobs/{id}`` -- request cancellation."""
+        return self._request("DELETE", f"/v1/jobs/{job_id}")["job"]
+
+    def wait(
+        self, job_id: str, *, timeout: float = 300.0, poll_interval: float = 0.2
+    ) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state; returns its record.
+
+        Raises :class:`ServiceError` when ``timeout`` elapses first.  The
+        returned job may be ``done``, ``failed`` or ``cancelled`` -- the
+        caller decides what failure means for it.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["state"] in ("done", "failed", "cancelled"):
+                return record
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {record['state']!r} after {timeout:g}s"
+                )
+            time.sleep(poll_interval)
+
+    # ------------------------------------------------------------------
+    # Result reconstruction
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def campaign_result(job: Dict[str, Any]) -> CampaignResult:
+        """Rebuild the :class:`CampaignResult` of a finished campaign job.
+
+        The makespan samples are bit-identical to what a direct
+        :meth:`ScenarioSpec.run` with the same spec produces: the server
+        serialises the raw doubles and JSON round-trips them exactly.
+        """
+        if job.get("state") != "done":
+            raise ValueError(
+                f"job {job.get('id')!r} is {job.get('state')!r}, not done"
+                + (f": {job['error']}" if job.get("error") else "")
+            )
+        result = job["result"]
+        if not result or result.get("type") != "campaign":
+            raise ValueError(f"job {job.get('id')!r} did not produce a campaign result")
+        return CampaignResult(
+            makespans={name: list(samples) for name, samples in result["makespans"].items()},
+            num_runs=int(result["num_runs"]),
+        )

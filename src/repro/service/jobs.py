@@ -1,0 +1,398 @@
+"""Persistent job store: the state of every campaign the service has seen.
+
+The scenario service must remember submitted jobs across process restarts --
+a coordinator that forgets its queue on redeploy cannot serve long-running
+campaigns.  :class:`JobStore` persists every job (its submitted spec, state,
+progress, timings, result and error) in a single-file sqlite3 database, the
+stdlib's crash-safe embedded store; passing no path keeps the same schema in
+a private in-memory database for tests and throwaway servers.
+
+The store is deliberately dumb: it knows nothing about scenarios, engines or
+HTTP.  It offers the five primitives the scheduler needs --
+
+* :meth:`JobStore.submit` to append a ``queued`` job, and
+  :meth:`JobStore.submit_or_reuse` -- its atomic find-or-submit twin keyed by
+  a ``dedupe_key`` (the scenario content hash), which is what makes
+  submission idempotent even under concurrent identical requests,
+* :meth:`JobStore.claim_next` to atomically move the oldest ``queued`` job to
+  ``running`` (safe against concurrent worker threads),
+* :meth:`JobStore.update_progress` / :meth:`JobStore.finish` /
+  :meth:`JobStore.fail` / :meth:`JobStore.mark_cancelled` to record outcomes,
+* :meth:`JobStore.request_cancel` for cooperative cancellation (queued jobs
+  cancel immediately; running jobs get a flag their progress hook polls),
+* :meth:`JobStore.recover_interrupted` to re-queue jobs that were ``running``
+  when a previous server process died.
+
+Job states form a small machine::
+
+    queued --> running --> done | failed | cancelled
+       |
+       +-----------------> cancelled
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["JOB_STATES", "JobRecord", "JobStore"]
+
+#: Every state a job can be in; the last three are terminal.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    id               TEXT PRIMARY KEY,
+    kind             TEXT NOT NULL,
+    spec             TEXT NOT NULL,
+    dedupe_key       TEXT,
+    state            TEXT NOT NULL,
+    chunks_done      INTEGER NOT NULL DEFAULT 0,
+    chunks_total     INTEGER NOT NULL DEFAULT 0,
+    result           TEXT,
+    error            TEXT,
+    cancel_requested INTEGER NOT NULL DEFAULT 0,
+    submitted_at     REAL NOT NULL,
+    started_at       REAL,
+    finished_at      REAL
+);
+CREATE INDEX IF NOT EXISTS jobs_state ON jobs (state, submitted_at);
+CREATE INDEX IF NOT EXISTS jobs_dedupe ON jobs (dedupe_key);
+"""
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Immutable snapshot of one job row.
+
+    ``spec`` is the submitted request payload (plain JSON data) and
+    ``result`` the execution outcome (also plain JSON data), so a record
+    round-trips through the HTTP API without further conversion.
+    """
+
+    id: str
+    kind: str
+    spec: Dict[str, Any]
+    state: str
+    dedupe_key: Optional[str] = None
+    chunks_done: int = 0
+    chunks_total: int = 0
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    cancel_requested: bool = False
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    @property
+    def is_terminal(self) -> bool:
+        """True once the job can never change state again."""
+        return self.state in ("done", "failed", "cancelled")
+
+    def to_dict(self, *, include_result: bool = True) -> Dict[str, Any]:
+        """JSON-compatible form (the HTTP representation of a job)."""
+        payload: Dict[str, Any] = {
+            "id": self.id,
+            "kind": self.kind,
+            "spec": self.spec,
+            "state": self.state,
+            "progress": {"chunks_done": self.chunks_done, "chunks_total": self.chunks_total},
+            "cancel_requested": self.cancel_requested,
+            "timings": {
+                "submitted_at": self.submitted_at,
+                "started_at": self.started_at,
+                "finished_at": self.finished_at,
+            },
+            "error": self.error,
+        }
+        if include_result:
+            payload["result"] = self.result
+        return payload
+
+
+class JobStore:
+    """sqlite3-backed store of service jobs, usable from many threads.
+
+    Parameters
+    ----------
+    path:
+        Database file, created on first use.  ``None`` keeps the store in
+        memory (same schema and semantics, gone when the store is closed) --
+        the fallback for tests and ephemeral servers.
+
+    One connection is shared across threads behind a lock: the store's
+    operations are short transactions, and a single writer sidesteps
+    sqlite's writer-starvation corner cases without WAL tuning.
+    """
+
+    def __init__(self, path: Optional[os.PathLike] = None) -> None:
+        self.path = None if path is None else os.fspath(path)
+        if self.path is not None:
+            parent = os.path.dirname(os.path.abspath(self.path))
+            os.makedirs(parent, exist_ok=True)
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(
+            self.path if self.path is not None else ":memory:",
+            check_same_thread=False,
+        )
+        self._conn.row_factory = sqlite3.Row
+        with self._lock, self._conn:
+            self._conn.executescript(_SCHEMA)
+
+    # ------------------------------------------------------------------
+    # Submission and lookup
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        kind: str,
+        spec: Dict[str, Any],
+        *,
+        dedupe_key: Optional[str] = None,
+    ) -> JobRecord:
+        """Append a new ``queued`` job and return its record."""
+        job_id = uuid.uuid4().hex[:16]
+        now = time.time()
+        with self._lock, self._conn:
+            self._conn.execute(
+                "INSERT INTO jobs (id, kind, spec, dedupe_key, state, submitted_at)"
+                " VALUES (?, ?, ?, ?, 'queued', ?)",
+                (job_id, kind, json.dumps(spec), dedupe_key, now),
+            )
+        return self.get(job_id)
+
+    def submit_or_reuse(
+        self, kind: str, spec: Dict[str, Any], dedupe_key: str
+    ) -> "Tuple[JobRecord, bool]":
+        """Atomic find-or-submit: the deduplication primitive.
+
+        Returns ``(record, reused)``.  The lookup and the insert happen under
+        the store lock, so two threads submitting the same content
+        concurrently can never both enqueue it -- the idempotency guarantee
+        ('identical requests cost one simulation, ever') holds under the
+        threaded HTTP server, not just sequentially.
+        """
+        with self._lock:
+            existing = self.find_reusable(dedupe_key)
+            if existing is not None:
+                return existing, True
+            return self.submit(kind, spec, dedupe_key=dedupe_key), False
+
+    def get(self, job_id: str) -> Optional[JobRecord]:
+        """The record for ``job_id``, or None when unknown."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM jobs WHERE id = ?", (job_id,)
+            ).fetchone()
+        return self._record(row) if row is not None else None
+
+    def find_reusable(self, dedupe_key: str) -> Optional[JobRecord]:
+        """The newest queued/running/done job with this dedupe key, if any.
+
+        Failed and cancelled jobs are never reused: resubmitting after a
+        failure must produce a fresh attempt.
+        """
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM jobs WHERE dedupe_key = ? AND state IN"
+                " ('queued', 'running', 'done')"
+                " ORDER BY submitted_at DESC LIMIT 1",
+                (dedupe_key,),
+            ).fetchone()
+        return self._record(row) if row is not None else None
+
+    def list_jobs(
+        self,
+        *,
+        state: Optional[str] = None,
+        kind: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> List[JobRecord]:
+        """All jobs, newest first, optionally filtered by state and/or kind."""
+        query = "SELECT * FROM jobs"
+        clauses, params = [], []
+        if state is not None:
+            if state not in JOB_STATES:
+                raise ValueError(f"unknown state {state!r}; expected one of {JOB_STATES}")
+            clauses.append("state = ?")
+            params.append(state)
+        if kind is not None:
+            clauses.append("kind = ?")
+            params.append(kind)
+        if clauses:
+            query += " WHERE " + " AND ".join(clauses)
+        query += " ORDER BY submitted_at DESC"
+        if limit is not None:
+            query += " LIMIT ?"
+            params.append(int(limit))
+        with self._lock:
+            rows = self._conn.execute(query, params).fetchall()
+        return [self._record(row) for row in rows]
+
+    def counts(self) -> Dict[str, int]:
+        """Number of jobs per state (states with no jobs included as 0)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT state, COUNT(*) AS n FROM jobs GROUP BY state"
+            ).fetchall()
+        counts = {state: 0 for state in JOB_STATES}
+        for row in rows:
+            counts[row["state"]] = row["n"]
+        return counts
+
+    # ------------------------------------------------------------------
+    # Scheduler primitives
+    # ------------------------------------------------------------------
+
+    def claim_next(self) -> Optional[JobRecord]:
+        """Atomically move the oldest ``queued`` job to ``running``.
+
+        Returns the claimed record, or None when the queue is empty.  The
+        select-then-update pair runs under the store lock and in one sqlite
+        transaction, so two worker threads can never claim the same job.
+        """
+        with self._lock, self._conn:
+            row = self._conn.execute(
+                "SELECT id FROM jobs WHERE state = 'queued'"
+                " ORDER BY submitted_at LIMIT 1"
+            ).fetchone()
+            if row is None:
+                return None
+            claimed = self._conn.execute(
+                "UPDATE jobs SET state = 'running', started_at = ?"
+                " WHERE id = ? AND state = 'queued'",
+                (time.time(), row["id"]),
+            ).rowcount
+            if not claimed:  # pragma: no cover - only under external writers
+                return None
+        return self.get(row["id"])
+
+    def update_progress(self, job_id: str, done: int, total: int) -> None:
+        """Record chunk progress for a running job."""
+        with self._lock, self._conn:
+            self._conn.execute(
+                "UPDATE jobs SET chunks_done = ?, chunks_total = ? WHERE id = ?",
+                (int(done), int(total), job_id),
+            )
+
+    def finish(self, job_id: str, result: Dict[str, Any]) -> None:
+        """Mark a job ``done`` with its result payload."""
+        self._finalize(job_id, "done", result=result)
+
+    def fail(self, job_id: str, error: str) -> None:
+        """Mark a job ``failed`` with an error message."""
+        self._finalize(job_id, "failed", error=error)
+
+    def mark_cancelled(self, job_id: str) -> None:
+        """Mark a job ``cancelled`` (its execution was abandoned)."""
+        self._finalize(job_id, "cancelled")
+
+    def _finalize(
+        self,
+        job_id: str,
+        state: str,
+        *,
+        result: Optional[Dict[str, Any]] = None,
+        error: Optional[str] = None,
+    ) -> None:
+        with self._lock, self._conn:
+            self._conn.execute(
+                "UPDATE jobs SET state = ?, result = ?, error = ?, finished_at = ?"
+                " WHERE id = ?",
+                (
+                    state,
+                    json.dumps(result) if result is not None else None,
+                    error,
+                    time.time(),
+                    job_id,
+                ),
+            )
+
+    def request_cancel(self, job_id: str) -> Optional[JobRecord]:
+        """Ask for a job to be cancelled; returns the updated record.
+
+        A ``queued`` job is cancelled on the spot.  A ``running`` job gets
+        its ``cancel_requested`` flag set and keeps running until its
+        progress hook notices (cooperative cancellation between chunks).
+        Terminal jobs are returned unchanged; unknown ids return None.
+        """
+        with self._lock, self._conn:
+            record = self.get(job_id)
+            if record is None or record.is_terminal:
+                return record
+            if record.state == "queued":
+                self._conn.execute(
+                    "UPDATE jobs SET state = 'cancelled', cancel_requested = 1,"
+                    " finished_at = ? WHERE id = ? AND state = 'queued'",
+                    (time.time(), job_id),
+                )
+            else:
+                self._conn.execute(
+                    "UPDATE jobs SET cancel_requested = 1 WHERE id = ?", (job_id,)
+                )
+        return self.get(job_id)
+
+    def cancel_requested(self, job_id: str) -> bool:
+        """True when cancellation has been requested for this job."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT cancel_requested FROM jobs WHERE id = ?", (job_id,)
+            ).fetchone()
+        return bool(row["cancel_requested"]) if row is not None else False
+
+    def recover_interrupted(self) -> int:
+        """Re-queue jobs left ``running`` by a dead server process.
+
+        Called once at scheduler start-up: any job still marked running
+        cannot actually be running (this process just started), so it is
+        returned to the queue with its progress reset.  Returns the number of
+        recovered jobs.
+        """
+        with self._lock, self._conn:
+            return self._conn.execute(
+                "UPDATE jobs SET state = 'queued', started_at = NULL,"
+                " chunks_done = 0, chunks_total = 0 WHERE state = 'running'"
+            ).rowcount
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the underlying connection (in-memory stores lose their data)."""
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "JobStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        where = self.path if self.path is not None else ":memory:"
+        return f"JobStore(path={where!r})"
+
+    @staticmethod
+    def _record(row: sqlite3.Row) -> JobRecord:
+        return JobRecord(
+            id=row["id"],
+            kind=row["kind"],
+            spec=json.loads(row["spec"]),
+            state=row["state"],
+            dedupe_key=row["dedupe_key"],
+            chunks_done=row["chunks_done"],
+            chunks_total=row["chunks_total"],
+            result=json.loads(row["result"]) if row["result"] is not None else None,
+            error=row["error"],
+            cancel_requested=bool(row["cancel_requested"]),
+            submitted_at=row["submitted_at"],
+            started_at=row["started_at"],
+            finished_at=row["finished_at"],
+        )

@@ -1,0 +1,334 @@
+"""Scheduler: drains the job queue onto the execution runtime.
+
+The :class:`JobScheduler` is the compute half of the scenario service (the
+HTTP half lives in :mod:`repro.service.server`).  It owns
+
+* validation -- submitted payloads are materialised into
+  :class:`~repro.runtime.scenario.ScenarioSpec` objects or checked against
+  the experiment registry *at submission time*, so malformed requests are
+  rejected before they ever enter the queue;
+* deduplication -- a campaign submission is content-hashed (the scenario's
+  own :meth:`~repro.runtime.scenario.ScenarioSpec.cache_key` plus the chunk
+  plan; an experiment by its id and parameters), and a queued, running or
+  completed job with the same hash is returned instead of re-enqueuing the
+  work.  Together with the shared
+  :class:`~repro.runtime.cache.ResultCache` this makes submission idempotent
+  end to end: identical requests cost one simulation, ever;
+* execution -- a small pool of worker threads claims queued jobs and runs
+  them through the existing runtime (:meth:`ScenarioSpec.run` /
+  :func:`~repro.experiments.registry.run_experiment`) on the scheduler's
+  backend.  Threads, not processes, because a job's real parallelism lives
+  inside the backend (a :class:`~repro.runtime.backends.ProcessPoolBackend`
+  fans each job's chunks out) -- the workers only coordinate;
+* progress and cancellation -- each campaign's per-chunk
+  ``progress(done, total)`` callback writes live progress into the store and
+  polls the job's ``cancel_requested`` flag, raising :class:`JobCancelled`
+  between chunks when an abort was requested.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.runtime.backends import ExecutionBackend, resolve_backend
+from repro.runtime.cache import ResultCache
+from repro.runtime.hashing import stable_hash
+from repro.runtime.scenario import ScenarioSpec
+from repro.service.jobs import JobRecord, JobStore
+
+__all__ = ["JobCancelled", "JobScheduler", "campaign_result_payload", "table_payload"]
+
+
+class JobCancelled(RuntimeError):
+    """Raised inside a worker when a running job's cancellation is requested."""
+
+
+def campaign_result_payload(result) -> Dict[str, Any]:
+    """JSON-compatible form of a :class:`~repro.simulation.campaign.CampaignResult`.
+
+    The full per-strategy makespan samples are included: JSON serialises
+    floats via ``repr``, which round-trips IEEE-754 doubles exactly, so a
+    client can rebuild a bit-identical ``CampaignResult`` from the payload
+    (the acceptance test of the service pins this down).
+    """
+    return {
+        "type": "campaign",
+        "num_runs": result.num_runs,
+        "makespans": {
+            name: [float(x) for x in samples]
+            for name, samples in result.makespans.items()
+        },
+        "summary": {
+            name: {"mean": result.mean(name), "std": result.std(name)}
+            for name in result.makespans
+        },
+        "ranking": result.ranking(),
+    }
+
+
+def table_payload(table) -> Dict[str, Any]:
+    """JSON-compatible form of a :class:`~repro.experiments.reporting.ResultTable`."""
+    return {
+        "type": "table",
+        "title": table.title,
+        "columns": list(table.columns),
+        "rows": [
+            {key: _json_value(value) for key, value in row.items()}
+            for row in table.rows
+        ],
+    }
+
+
+def _json_value(value: Any) -> Any:
+    """Coerce numpy scalars (and anything with ``item()``) to plain JSON values."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    return str(value)
+
+
+class JobScheduler:
+    """Executes queued jobs from a :class:`JobStore` on worker threads.
+
+    Parameters
+    ----------
+    store:
+        The persistent job store.  Jobs left ``running`` by a previous
+        process are re-queued immediately (restart recovery).
+    num_workers:
+        Worker threads draining the queue; each runs one job at a time.
+    backend:
+        Backend spec shared by every job's chunk fan-out (``None``, a worker
+        count, ``"processes"``, or an instance); owned and closed by the
+        scheduler when it materialised the spec itself.
+    cache:
+        Optional shared result cache: jobs and direct library calls that
+        describe the same scenario replay each other's entries.
+    chunk_size:
+        Default chunk size for campaign jobs (a job may override it).
+    """
+
+    def __init__(
+        self,
+        store: JobStore,
+        *,
+        num_workers: int = 1,
+        backend=None,
+        cache: Optional[ResultCache] = None,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self.store = store
+        self.num_workers = num_workers
+        self._owns_backend = not isinstance(backend, ExecutionBackend)
+        self.backend = resolve_backend(backend)
+        self.cache = cache
+        self.chunk_size = chunk_size
+        self._threads: list = []
+        self._stop = threading.Event()
+        self._wake = threading.Condition()
+        self._abandoned_workers = False
+        self.recovered = store.recover_interrupted()
+
+    # ------------------------------------------------------------------
+    # Submission (validation + dedupe)
+    # ------------------------------------------------------------------
+
+    def submit_campaign(
+        self,
+        scenario: Dict[str, Any],
+        *,
+        chunk_size: Optional[int] = None,
+    ) -> Tuple[JobRecord, bool]:
+        """Enqueue a :class:`ScenarioSpec` campaign (or reuse an equivalent job).
+
+        ``scenario`` is the spec's plain-dict form; it is validated here so a
+        bad submission fails fast with a :exc:`ValueError`/:exc:`TypeError`/
+        :exc:`KeyError` instead of a failed job.  Returns ``(record, reused)``
+        where ``reused`` is True when an existing queued/running/done job
+        with the same scenario hash (and chunk plan) was returned instead of
+        a new one.
+        """
+        spec = ScenarioSpec.from_dict(scenario)
+        effective_chunk = chunk_size if chunk_size is not None else self.chunk_size
+        dedupe_key = stable_hash({
+            "service_job": "campaign",
+            "scenario": spec.cache_key(),
+            "num_runs": spec.num_runs,
+            "chunk_size": effective_chunk,
+        })
+        payload = {"scenario": spec.to_dict()}
+        if chunk_size is not None:
+            payload["chunk_size"] = chunk_size
+        return self._submit("campaign", payload, dedupe_key)
+
+    def submit_experiment(
+        self,
+        experiment: str,
+        *,
+        engine: Optional[str] = None,
+        params: Optional[Dict[str, Any]] = None,
+    ) -> Tuple[JobRecord, bool]:
+        """Enqueue a registry experiment (E1-E10) run.
+
+        ``params`` are forwarded to the experiment function as keyword
+        arguments (e.g. ``{"num_runs": 500, "seed": 3}``).
+        """
+        key = experiment.upper()
+        if key not in EXPERIMENTS:
+            raise KeyError(
+                f"unknown experiment {experiment!r}; available: {sorted(EXPERIMENTS)}"
+            )
+        params = dict(params or {})
+        dedupe_key = stable_hash({
+            "service_job": "experiment",
+            "experiment": key,
+            "engine": engine,
+            "params": params,
+        })
+        payload: Dict[str, Any] = {"experiment": key, "params": params}
+        if engine is not None:
+            payload["engine"] = engine
+        return self._submit("experiment", payload, dedupe_key)
+
+    def _submit(
+        self, kind: str, payload: Dict[str, Any], dedupe_key: str
+    ) -> Tuple[JobRecord, bool]:
+        record, reused = self.store.submit_or_reuse(kind, payload, dedupe_key)
+        if not reused:
+            with self._wake:
+                self._wake.notify_all()
+        return record, reused
+
+    # ------------------------------------------------------------------
+    # Worker loop
+    # ------------------------------------------------------------------
+
+    @property
+    def abandoned_workers(self) -> bool:
+        """True when :meth:`stop` timed out and left a worker mid-job."""
+        return self._abandoned_workers
+
+    def start(self) -> None:
+        """Start the worker threads (idempotent)."""
+        if self._threads:
+            return
+        self._stop.clear()
+        for index in range(self.num_workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"repro-job-worker-{index}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self, *, wait: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop the workers after their current job; close owned resources.
+
+        ``timeout`` bounds the per-worker join: a worker still executing a
+        long job after the timeout is *abandoned* (the threads are daemons,
+        so they die with the process) instead of blocking shutdown -- the job
+        it was running is re-queued by restart recovery on the next start.
+        An owned backend is only closed when every worker actually exited
+        (closing a process pool out from under a running job would block on
+        it all the same).
+        """
+        self._stop.set()
+        with self._wake:
+            self._wake.notify_all()
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout)
+        if any(thread.is_alive() for thread in self._threads):
+            self._abandoned_workers = True
+        self._threads = []
+        if self._owns_backend and not self._abandoned_workers:
+            self.backend.close()
+
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            job = self.store.claim_next()
+            if job is None:
+                with self._wake:
+                    # A submit that lands between claim_next and this wait
+                    # notifies before we sleep and is simply picked up by the
+                    # timeout; the notification only shortens the idle wait.
+                    self._wake.wait(timeout=0.1)
+                continue
+            self.execute(job)
+
+    def run_pending(self, *, max_jobs: Optional[int] = None) -> int:
+        """Synchronously drain the queue in the calling thread.
+
+        The threadless twin of :meth:`start` -- used by tests and one-shot
+        tooling that want deterministic scheduling.  Returns the number of
+        jobs executed.
+        """
+        executed = 0
+        while max_jobs is None or executed < max_jobs:
+            job = self.store.claim_next()
+            if job is None:
+                break
+            self.execute(job)
+            executed += 1
+        return executed
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def execute(self, job: JobRecord) -> None:
+        """Run one claimed job to a terminal state (never raises)."""
+        try:
+            if self.store.cancel_requested(job.id):
+                raise JobCancelled(job.id)
+            if job.kind == "campaign":
+                result = self._execute_campaign(job)
+            elif job.kind == "experiment":
+                result = self._execute_experiment(job)
+            else:
+                raise ValueError(f"unknown job kind {job.kind!r}")
+        except JobCancelled:
+            self.store.mark_cancelled(job.id)
+        except Exception as exc:  # noqa: BLE001 - a job failure must not kill the worker
+            self.store.fail(job.id, f"{type(exc).__name__}: {exc}")
+        else:
+            self.store.finish(job.id, result)
+
+    def _progress_hook(self, job_id: str):
+        def hook(done: int, total: int) -> None:
+            if self.store.cancel_requested(job_id):
+                raise JobCancelled(job_id)
+            self.store.update_progress(job_id, done, total)
+
+        return hook
+
+    def _execute_campaign(self, job: JobRecord) -> Dict[str, Any]:
+        spec = ScenarioSpec.from_dict(job.spec["scenario"])
+        chunk_size = job.spec.get("chunk_size", self.chunk_size)
+        result = spec.run(
+            backend=self.backend,
+            cache=self.cache,
+            chunk_size=chunk_size,
+            progress=self._progress_hook(job.id),
+        )
+        payload = campaign_result_payload(result)
+        payload["scenario_key"] = spec.cache_key()
+        return payload
+
+    def _execute_experiment(self, job: JobRecord) -> Dict[str, Any]:
+        hook = self._progress_hook(job.id)
+        hook(0, 1)
+        table = run_experiment(
+            job.spec["experiment"],
+            backend=self.backend,
+            cache=self.cache,
+            engine=job.spec.get("engine"),
+            **job.spec.get("params", {}),
+        )
+        hook(1, 1)
+        return table_payload(table)

@@ -1,0 +1,341 @@
+"""HTTP API of the scenario service.
+
+A deliberately small, dependency-free JSON-over-HTTP surface on the stdlib's
+:class:`~http.server.ThreadingHTTPServer` (one thread per request; the heavy
+lifting happens on the scheduler's workers, so request handlers only touch
+the job store).  Endpoints:
+
+=======  ==========================  ===============================================
+Method   Path                        Meaning
+=======  ==========================  ===============================================
+GET      ``/v1/healthz``             liveness + job counts
+GET      ``/v1/scenarios``           catalog: experiments, engines, sweepable fields
+POST     ``/v1/scenarios/preview``   expand a sweep without running it
+POST     ``/v1/jobs``                submit a campaign or experiment job
+GET      ``/v1/jobs``                list jobs (``?state=``, ``?kind=``, ``?limit=``)
+GET      ``/v1/jobs/{id}``           one job: state, progress, timings, result
+DELETE   ``/v1/jobs/{id}``           cancel (immediate if queued, cooperative if
+                                     running)
+=======  ==========================  ===============================================
+
+Responses are JSON; errors are ``{"error": message}`` with a 4xx status.
+Submission replies carry ``"deduplicated": true`` (and status 200 instead of
+201) when an equivalent job already existed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.experiments.registry import experiment_descriptions
+from repro.runtime.backends import ENGINES
+from repro.runtime.scenario import ScenarioSpec, expand_scenarios
+from repro.service.queue import JobScheduler
+
+__all__ = ["ScenarioServer"]
+
+
+class _ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes one HTTP request to the scheduler/store behind the server."""
+
+    server_version = "repro-scenario-service/1"
+    protocol_version = "HTTP/1.1"
+
+    # The ScenarioServer attaches itself here (class created per server).
+    service: "ScenarioServer"
+
+    # ------------------------------------------------------------------
+    # Verbs
+    # ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        path, query = self._split_path()
+        if path == "/v1/healthz":
+            self._send(200, self.service.health())
+        elif path == "/v1/scenarios":
+            self._send(200, self.service.catalog())
+        elif path == "/v1/jobs":
+            self._list_jobs(query)
+        elif path.startswith("/v1/jobs/"):
+            self._get_job(path[len("/v1/jobs/"):])
+        else:
+            self._send(404, {"error": f"no such path: {path}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        path, _ = self._split_path()
+        if path == "/v1/jobs":
+            self._submit_job()
+        elif path == "/v1/scenarios/preview":
+            self._preview_sweep()
+        else:
+            self._send(404, {"error": f"no such path: {path}"})
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        path, _ = self._split_path()
+        if path.startswith("/v1/jobs/"):
+            self._cancel_job(path[len("/v1/jobs/"):])
+        else:
+            self._send(404, {"error": f"no such path: {path}"})
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+
+    def _list_jobs(self, query: Dict[str, list]) -> None:
+        try:
+            records = self.service.scheduler.store.list_jobs(
+                state=query.get("state", [None])[0],
+                kind=query.get("kind", [None])[0],
+                limit=int(query["limit"][0]) if "limit" in query else None,
+            )
+        except ValueError as exc:
+            self._send(400, {"error": str(exc)})
+            return
+        # Listings omit result payloads (a done campaign's samples can be
+        # megabytes); fetch the job by id for the full record.
+        self._send(
+            200, {"jobs": [record.to_dict(include_result=False) for record in records]}
+        )
+
+    def _get_job(self, job_id: str) -> None:
+        record = self.service.scheduler.store.get(job_id)
+        if record is None:
+            self._send(404, {"error": f"no such job: {job_id}"})
+        else:
+            self._send(200, {"job": record.to_dict()})
+
+    def _cancel_job(self, job_id: str) -> None:
+        record = self.service.scheduler.store.get(job_id)
+        if record is None:
+            self._send(404, {"error": f"no such job: {job_id}"})
+            return
+        updated = self.service.scheduler.store.request_cancel(job_id)
+        self._send(200, {"job": updated.to_dict(include_result=False)})
+
+    def _submit_job(self) -> None:
+        body = self._read_json()
+        if body is None:
+            return
+        kind = body.get("kind", "campaign")
+        try:
+            if kind == "campaign":
+                if "scenario" not in body:
+                    raise ValueError('a campaign submission needs a "scenario" object')
+                record, reused = self.service.scheduler.submit_campaign(
+                    body["scenario"], chunk_size=body.get("chunk_size")
+                )
+            elif kind == "experiment":
+                if "experiment" not in body:
+                    raise ValueError('an experiment submission needs an "experiment" id')
+                record, reused = self.service.scheduler.submit_experiment(
+                    body["experiment"],
+                    engine=body.get("engine"),
+                    params=body.get("params"),
+                )
+            else:
+                raise ValueError(
+                    f"unknown job kind {kind!r}; expected 'campaign' or 'experiment'"
+                )
+        except (KeyError, TypeError, ValueError) as exc:
+            self._send(400, {"error": str(exc)})
+            return
+        self._send(
+            200 if reused else 201,
+            {"job": record.to_dict(include_result=False), "deduplicated": reused},
+        )
+
+    def _preview_sweep(self) -> None:
+        body = self._read_json()
+        if body is None:
+            return
+        try:
+            base = ScenarioSpec.from_dict(body.get("scenario", {}))
+            axes = body.get("axes", {})
+            if not isinstance(axes, dict):
+                raise ValueError('"axes" must map field names to value lists')
+            if "failure" in axes:
+                axes = dict(axes)
+                axes["failure"] = [
+                    spec if not isinstance(spec, dict) else base.failure.__class__(**spec)
+                    for spec in axes["failure"]
+                ]
+            if "chain" in axes:
+                axes = dict(axes)
+                axes["chain"] = [
+                    spec if not isinstance(spec, dict) else base.chain.__class__(**spec)
+                    for spec in axes["chain"]
+                ]
+            expanded = expand_scenarios(base, **axes)
+        except (KeyError, TypeError, ValueError) as exc:
+            self._send(400, {"error": str(exc)})
+            return
+        self._send(200, {
+            "count": len(expanded),
+            "scenarios": [
+                {
+                    "name": spec.name,
+                    "cache_key": spec.cache_key(),
+                    "num_runs": spec.num_runs,
+                    "engine": spec.engine,
+                    "scenario": spec.to_dict(),
+                }
+                for spec in expanded
+            ],
+        })
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def _split_path(self) -> Tuple[str, Dict[str, list]]:
+        parts = urlsplit(self.path)
+        return parts.path.rstrip("/") or "/", parse_qs(parts.query)
+
+    def _read_json(self) -> Optional[Dict[str, Any]]:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = 0
+        raw = self.rfile.read(length) if length else b""
+        try:
+            body = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._send(400, {"error": f"invalid JSON body: {exc}"})
+            return None
+        if not isinstance(body, dict):
+            self._send(400, {"error": "the request body must be a JSON object"})
+            return None
+        return body
+
+    def _send(self, status: int, payload: Dict[str, Any]) -> None:
+        data = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.service.verbose:
+            super().log_message(format, *args)
+
+
+class ScenarioServer:
+    """The scenario service's HTTP front-end.
+
+    Wraps a :class:`JobScheduler` in a :class:`~http.server.ThreadingHTTPServer`.
+    ``port=0`` binds an ephemeral port (query :attr:`port` after
+    construction) -- how the tests and the CI smoke step avoid collisions.
+
+    Use :meth:`serve_forever` for a foreground server (the CLI) or
+    :meth:`start` / :meth:`shutdown` for a background one (tests, notebooks).
+    Starting the server also starts the scheduler's workers.
+    """
+
+    def __init__(
+        self,
+        scheduler: JobScheduler,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        verbose: bool = False,
+    ) -> None:
+        self.scheduler = scheduler
+        self.verbose = verbose
+        self.started_at = time.time()
+        handler = type("_BoundServiceHandler", (_ServiceRequestHandler,), {"service": self})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should use."""
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    # Introspection payloads (shared by handler and health checks)
+    # ------------------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return {
+            "status": "ok",
+            "jobs": self.scheduler.store.counts(),
+            "workers": self.scheduler.num_workers,
+            "backend": repr(self.scheduler.backend),
+            # `is not None`, not truthiness: ResultCache.__len__ makes an
+            # empty cache falsy, and an attached-but-cold cache must still
+            # show up here.
+            "cache": repr(self.scheduler.cache) if self.scheduler.cache is not None else None,
+            "uptime_seconds": time.time() - self.started_at,
+        }
+
+    def catalog(self) -> Dict[str, Any]:
+        sweepable = sorted(
+            f.name for f in dataclasses.fields(ScenarioSpec) if f.name != "name"
+        )
+        return {
+            "experiments": experiment_descriptions(),
+            "engines": list(ENGINES),
+            "sweepable_fields": sweepable,
+            "preview": "POST {scenario, axes} to /v1/scenarios/preview to expand "
+                       "a sweep without running it",
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Run in the calling thread until :meth:`shutdown` (or Ctrl-C).
+
+        On the way out (including Ctrl-C) workers get a bounded grace period
+        to finish their current job, then are abandoned: a foreground server
+        must stop when asked, and a job cut short mid-run is exactly what
+        restart recovery re-queues on the next start.
+        """
+        self.scheduler.start()
+        try:
+            self._httpd.serve_forever(poll_interval=0.1)
+        finally:
+            self._httpd.server_close()
+            self.scheduler.stop(timeout=2.0)
+
+    def start(self) -> None:
+        """Serve in a background thread (returns once the socket is live)."""
+        self.scheduler.start()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, kwargs={"poll_interval": 0.05},
+            name="repro-scenario-server", daemon=True,
+        )
+        self._thread.start()
+
+    def shutdown(self) -> None:
+        """Stop serving and stop the scheduler's workers."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        self.scheduler.stop()
+
+    def __enter__(self) -> "ScenarioServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

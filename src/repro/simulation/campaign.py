@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -177,6 +177,7 @@ class CampaignRunner:
         cache: Optional[ResultCache] = None,
         chunk_size: Optional[int] = None,
         engine: Optional[str] = None,
+        progress: Optional[Callable[[int, int], None]] = None,
     ) -> CampaignResult:
         """Execute the campaign.
 
@@ -200,6 +201,14 @@ class CampaignRunner:
         statistically equivalent to (not bit-identical with) the scalar
         engine's; for a given ``seed`` they remain bit-identical across
         backends and worker counts, and cached entries are keyed per engine.
+
+        ``progress`` is an optional ``callback(done, total)`` reporting how
+        many of the campaign's deterministic chunks have completed; it fires
+        once with ``(0, total)`` before execution, then after every chunk (a
+        cache hit reports ``(total, total)`` immediately).  Exceptions raised
+        by the callback abort the campaign -- which is how the scenario
+        service implements cooperative cancellation.  On the serial
+        (non-chunked) path the whole run counts as a single chunk.
         """
         check_positive_int("num_runs", num_runs)
         if backend is not None or cache is not None or engine is not None:
@@ -219,7 +228,10 @@ class CampaignRunner:
             return self._run_chunked(
                 num_runs, seed=seed, backend=backend, cache=cache,
                 chunk_size=chunk_size, engine=resolve_engine(engine, backend),
+                progress=progress,
             )
+        if progress is not None:
+            progress(0, 1)
         if rng is None:
             rng = np.random.default_rng(seed)
         if traces is None:
@@ -245,6 +257,8 @@ class CampaignRunner:
                 source = TraceFailureSource(trace)
                 result = simulate_segments(segments, source, self.downtime, rng=rng)
                 makespans[name].append(result.makespan)
+        if progress is not None:
+            progress(1, 1)
         return CampaignResult(makespans=makespans, num_runs=len(traces))
 
     def _run_chunked(
@@ -256,8 +270,11 @@ class CampaignRunner:
         cache: Optional[ResultCache],
         chunk_size: Optional[int],
         engine: str = "scalar",
+        progress: Optional[Callable[[int, int], None]] = None,
     ) -> CampaignResult:
         plan = plan_chunks(num_runs, chunk_size)
+        if progress is not None:
+            progress(0, plan.num_chunks)
         names = list(self._segments)
         store = None
         key = None
@@ -289,6 +306,8 @@ class CampaignRunner:
                     name: arrays[f"s{index}"].tolist()
                     for index, name in enumerate(meta["strategies"])
                 }
+                if progress is not None:
+                    progress(plan.num_chunks, plan.num_chunks)
                 return CampaignResult(makespans=makespans, num_runs=meta["num_runs"])
         tasks = [
             (
@@ -304,7 +323,13 @@ class CampaignRunner:
         ]
         worker = _campaign_chunk_vectorized if engine == "vectorized" else _campaign_chunk
         with backend_scope(backend) as executor:
-            chunks = executor.map(worker, tasks)
+            if progress is None:
+                chunks = executor.map(worker, tasks)
+            else:
+                chunks = []
+                for chunk in executor.imap(worker, tasks):
+                    chunks.append(chunk)
+                    progress(len(chunks), plan.num_chunks)
         merged: Dict[str, List[float]] = {name: [] for name in names}
         for chunk in chunks:
             for name in names:

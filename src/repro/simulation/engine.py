@@ -100,7 +100,9 @@ class RenewalPlatformFailureSource(FailureSource):
     only the failed processor is renewed (its next failure is redrawn from
     the failure time), unless ``rejuvenate_all_on_failure`` is set, in which
     case every processor restarts its clock -- the assumption of [12] the
-    paper argues against, kept for comparison experiments.
+    paper argues against, kept for comparison experiments.  The default
+    (``None``) inherits the platform's own ``rejuvenate_all_on_failure``
+    field; an explicit bool overrides it.
     """
 
     def __init__(
@@ -108,9 +110,11 @@ class RenewalPlatformFailureSource(FailureSource):
         platform: Platform,
         rng: Optional[np.random.Generator] = None,
         *,
-        rejuvenate_all_on_failure: bool = False,
+        rejuvenate_all_on_failure: Optional[bool] = None,
     ) -> None:
         self.platform = platform
+        if rejuvenate_all_on_failure is None:
+            rejuvenate_all_on_failure = platform.rejuvenate_all_on_failure
         self.rejuvenate_all_on_failure = rejuvenate_all_on_failure
         self._rng = rng if rng is not None else np.random.default_rng()
         self._next_failures: List[float] = []

@@ -19,6 +19,7 @@ from repro._validation import check_non_negative, check_positive, check_positive
 from repro.core.schedule import Schedule, Segment
 from repro.failures.distributions import ExponentialFailure, FailureDistribution
 from repro.failures.platform import Platform
+from repro.failures.traces import FailureTrace
 from repro.runtime.backends import ExecutionBackend, backend_scope, resolve_engine
 from repro.runtime.cache import ResultCache
 from repro.runtime.chunking import plan_chunks
@@ -27,6 +28,8 @@ from repro.simulation.executor import SimulationResult, simulate_segments
 from repro.simulation.vectorized import (
     PlannedExponentialDelays,
     PlannedPoissonSource,
+    pack_trace_times,
+    replay_traces_batch,
     simulate_poisson_batch,
     simulate_renewal_batch,
 )
@@ -139,11 +142,14 @@ class MonteCarloEstimator:
         :class:`~repro.core.schedule.Segment` objects.
     failure_model:
         Anything accepted by
-        :func:`repro.simulation.engine.failure_source_for`.  Stochastic
-        sources are re-created per run from the estimator's RNG so runs are
-        independent; trace sources are reset (every run replays the same
-        trace -- pass a factory via ``failure_model_factory`` for independent
-        traces).
+        :func:`repro.simulation.engine.failure_source_for`, or an explicit
+        *list* of :class:`~repro.failures.traces.FailureTrace` objects.
+        Stochastic sources are re-created per run from the estimator's RNG so
+        runs are independent; a single trace is reset (every run replays the
+        same trace -- pass a factory via ``failure_model_factory`` for
+        independent random traces); with a trace list, run ``i`` replays
+        trace ``i`` (``num_runs`` may not exceed the list length), which is
+        how recorded failure logs are averaged over.
     downtime:
         Downtime ``D`` applied after each failure.
     failure_model_factory:
@@ -168,6 +174,16 @@ class MonteCarloEstimator:
                 raise ValueError("target must contain at least one segment")
         if failure_model is None and failure_model_factory is None:
             raise ValueError("provide failure_model or failure_model_factory")
+        if isinstance(failure_model, (list, tuple)):
+            # An explicit trace list: run i replays trace i.  Normalised to a
+            # tuple so it is hashable by the cache's canonicalizer.
+            traces = tuple(failure_model)
+            if not traces or not all(isinstance(t, FailureTrace) for t in traces):
+                raise TypeError(
+                    "a sequence failure_model must be a non-empty list of "
+                    "FailureTrace objects"
+                )
+            failure_model = traces
         self._failure_model = failure_model
         self._failure_model_factory = failure_model_factory
         self.downtime = check_non_negative("downtime", downtime)
@@ -178,8 +194,13 @@ class MonteCarloEstimator:
         *,
         seed: Optional[int] = None,
         record_log: bool = False,
+        run_index: int = 0,
     ) -> SimulationResult:
-        """Simulate a single run."""
+        """Simulate a single run.
+
+        ``run_index`` only matters for explicit trace-list models, where it
+        selects which trace this run replays; every other model ignores it.
+        """
         if rng is None:
             rng = np.random.default_rng(seed)
         model = (
@@ -187,6 +208,13 @@ class MonteCarloEstimator:
             if self._failure_model_factory is not None
             else self._failure_model
         )
+        if isinstance(model, tuple):
+            if not 0 <= run_index < len(model):
+                raise IndexError(
+                    f"run_index {run_index} out of range for a trace list of "
+                    f"length {len(model)}"
+                )
+            model = model[run_index]
         source = failure_source_for(model, rng)
         source.reset()
         return simulate_segments(
@@ -198,10 +226,15 @@ class MonteCarloEstimator:
 
         Returns ``("poisson", rate)`` for memoryless models (the exact array
         fast path), ``("renewal", platform)`` for non-memoryless renewal
-        platforms (the statistical batch path), and ``(None, None)`` for
-        models the vectorized engine cannot batch (traces, ready-made
-        sources, factories) -- those fall back to the scalar event loop and
-        therefore produce results identical to ``engine="scalar"``.
+        platforms (the statistical batch path), ``("trace", model)`` for
+        explicit trace models (a single
+        :class:`~repro.failures.traces.FailureTrace` or a tuple of them,
+        replayed through
+        :func:`~repro.simulation.vectorized.replay_traces_batch`), and
+        ``(None, None)`` for models the vectorized engine cannot batch
+        (ready-made sources, factories) -- those fall back to the scalar
+        event loop and therefore produce results identical to
+        ``engine="scalar"``.
         """
         if self._failure_model_factory is not None:
             return None, None
@@ -218,6 +251,8 @@ class MonteCarloEstimator:
             return "renewal", model
         if isinstance(model, FailureDistribution):
             return "renewal", Platform(num_processors=1, failure_law=model)
+        if isinstance(model, (FailureTrace, tuple)):
+            return "trace", model
         return None, None
 
     def estimate(
@@ -252,17 +287,25 @@ class MonteCarloEstimator:
         engines consume an engine-neutral delay plan and are **bit-identical**
         for the same ``(seed, chunk_size)`` -- they even share cache entries;
         for renewal laws (Weibull, log-normal) the vectorized engine batches
-        its draws and is statistically equivalent instead.  ``engine=None``
+        its draws and is statistically equivalent instead; explicit trace
+        models (a single trace or a trace list) replay through
+        :func:`~repro.simulation.vectorized.replay_traces_batch` and agree
+        with the scalar engine to ~1 ulp per segment.  ``engine=None``
         inherits the engine advertised by the backend (so passing a
         :class:`~repro.runtime.backends.VectorizedBackend` is enough).
         """
         check_positive_int("num_runs", num_runs)
+        if isinstance(self._failure_model, tuple) and num_runs > len(self._failure_model):
+            raise ValueError(
+                f"num_runs={num_runs} exceeds the explicit trace list "
+                f"({len(self._failure_model)} traces); run i replays trace i"
+            )
         if backend is None and cache is None and engine is None:
             if rng is None:
                 rng = np.random.default_rng(seed)
             results: List[SimulationResult] = []
-            for _ in range(num_runs):
-                results.append(self.run_once(rng))
+            for index in range(num_runs):
+                results.append(self.run_once(rng, run_index=index))
             return MonteCarloEstimate.from_results(results)
         return self._estimate_chunked(
             num_runs, rng=rng, seed=seed, backend=backend, cache=cache,
@@ -312,7 +355,10 @@ class MonteCarloEstimator:
             # same delay plan and share entries (a cache warmed by one engine
             # replays through the other); models the vectorized engine cannot
             # batch fall back to the scalar loop and share entries too.
-            if engine == "vectorized" and self._vector_mode()[0] == "renewal":
+            # Renewal batching reorders its draws and trace replay
+            # re-associates its duration sums (~1 ulp), so those two modes
+            # key per engine.
+            if engine == "vectorized" and self._vector_mode()[0] in ("renewal", "trace"):
                 payload["engine"] = "vectorized"
             store = cache.with_namespace("monte_carlo")
             key = store.key_for(payload)
@@ -322,9 +368,14 @@ class MonteCarloEstimator:
                 return MonteCarloEstimate.from_samples(
                     arrays["makespans"], arrays["num_failures"], arrays["wasted_times"]
                 )
+        # Each task carries its chunk's replication offset so trace-list
+        # models know which traces the chunk replays (run i = trace i).
+        offsets = [0]
+        for size in plan.sizes[:-1]:
+            offsets.append(offsets[-1] + size)
         tasks = [
-            (self, chunk_seed, size, engine)
-            for chunk_seed, size in zip(plan.seeds(seed), plan.sizes)
+            (self, chunk_seed, size, engine, offset)
+            for chunk_seed, size, offset in zip(plan.seeds(seed), plan.sizes, offsets)
         ]
         with backend_scope(backend) as executor:
             chunks = executor.map(_estimate_chunk, tasks)
@@ -344,7 +395,7 @@ class MonteCarloEstimator:
 
 
 def _estimate_chunk(
-    args: Tuple["MonteCarloEstimator", np.random.SeedSequence, int, str],
+    args: Tuple["MonteCarloEstimator", np.random.SeedSequence, int, str, int],
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Simulate one chunk of replications (runs in a worker process).
 
@@ -358,13 +409,36 @@ def _estimate_chunk(
     through the event loop, the vectorized engine round by round through the
     array program, and the two are bit-identical by construction.  Renewal
     models batch their draws on the vectorized engine (statistically
-    equivalent); models the vectorized engine cannot batch always take the
-    scalar loop.
+    equivalent); explicit trace models replay deterministically through
+    :func:`replay_traces_batch` (matching the scalar event loop to ~1 ulp);
+    models the vectorized engine cannot batch always take the scalar loop.
     """
-    estimator, chunk_seed, count, engine = args
+    estimator, chunk_seed, count, engine, offset = args
     rng = np.random.default_rng(chunk_seed)
     mode, resolved = estimator._vector_mode()
     segments = estimator._segments
+    if engine == "vectorized" and mode == "trace":
+        if isinstance(resolved, FailureTrace):
+            # A single trace: every replication replays it, so one replay
+            # row is broadcast across the chunk.
+            times = pack_trace_times([resolved])
+            makespans, fails = replay_traces_batch(
+                [segments], times, estimator.downtime, with_failures=True
+            )
+            chunk_makespans = np.full(count, makespans[0, 0])
+            chunk_failures = np.full(count, float(fails[0, 0]))
+        else:
+            times = pack_trace_times(resolved[offset : offset + count])
+            makespans, fails = replay_traces_batch(
+                [segments], times, estimator.downtime, with_failures=True
+            )
+            chunk_makespans = makespans[0]
+            chunk_failures = fails[0].astype(float)
+        # A completed replay commits every segment exactly once, so the
+        # useful time is the failure-free total and the rest is waste --
+        # the identity the scalar executor maintains incrementally.
+        useful = sum(s.work + s.checkpoint_cost for s in segments)
+        return chunk_makespans, chunk_failures, chunk_makespans - useful
     if mode == "poisson":
         plan = PlannedExponentialDelays(
             rng, 1.0 / resolved, count, first_rounds=len(segments) + 4
@@ -395,7 +469,7 @@ def _estimate_chunk(
     num_failures = np.empty(count, dtype=float)
     wasted_times = np.empty(count, dtype=float)
     for index in range(count):
-        result = estimator.run_once(rng)
+        result = estimator.run_once(rng, run_index=offset + index)
         makespans[index] = result.makespan
         num_failures[index] = result.num_failures
         wasted_times[index] = result.wasted_time

@@ -39,7 +39,7 @@ Three batch engines live here:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -57,6 +57,7 @@ __all__ = [
     "simulate_poisson_batch",
     "simulate_renewal_batch",
     "generate_trace_times_batch",
+    "pack_trace_times",
     "replay_traces_batch",
 ]
 
@@ -322,7 +323,7 @@ def simulate_renewal_batch(
     rng: np.random.Generator,
     count: int,
     *,
-    rejuvenate_all_on_failure: bool = False,
+    rejuvenate_all_on_failure: Optional[bool] = None,
     initial_ages: Optional[np.ndarray] = None,
 ) -> BatchSimulationResult:
     """Simulate ``count`` replications under per-processor renewal failures.
@@ -333,9 +334,10 @@ def simulate_renewal_batch(
     of each of the platform's processors; the platform fails when the earliest
     processor does, and only that processor is renewed (all of them when
     ``rejuvenate_all_on_failure``, the assumption of [12] the paper argues
-    against).  Scheduled failures that land inside a downtime window are
-    skipped by renewing from the scheduled time, exactly like the scalar
-    source.
+    against -- ``None``, the default, inherits the platform's own
+    ``rejuvenate_all_on_failure`` field exactly like the scalar source).
+    Scheduled failures that land inside a downtime window are skipped by
+    renewing from the scheduled time, exactly like the scalar source.
 
     Draws are batched across replications, so their *order* differs from the
     scalar engine's: this path is statistically -- not bit-wise -- equivalent
@@ -353,6 +355,8 @@ def simulate_renewal_batch(
     """
     check_non_negative("downtime", downtime)
     check_positive_int("count", count)
+    if rejuvenate_all_on_failure is None:
+        rejuvenate_all_on_failure = platform.rejuvenate_all_on_failure
     attempt_dur, recovery_dur = _segment_durations(segments)
     law: FailureDistribution = platform.failure_law
     num_procs = platform.num_processors
@@ -513,11 +517,31 @@ def generate_trace_times_batch(
     return flat
 
 
+def pack_trace_times(traces: Sequence) -> np.ndarray:
+    """Pack explicit :class:`~repro.failures.traces.FailureTrace` objects.
+
+    Returns the ``(len(traces), width)`` padded time matrix
+    :func:`replay_traces_batch` consumes: each row holds one trace's event
+    times in increasing order, padded with ``+inf``, with at least one
+    ``+inf`` sentinel column per row so replay cursors never run off the end.
+    """
+    if not traces:
+        raise ValueError("traces must not be empty")
+    rows = [np.asarray(trace.times, dtype=float) for trace in traces]
+    width = max(row.size for row in rows) + 1
+    times = np.full((len(rows), width), np.inf)
+    for index, row in enumerate(rows):
+        times[index, : row.size] = row
+    return times
+
+
 def replay_traces_batch(
     segment_lists: Sequence[Sequence[Segment]],
     times: np.ndarray,
     downtime: float,
-) -> np.ndarray:
+    *,
+    with_failures: bool = False,
+) -> Union[np.ndarray, Tuple[np.ndarray, np.ndarray]]:
     """Replay every strategy against every trace in one stacked lock-step loop.
 
     ``segment_lists`` holds one segment decomposition per strategy and
@@ -537,6 +561,15 @@ def replay_traces_batch(
     rounding (the prefix-sum jumps re-associate the duration additions, so
     agreement is to ~1 ulp per segment rather than bit-for-bit; the
     equivalence tests pin it at 1e-9 relative).
+
+    With ``with_failures=True`` a ``(makespans, num_failures)`` pair is
+    returned instead; the failure counts (``int64``, same shape) match the
+    scalar executor's ``num_failures`` exactly -- every event that strikes a
+    row is one failure, and events falling inside downtime windows or at the
+    exact completion instant are skipped without counting, as the scalar
+    trace source does.  This is what lets
+    :class:`~repro.simulation.monte_carlo.MonteCarloEstimator` dispatch
+    explicit trace models here without losing its failure statistics.
     """
     check_non_negative("downtime", downtime)
     if not segment_lists:
@@ -583,7 +616,9 @@ def replay_traces_batch(
     out_index = np.arange(rows)
 
     makespans = np.empty(rows)
+    failures_out = np.zeros(rows, dtype=np.int64)
     now = np.zeros(rows)
+    fails = np.zeros(rows, dtype=np.int64)
     seg = np.zeros(rows, dtype=np.int64)
     cursor = np.zeros(rows, dtype=np.int64)
     # Rows recovering from the failure that ended their previous round.
@@ -641,8 +676,10 @@ def replay_traces_batch(
         finished = seg >= limit
         if finished.any():
             makespans[out_index[finished]] = now[finished]
+            failures_out[out_index[finished]] = fails[finished]
             keep = ~finished
             now = now[keep]
+            fails = fails[keep]
             seg = seg[keep]
             cursor = cursor[keep]
             trace_base = trace_base[keep]
@@ -664,6 +701,7 @@ def replay_traces_batch(
         if now.size:
             struck = next_time > now
             now = np.where(struck, next_time + downtime, now)
+            fails += struck
             cursor += struck  # consume the event that just struck
             pending_recovery = struck
 
@@ -678,4 +716,7 @@ def replay_traces_batch(
                 "make completion astronomically unlikely"
             )
 
-    return makespans.reshape(num_strategies, num_traces)
+    makespans = makespans.reshape(num_strategies, num_traces)
+    if with_failures:
+        return makespans, failures_out.reshape(num_strategies, num_traces)
+    return makespans

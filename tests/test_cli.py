@@ -154,3 +154,77 @@ class TestExperimentCommand:
         main(["experiment", "E2", "--csv"])
         out = capsys.readouterr().out
         assert out.splitlines()[0].startswith("rate,")
+
+
+class TestServiceCommands:
+    """The serve/submit/jobs sub-commands (full HTTP round-trips live in
+    tests/test_service.py; here: argument handling and end-to-end output)."""
+
+    def test_submit_requires_spec_xor_experiment(self, tmp_path):
+        with pytest.raises(SystemExit, match="either"):
+            main(["submit", "--url", "http://127.0.0.1:1"])
+        with pytest.raises(SystemExit, match="either"):
+            main(["submit", str(tmp_path / "spec.json"), "--experiment", "E1"])
+
+    def test_submit_unreachable_service_fails_cleanly(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        from repro.runtime.scenario import ChainSpec, FailureSpec, ScenarioSpec
+
+        spec = ScenarioSpec(
+            name="cli", chain=ChainSpec(n=4, seed=1),
+            failure=FailureSpec(kind="exponential", mtbf=30.0), num_runs=50,
+        )
+        spec_path.write_text(spec.to_json())
+        # Nothing listens on port 9: the client must fail with a message,
+        # not a traceback.
+        exit_code = main(["submit", str(spec_path), "--url", "http://127.0.0.1:9"])
+        assert exit_code == 1
+        assert "cannot reach the scenario service" in capsys.readouterr().err
+
+    def test_jobs_against_live_service_and_submit_wait(self, tmp_path, capsys):
+        from repro.runtime.scenario import ChainSpec, FailureSpec, ScenarioSpec
+        from repro.service.jobs import JobStore
+        from repro.service.queue import JobScheduler
+        from repro.service.server import ScenarioServer
+
+        spec = ScenarioSpec(
+            name="cli-e2e", chain=ChainSpec(n=4, seed=1),
+            failure=FailureSpec(kind="exponential", mtbf=30.0),
+            strategies=("optimal_dp", "checkpoint_none"), num_runs=80, seed=5,
+        )
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(spec.to_json())
+        store = JobStore()
+        server = ScenarioServer(JobScheduler(store), port=0)
+        server.start()
+        try:
+            exit_code = main([
+                "submit", str(spec_path), "--url", server.url, "--wait",
+                "--timeout", "60",
+            ])
+            assert exit_code == 0
+            out = capsys.readouterr().out
+            assert "Simulation campaign" in out and "optimal_dp" in out
+
+            assert main(["jobs", "--url", server.url]) == 0
+            listing = capsys.readouterr().out
+            assert "campaign" in listing and "done" in listing
+
+            job_id = store.list_jobs()[0].id
+            assert main(["jobs", job_id, "--url", server.url]) == 0
+            detail = capsys.readouterr().out
+            assert '"state": "done"' in detail
+        finally:
+            server.shutdown()
+            store.close()
+
+    def test_serve_rejects_engine_flag(self):
+        # A scenario's samples are defined by its spec; the server must not
+        # offer a flag that would silently (not) override job engines.
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--engine", "vectorized"])
+
+    def test_submit_missing_spec_file_fails_cleanly(self, capsys):
+        exit_code = main(["submit", "/nonexistent/spec.json", "--url", "http://127.0.0.1:1"])
+        assert exit_code == 1
+        assert "cannot read spec" in capsys.readouterr().err

@@ -1,0 +1,452 @@
+"""Tests for the scenario service (job store, scheduler, HTTP API, client).
+
+The load-bearing guarantees:
+
+* **fidelity** -- a campaign submitted over HTTP returns makespan samples
+  bit-identical to a direct :meth:`ScenarioSpec.run` with the same spec, and
+  the two share disk-cache entries (same scenario hash);
+* **durability** -- jobs survive a server restart via the sqlite store, and
+  jobs interrupted mid-run are re-queued on recovery;
+* **idempotence** -- resubmitting an equivalent scenario reuses the existing
+  job instead of recomputing;
+* **control** -- queued jobs cancel immediately, running jobs cancel
+  cooperatively between chunks via the progress hook.
+"""
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.runtime.cache import ResultCache
+from repro.runtime.scenario import ChainSpec, FailureSpec, ScenarioSpec
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import JobStore
+from repro.service.queue import JobCancelled, JobScheduler
+from repro.service.server import ScenarioServer
+
+
+def small_spec(**overrides) -> ScenarioSpec:
+    base = dict(
+        name="svc-test",
+        chain=ChainSpec(n=5, seed=2),
+        failure=FailureSpec(kind="weibull", mtbf=40.0, shape=0.7),
+        strategies=("optimal_dp", "checkpoint_all"),
+        num_runs=120,
+        downtime=0.2,
+        seed=3,
+        engine="vectorized",
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestJobStore:
+    def test_submit_get_list_counts(self):
+        with JobStore() as store:
+            a = store.submit("campaign", {"x": 1}, dedupe_key="k1")
+            b = store.submit("experiment", {"experiment": "E2"})
+            assert store.get(a.id).state == "queued"
+            assert store.get("nope") is None
+            assert {job.id for job in store.list_jobs()} == {a.id, b.id}
+            assert [job.id for job in store.list_jobs(kind="experiment")] == [b.id]
+            assert store.counts()["queued"] == 2
+
+    def test_claim_next_is_fifo_and_exclusive(self):
+        with JobStore() as store:
+            first = store.submit("campaign", {"n": 1})
+            store.submit("campaign", {"n": 2})
+            claimed = store.claim_next()
+            assert claimed.id == first.id and claimed.state == "running"
+            assert claimed.started_at is not None
+            second = store.claim_next()
+            assert second is not None and second.id != first.id
+            assert store.claim_next() is None
+
+    def test_finish_fail_and_progress(self):
+        with JobStore() as store:
+            job = store.submit("campaign", {})
+            store.claim_next()
+            store.update_progress(job.id, 3, 8)
+            record = store.get(job.id)
+            assert (record.chunks_done, record.chunks_total) == (3, 8)
+            store.finish(job.id, {"type": "campaign", "num_runs": 1})
+            done = store.get(job.id)
+            assert done.state == "done" and done.is_terminal
+            assert done.result["num_runs"] == 1 and done.finished_at is not None
+
+            other = store.submit("campaign", {})
+            store.claim_next()
+            store.fail(other.id, "boom")
+            assert store.get(other.id).state == "failed"
+            assert store.get(other.id).error == "boom"
+
+    def test_cancel_queued_is_immediate_running_is_cooperative(self):
+        with JobStore() as store:
+            first = store.submit("campaign", {})
+            second = store.submit("campaign", {})
+            claimed = store.claim_next()  # FIFO: `first` is now running
+            assert claimed.id == first.id
+            cancelled = store.request_cancel(second.id)  # still queued
+            assert cancelled.state == "cancelled"
+            flagged = store.request_cancel(first.id)  # running: flag only
+            assert flagged.state == "running" and flagged.cancel_requested
+            assert store.cancel_requested(first.id)
+            # Terminal jobs are unaffected; unknown ids return None.
+            assert store.request_cancel(second.id).state == "cancelled"
+            assert store.request_cancel("nope") is None
+
+    def test_persistence_and_restart_recovery(self, tmp_path):
+        db = tmp_path / "jobs.sqlite"
+        store = JobStore(db)
+        job = store.submit("campaign", {"scenario": {"answer": 42}}, dedupe_key="kk")
+        store.claim_next()  # simulate a worker that dies mid-run
+        store.update_progress(job.id, 1, 4)
+        store.close()
+
+        reopened = JobStore(db)
+        record = reopened.get(job.id)
+        assert record.state == "running"  # persisted as the crash left it
+        assert record.spec == {"scenario": {"answer": 42}}
+        recovered = reopened.recover_interrupted()
+        assert recovered == 1
+        requeued = reopened.get(job.id)
+        assert requeued.state == "queued"
+        assert (requeued.chunks_done, requeued.chunks_total) == (0, 0)
+        assert reopened.find_reusable("kk").id == job.id
+        reopened.close()
+
+    def test_dedupe_ignores_failed_and_cancelled(self):
+        with JobStore() as store:
+            job = store.submit("campaign", {}, dedupe_key="k")
+            store.claim_next()
+            store.fail(job.id, "boom")
+            assert store.find_reusable("k") is None
+            other = store.submit("campaign", {}, dedupe_key="k")
+            store.request_cancel(other.id)
+            assert store.find_reusable("k") is None
+
+
+class TestJobScheduler:
+    def test_campaign_job_matches_direct_run(self, tmp_path):
+        spec = small_spec()
+        cache = ResultCache(tmp_path / "cache")
+        with JobStore() as store:
+            scheduler = JobScheduler(store, cache=cache)
+            record, reused = scheduler.submit_campaign(spec.to_dict())
+            assert not reused
+            assert scheduler.run_pending() == 1
+            job = store.get(record.id)
+            assert job.state == "done", job.error
+            direct = spec.run()
+            assert job.result["makespans"] == {
+                name: list(samples) for name, samples in direct.makespans.items()
+            }
+            assert job.result["scenario_key"] == spec.cache_key()
+            assert job.chunks_done == job.chunks_total > 0
+
+    def test_submission_validates_before_enqueuing(self):
+        with JobStore() as store:
+            scheduler = JobScheduler(store)
+            with pytest.raises((KeyError, TypeError, ValueError)):
+                scheduler.submit_campaign({"name": "broken"})
+            with pytest.raises(KeyError):
+                scheduler.submit_experiment("E99")
+            assert store.counts()["queued"] == 0
+
+    def test_dedupe_by_scenario_hash(self):
+        spec = small_spec()
+        with JobStore() as store:
+            scheduler = JobScheduler(store)
+            first, reused_first = scheduler.submit_campaign(spec.to_dict())
+            again, reused_again = scheduler.submit_campaign(spec.to_dict())
+            assert not reused_first and reused_again
+            assert again.id == first.id
+            # Renaming must still dedupe (the name is not part of the hash)...
+            renamed, reused_renamed = scheduler.submit_campaign(
+                small_spec(name="other-name").to_dict()
+            )
+            assert reused_renamed and renamed.id == first.id
+            # ...while changing anything that affects samples must not.
+            different, reused_different = scheduler.submit_campaign(
+                small_spec(seed=99).to_dict()
+            )
+            assert not reused_different and different.id != first.id
+            # A different chunk plan changes the samples too.
+            chunked, reused_chunked = scheduler.submit_campaign(
+                spec.to_dict(), chunk_size=17
+            )
+            assert not reused_chunked
+
+    def test_cancel_requested_job_never_executes(self):
+        spec = small_spec()
+        with JobStore() as store:
+            scheduler = JobScheduler(store)
+            record, _ = scheduler.submit_campaign(spec.to_dict())
+            claimed = store.claim_next()  # what a worker thread would do
+            store.request_cancel(record.id)
+            scheduler.execute(claimed)
+            assert store.get(record.id).state == "cancelled"
+            assert store.get(record.id).result is None
+
+    def test_progress_hook_raises_for_cancelled_jobs(self):
+        with JobStore() as store:
+            scheduler = JobScheduler(store)
+            record = store.submit("campaign", {})
+            store.claim_next()
+            hook = scheduler._progress_hook(record.id)
+            hook(1, 4)
+            assert store.get(record.id).chunks_done == 1
+            store.request_cancel(record.id)
+            with pytest.raises(JobCancelled):
+                hook(2, 4)
+
+    def test_failed_jobs_record_the_error(self):
+        with JobStore() as store:
+            scheduler = JobScheduler(store)
+            record, _ = scheduler.submit_experiment("E2", params={"total_work": -1.0})
+            scheduler.run_pending()
+            job = store.get(record.id)
+            assert job.state == "failed"
+            assert job.error and "total_work" in job.error
+
+    def test_restart_recovery_reruns_interrupted_jobs(self, tmp_path):
+        db = tmp_path / "jobs.sqlite"
+        spec = small_spec()
+        store = JobStore(db)
+        scheduler = JobScheduler(store)
+        record, _ = scheduler.submit_campaign(spec.to_dict())
+        store.claim_next()  # the "old" process dies while running the job
+        store.close()
+
+        restarted = JobStore(db)
+        recovered_scheduler = JobScheduler(restarted)  # recovery happens here
+        assert recovered_scheduler.recovered == 1
+        assert recovered_scheduler.run_pending() == 1
+        job = restarted.get(record.id)
+        assert job.state == "done", job.error
+        direct = spec.run()
+        assert job.result["makespans"] == {
+            name: list(samples) for name, samples in direct.makespans.items()
+        }
+        restarted.close()
+
+
+@pytest.fixture(scope="class")
+def live_service(tmp_path_factory):
+    """A real HTTP server on an ephemeral port, with workers and a cache."""
+    root = tmp_path_factory.mktemp("service")
+    store = JobStore()
+    cache = ResultCache(root / "cache")
+    scheduler = JobScheduler(store, num_workers=2, cache=cache)
+    server = ScenarioServer(scheduler, port=0)
+    server.start()
+    client = ServiceClient(server.url, timeout=10.0)
+    yield {"server": server, "client": client, "cache_root": root / "cache"}
+    server.shutdown()
+    store.close()
+
+
+@pytest.mark.usefixtures("live_service")
+class TestServiceEndToEnd:
+    def test_healthz(self, live_service):
+        health = live_service["client"].health()
+        assert health["status"] == "ok"
+        assert set(health["jobs"]) == {"queued", "running", "done", "failed", "cancelled"}
+        assert health["workers"] == 2
+
+    def test_catalog_lists_experiments_and_engines(self, live_service):
+        catalog = live_service["client"].scenarios()
+        assert set(catalog["experiments"]) == {f"E{i}" for i in range(1, 11)}
+        assert catalog["engines"] == ["scalar", "vectorized"]
+        assert "engine" in catalog["sweepable_fields"]
+
+    def test_submitted_campaign_is_bit_identical_to_direct_run(self, live_service):
+        client = live_service["client"]
+        spec = small_spec(name="e2e")
+        job = client.submit_campaign(spec)
+        assert job["state"] in ("queued", "running", "done")
+        done = client.wait(job["id"], timeout=60.0)
+        assert done["state"] == "done", done["error"]
+        progress = done["progress"]
+        assert progress["chunks_done"] == progress["chunks_total"] > 0
+
+        served = ServiceClient.campaign_result(done)
+        direct = spec.run()  # same spec, fresh process-local computation
+        assert served.num_runs == direct.num_runs
+        for name, samples in direct.makespans.items():
+            assert list(served.makespans[name]) == list(samples)
+
+        # The served run warmed the shared cache under the same scenario
+        # hash: a direct run against the same root replays it (1 hit).
+        replay_cache = ResultCache(live_service["cache_root"])
+        replayed = spec.run(cache=replay_cache)
+        assert replay_cache.hits == 1 and replay_cache.misses == 0
+        assert replayed.makespans == direct.makespans
+
+    def test_resubmission_is_deduplicated(self, live_service):
+        client = live_service["client"]
+        spec = small_spec(name="dedupe", seed=11)
+        first = client.submit_campaign(spec)
+        again = client.submit_campaign(spec)
+        assert again["id"] == first["id"]
+        assert again["deduplicated"]
+        client.wait(first["id"], timeout=60.0)
+
+    def test_experiment_job_round_trips_a_table(self, live_service):
+        client = live_service["client"]
+        job = client.submit_experiment("E2")
+        done = client.wait(job["id"], timeout=60.0)
+        assert done["state"] == "done", done["error"]
+        result = done["result"]
+        assert result["type"] == "table"
+        assert result["rows"] and set(result["columns"]) >= {"rate", "mtbf"}
+
+    def test_sweep_preview_expands_without_running(self, live_service):
+        client = live_service["client"]
+        before = {job["id"] for job in client.jobs()}
+        preview = client.preview_sweep(
+            small_spec(name="sweep"), {"seed": [0, 1], "num_runs": [60, 120, 180]}
+        )
+        assert preview["count"] == 6
+        names = [entry["name"] for entry in preview["scenarios"]]
+        assert names[0] == "sweep[0]" and len(set(names)) == 6
+        keys = {entry["cache_key"] for entry in preview["scenarios"]}
+        assert len(keys) == 6  # every combination hashes differently
+        assert {job["id"] for job in client.jobs()} == before  # nothing enqueued
+
+    def test_bad_submissions_are_rejected_with_400(self, live_service):
+        client = live_service["client"]
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_campaign({"name": "broken"})
+        assert excinfo.value.status == 400
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_experiment("E99")
+        assert excinfo.value.status == 400
+
+    def test_unknown_job_and_path_are_404(self, live_service):
+        client = live_service["client"]
+        with pytest.raises(ServiceError) as excinfo:
+            client.job("does-not-exist")
+        assert excinfo.value.status == 404
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("GET", "/v2/nope")
+        assert excinfo.value.status == 404
+
+    def test_listing_filters_and_omits_results(self, live_service):
+        client = live_service["client"]
+        spec = small_spec(name="listing", seed=21)
+        job = client.submit_campaign(spec)
+        client.wait(job["id"], timeout=60.0)
+        done_jobs = client.jobs(state="done")
+        assert any(entry["id"] == job["id"] for entry in done_jobs)
+        assert all("result" not in entry for entry in done_jobs)
+        with pytest.raises(ServiceError) as excinfo:
+            client.jobs(state="nonsense")
+        assert excinfo.value.status == 400
+
+    def test_http_cancel_of_a_queued_job(self, tmp_path):
+        # A dedicated server whose workers have been stopped: submissions
+        # stay queued, so DELETE observes the immediate-cancel path
+        # deterministically.
+        store = JobStore()
+        scheduler = JobScheduler(store)
+        server = ScenarioServer(scheduler, port=0)
+        server.start()
+        try:
+            scheduler.stop()  # keep serving HTTP, stop executing jobs
+            client = ServiceClient(server.url, timeout=10.0)
+            job = client.submit_campaign(small_spec(name="cancel-me"))
+            assert job["state"] == "queued"
+            cancelled = client.cancel(job["id"])
+            assert cancelled["state"] == "cancelled"
+            assert client.job(job["id"])["state"] == "cancelled"
+        finally:
+            server.shutdown()
+            store.close()
+
+    def test_concurrent_submissions_all_complete(self, live_service):
+        client = live_service["client"]
+        specs = [small_spec(name=f"burst-{i}", seed=100 + i, num_runs=60) for i in range(6)]
+        ids = []
+        errors = []
+
+        def submit(spec):
+            try:
+                ids.append(client.submit_campaign(spec)["id"])
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=submit, args=(spec,)) for spec in specs]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(set(ids)) == 6
+        for job_id in ids:
+            assert live_service["client"].wait(job_id, timeout=60.0)["state"] == "done"
+
+    def test_plain_urllib_sees_json(self, live_service):
+        # The API is consumable without the client class (curl parity).
+        url = live_service["server"].url + "/v1/healthz"
+        with urllib.request.urlopen(url, timeout=10.0) as response:
+            assert response.headers["Content-Type"] == "application/json"
+            assert json.loads(response.read())["status"] == "ok"
+
+
+class TestReviewRegressions:
+    """Fixes from the pre-merge review, pinned."""
+
+    def test_concurrent_identical_submissions_enqueue_one_job(self):
+        # The dedupe check-then-insert must be atomic: N threads racing the
+        # same scenario may create exactly one job between them.
+        spec_dict = small_spec(name="race").to_dict()
+        for _ in range(25):
+            with JobStore() as store:
+                scheduler = JobScheduler(store)
+                results = []
+
+                def submit():
+                    results.append(scheduler.submit_campaign(spec_dict))
+
+                threads = [threading.Thread(target=submit) for _ in range(4)]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                ids = {record.id for record, _ in results}
+                assert len(ids) == 1, f"duplicate jobs enqueued: {ids}"
+                assert sum(1 for _, reused in results if not reused) == 1
+
+    def test_stop_with_timeout_abandons_a_stuck_worker(self):
+        # A worker wedged in a long job must not block shutdown forever.
+        release = threading.Event()
+        with JobStore() as store:
+            scheduler = JobScheduler(store)
+            store.submit("campaign", {})
+
+            def stuck_worker():
+                store.claim_next()
+                release.wait(10.0)
+
+            thread = threading.Thread(target=stuck_worker, daemon=True)
+            thread.start()
+            scheduler._threads = [thread]
+            scheduler.stop(timeout=0.1)
+            assert scheduler.abandoned_workers
+            release.set()
+            thread.join(5.0)
+
+    def test_healthz_reports_an_attached_but_empty_cache(self, tmp_path):
+        # ResultCache defines __len__, so an empty cache is falsy; health
+        # must test identity, not truthiness.
+        store = JobStore()
+        scheduler = JobScheduler(store, cache=ResultCache(tmp_path / "cold"))
+        server = ScenarioServer(scheduler, port=0)
+        try:
+            assert server.health()["cache"] is not None
+        finally:
+            scheduler.stop()
+            store.close()

@@ -23,11 +23,13 @@ import pytest
 from repro.core.schedule import Schedule
 from repro.failures.distributions import (
     ExponentialFailure,
+    FailureDistribution,
     LogNormalFailure,
     WeibullFailure,
+    inverse_normal_cdf,
 )
 from repro.failures.platform import Platform
-from repro.failures.traces import FailureEvent, FailureTrace
+from repro.failures.traces import FailureEvent, FailureTrace, generate_trace
 from repro.runtime import (
     ChainSpec,
     FailureSpec,
@@ -47,6 +49,7 @@ from repro.simulation.vectorized import (
     PlannedExponentialDelays,
     PlannedPoissonSource,
     generate_trace_times_batch,
+    pack_trace_times,
     replay_traces_batch,
     simulate_poisson_batch,
     simulate_renewal_batch,
@@ -106,8 +109,8 @@ class TestPoissonExactEquivalence:
 
     def test_chunk_samples_identical(self, poisson_estimator):
         seed = np.random.SeedSequence(21)
-        scalar = _estimate_chunk((poisson_estimator, seed, 200, "scalar"))
-        vectorized = _estimate_chunk((poisson_estimator, seed, 200, "vectorized"))
+        scalar = _estimate_chunk((poisson_estimator, seed, 200, "scalar", 0))
+        vectorized = _estimate_chunk((poisson_estimator, seed, 200, "vectorized", 0))
         for s_arr, v_arr in zip(scalar, vectorized):
             np.testing.assert_array_equal(s_arr, v_arr)
 
@@ -177,9 +180,9 @@ class TestRenewalStatisticalEquivalence:
     def test_ks_agreement(self, schedule, law):
         platform = Platform(num_processors=2, failure_law=law)
         estimator = MonteCarloEstimator(schedule, platform, 0.5)
-        scalar = _estimate_chunk((estimator, np.random.SeedSequence(1), 1500, "scalar"))
+        scalar = _estimate_chunk((estimator, np.random.SeedSequence(1), 1500, "scalar", 0))
         vectorized = _estimate_chunk(
-            (estimator, np.random.SeedSequence(2), 1500, "vectorized")
+            (estimator, np.random.SeedSequence(2), 1500, "vectorized", 0)
         )
         assert ks_2sample_pvalue(scalar[0], vectorized[0]) > 0.01
 
@@ -494,3 +497,205 @@ class TestVectorizedBackendAndEngineSpellings:
 
 def _identity(x):
     return x
+
+
+class TestTraceModelDispatch:
+    """Explicit trace models batch through replay_traces_batch on the
+    vectorized engine instead of silently falling back to the scalar loop."""
+
+    @pytest.fixture
+    def trace_list(self):
+        law = WeibullFailure.from_mtbf(25.0, shape=0.7)
+        rng = np.random.default_rng(11)
+        return [generate_trace(law, horizon=600.0, rng=rng) for _ in range(250)]
+
+    def test_trace_list_engines_agree(self, schedule, trace_list):
+        estimator = MonteCarloEstimator(schedule, trace_list, 0.5)
+        scalar = estimator.estimate(250, seed=0, engine="scalar", chunk_size=64)
+        vectorized = estimator.estimate(250, seed=0, engine="vectorized", chunk_size=64)
+        # Replay is deterministic; the prefix-sum jumps only re-associate the
+        # duration sums (~1 ulp), and the failure counts match exactly.
+        assert math.isclose(scalar.mean, vectorized.mean, rel_tol=1e-9)
+        assert scalar.mean_failures == vectorized.mean_failures
+        np.testing.assert_allclose(
+            scalar.mean_wasted, vectorized.mean_wasted, rtol=1e-6, atol=1e-9
+        )
+
+    def test_trace_list_serial_path_replays_each_trace(self, schedule, trace_list):
+        estimator = MonteCarloEstimator(schedule, trace_list, 0.5)
+        serial = estimator.estimate(250)
+        chunked = estimator.estimate(250, seed=0, engine="scalar", chunk_size=100)
+        # Trace replay consumes no randomness, so the serial and chunked
+        # scalar paths are identical run for run.
+        assert serial.mean == chunked.mean
+        assert serial.mean_failures == chunked.mean_failures
+
+    def test_single_trace_broadcasts(self, schedule, trace_list):
+        estimator = MonteCarloEstimator(schedule, trace_list[0], 0.5)
+        scalar = estimator.estimate(40, seed=0, engine="scalar")
+        vectorized = estimator.estimate(40, seed=0, engine="vectorized")
+        assert math.isclose(scalar.mean, vectorized.mean, rel_tol=1e-9)
+        # Every run replays the same trace; the residual std is pure
+        # accumulation rounding in np.std, not sample variation.
+        assert scalar.std < 1e-12 * scalar.mean
+        assert vectorized.std < 1e-12 * vectorized.mean
+        assert scalar.mean_failures == vectorized.mean_failures
+
+    def test_chunk_offsets_select_the_right_traces(self, schedule, trace_list):
+        estimator = MonteCarloEstimator(schedule, trace_list, 0.5)
+        whole = estimator.estimate(250, seed=0, engine="vectorized", chunk_size=250)
+        chunked = estimator.estimate(250, seed=0, engine="vectorized", chunk_size=33)
+        assert whole.mean == chunked.mean
+
+    def test_num_runs_capped_by_trace_list(self, schedule, trace_list):
+        estimator = MonteCarloEstimator(schedule, trace_list, 0.5)
+        with pytest.raises(ValueError, match="exceeds the explicit trace list"):
+            estimator.estimate(251, seed=0, engine="vectorized")
+
+    def test_rejects_non_trace_sequences(self, schedule):
+        with pytest.raises(TypeError, match="FailureTrace"):
+            MonteCarloEstimator(schedule, [0.1, 0.2], 0.5)
+        with pytest.raises(TypeError, match="FailureTrace"):
+            MonteCarloEstimator(schedule, [], 0.5)
+
+    def test_factory_models_still_fall_back_to_scalar(self, schedule):
+        law = WeibullFailure.from_mtbf(25.0, shape=0.7)
+
+        def factory(rng):
+            return generate_trace(law, horizon=600.0, rng=rng)
+
+        estimator = MonteCarloEstimator(
+            schedule, failure_model_factory=factory, downtime=0.5
+        )
+        assert estimator._vector_mode() == (None, None)
+        scalar = estimator.estimate(60, seed=1, engine="scalar", chunk_size=30)
+        vectorized = estimator.estimate(60, seed=1, engine="vectorized", chunk_size=30)
+        assert scalar == vectorized  # both ran the scalar event loop
+
+    def test_trace_engines_get_distinct_cache_entries(self, schedule, trace_list, tmp_path):
+        estimator = MonteCarloEstimator(schedule, trace_list[:50], 0.5)
+        cache = ResultCache(tmp_path)
+        estimator.estimate(50, seed=0, engine="scalar", cache=cache, chunk_size=25)
+        estimator.estimate(50, seed=0, engine="vectorized", cache=cache, chunk_size=25)
+        assert len(cache.with_namespace("monte_carlo")) == 2
+
+    def test_replay_failure_counts_match_scalar(self, schedule, trace_list):
+        segments = schedule.segments()
+        times = pack_trace_times(trace_list[:64])
+        makespans, failures = replay_traces_batch(
+            [segments], times, 0.5, with_failures=True
+        )
+        for index, trace in enumerate(trace_list[:64]):
+            result = simulate_segments(segments, TraceFailureSource(trace), 0.5)
+            assert failures[0, index] == result.num_failures
+            np.testing.assert_allclose(makespans[0, index], result.makespan, rtol=1e-9)
+
+
+class TestInverseNormalCdf:
+    """The hand-rolled AS241 quantile behind the log-normal closed form."""
+
+    def test_known_quantiles(self):
+        known = {
+            0.5: 0.0,
+            0.975: 1.959963984540054,
+            0.995: 2.5758293035489004,
+            0.841344746068543: 1.0,
+        }
+        for p, z in known.items():
+            assert math.isclose(float(inverse_normal_cdf(p)), z, abs_tol=1e-12)
+            assert math.isclose(float(inverse_normal_cdf(1.0 - p)), -z, abs_tol=1e-12)
+
+    def test_edges_and_monotonicity(self):
+        assert float(inverse_normal_cdf(0.0)) == -math.inf
+        assert float(inverse_normal_cdf(1.0)) == math.inf
+        grid = np.linspace(1e-12, 1.0 - 1e-12, 10_001)
+        values = inverse_normal_cdf(grid)
+        assert np.all(np.diff(values) > 0)
+
+    def test_erf_round_trip(self):
+        # Phi(Phi^{-1}(p)) == p with Phi evaluated through math.erfc (exact in
+        # the tails, unlike the 1 - cdf subtraction); covers 300 decades.
+        p = np.logspace(-300, math.log10(0.5), 400)
+        z = inverse_normal_cdf(p)
+        back = np.array([0.5 * math.erfc(-x / math.sqrt(2.0)) for x in z])
+        np.testing.assert_allclose(back, p, rtol=5e-12)
+
+    def test_lognormal_closed_form_matches_bisection(self):
+        law = LogNormalFailure.from_mtbf(100.0, sigma=1.0)
+        # Compare against the generic bisection fallback in the range where
+        # the latter is itself accurate (its 1 - cdf cancellation degrades in
+        # the deep tail, which is precisely what AS241 fixes).
+        s = np.logspace(-6, -1e-4, 200)
+        closed = law._inverse_survival_batch(s)
+        bisect = FailureDistribution._inverse_survival_batch(law, s)
+        np.testing.assert_allclose(closed, bisect, rtol=1e-9)
+
+    def test_lognormal_closed_form_edges(self):
+        law = LogNormalFailure.from_mtbf(100.0, sigma=1.0)
+        out = law._inverse_survival_batch(np.array([1.0, 1.5, 0.0, -0.5]))
+        assert out[0] == 0.0 and out[1] == 0.0
+        assert out[2] == math.inf and out[3] == math.inf
+
+
+class TestRejuvenateAllPlatformField:
+    """Platform.rejuvenate_all_on_failure reaches both engines."""
+
+    @pytest.fixture
+    def rejuvenating_platform(self):
+        return Platform(
+            num_processors=3,
+            failure_law=WeibullFailure.from_mtbf(60.0, shape=0.7),
+            rejuvenate_all_on_failure=True,
+        )
+
+    def test_engines_agree_with_rejuvenation(self, schedule, rejuvenating_platform):
+        estimator = MonteCarloEstimator(schedule, rejuvenating_platform, 0.5)
+        scalar = _estimate_chunk(
+            (estimator, np.random.SeedSequence(1), 1500, "scalar", 0)
+        )
+        vectorized = _estimate_chunk(
+            (estimator, np.random.SeedSequence(2), 1500, "vectorized", 0)
+        )
+        assert ks_2sample_pvalue(scalar[0], vectorized[0]) > 0.01
+
+    def test_rejuvenation_changes_the_distribution(self, schedule):
+        # Infant-mortality Weibull: rejuvenating every processor after each
+        # failure exposes the platform to more infant mortality, so failures
+        # must become more frequent -- the effect the paper criticises [12].
+        law = WeibullFailure.from_mtbf(60.0, shape=0.5)
+        base = Platform(num_processors=3, failure_law=law)
+        rejuvenating = dataclasses.replace(base, rejuvenate_all_on_failure=True)
+        keep = MonteCarloEstimator(schedule, base, 0.5).estimate(
+            600, seed=3, engine="vectorized"
+        )
+        renew = MonteCarloEstimator(schedule, rejuvenating, 0.5).estimate(
+            600, seed=3, engine="vectorized"
+        )
+        assert renew.mean_failures > keep.mean_failures
+
+    def test_scalar_source_inherits_the_field(self, rejuvenating_platform):
+        from repro.simulation.engine import RenewalPlatformFailureSource, failure_source_for
+
+        source = failure_source_for(rejuvenating_platform, np.random.default_rng(0))
+        assert isinstance(source, RenewalPlatformFailureSource)
+        assert source.rejuvenate_all_on_failure is True
+        # An explicit constructor argument still overrides the field.
+        override = RenewalPlatformFailureSource(
+            rejuvenating_platform, np.random.default_rng(0),
+            rejuvenate_all_on_failure=False,
+        )
+        assert override.rejuvenate_all_on_failure is False
+
+    def test_platform_failure_times_inherits_the_field(self, rejuvenating_platform):
+        explicit = rejuvenating_platform.platform_failure_times(
+            np.random.default_rng(7), 500.0, rejuvenate_all_on_failure=True
+        )
+        inherited = rejuvenating_platform.platform_failure_times(
+            np.random.default_rng(7), 500.0
+        )
+        assert explicit == inherited
+
+    def test_field_is_validated_and_defaults_off(self):
+        assert Platform().rejuvenate_all_on_failure is False
+        with pytest.raises(TypeError, match="rejuvenate_all_on_failure"):
+            Platform(rejuvenate_all_on_failure=1)
