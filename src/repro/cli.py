@@ -440,7 +440,32 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         print(f"job {job['id']}: {job['state']}{reused}")
         if not args.wait:
             return 0
-        job = client.wait(job["id"], timeout=args.timeout)
+        # Live progress while waiting: overwrite one status line on a TTY,
+        # print a line per observed change otherwise (CI logs stay readable).
+        live = sys.stderr.isatty()
+        printed_live_line = False
+
+        def _show_progress(record: dict) -> None:
+            nonlocal printed_live_line
+            progress = record["progress"]
+            total = progress["chunks_total"]
+            detail = (
+                f"{progress['chunks_done']}/{total} chunks" if total else "waiting"
+            )
+            line = f"job {record['id']}: {record['state']} ({detail})"
+            if live:
+                print(f"\r{line:<70s}", end="", file=sys.stderr, flush=True)
+                printed_live_line = True
+            else:
+                print(line, file=sys.stderr)
+
+        try:
+            job = client.wait(
+                job["id"], timeout=args.timeout, on_progress=_show_progress
+            )
+        finally:
+            if printed_live_line:
+                print(file=sys.stderr)
     except ServiceError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

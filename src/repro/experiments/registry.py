@@ -71,6 +71,7 @@ from repro.models.workload import (
 )
 from repro.runtime.backends import ExecutionBackend, backend_scope
 from repro.runtime.cache import ResultCache
+from repro.runtime.chunking import plan_chunks
 from repro.simulation.monte_carlo import MonteCarloEstimator, estimate_expected_completion_time
 from repro.workflows.generators import fork_join, montage_like, uniform_random_chain
 
@@ -83,9 +84,9 @@ __all__ = [
 
 #: Keyword arguments of the parallel-runtime plumbing; ``run_experiment``
 #: forwards them only to experiments whose signature declares them, so the
-#: purely analytic experiments stay oblivious to backends, caches and
-#: execution engines.
-_RUNTIME_KWARGS = ("backend", "cache", "chunk_size", "engine")
+#: purely analytic experiments stay oblivious to backends, caches,
+#: execution engines and progress reporting.
+_RUNTIME_KWARGS = ("backend", "cache", "chunk_size", "engine", "progress")
 
 
 def _spawn_int_seeds(seed: Optional[int], count: int) -> List[int]:
@@ -99,6 +100,26 @@ def _spawn_int_seeds(seed: Optional[int], count: int) -> List[int]:
     return [int(child.generate_state(1, np.uint64)[0]) for child in children]
 
 
+def _offset_progress(
+    progress: Optional[Callable[[int, int], None]], offset: int, grand_total: int
+) -> Optional[Callable[[int, int], None]]:
+    """Rebase one sub-estimate's ``(done, total)`` onto experiment-wide counts.
+
+    The Monte-Carlo-heavy experiments run several estimates in sequence;
+    each estimate reports its own chunk progress, and this wrapper shifts it
+    by the chunks of the estimates already completed so the caller sees one
+    monotone ``(done, grand_total)`` stream for the whole experiment (the
+    granularity the scenario service's job progress is built on).
+    """
+    if progress is None:
+        return None
+
+    def hook(done: int, total: int) -> None:
+        progress(offset + done, grand_total)
+
+    return hook
+
+
 # ----------------------------------------------------------------------
 # E1 -- Proposition 1 closed form vs Monte-Carlo simulation
 # ----------------------------------------------------------------------
@@ -110,6 +131,7 @@ def experiment_e1_prop1_validation(
     cache: Optional[ResultCache] = None,
     chunk_size: Optional[int] = None,
     engine: Optional[str] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
 ) -> ResultTable:
     """Validate the Proposition 1 closed form against simulation (E1)."""
     table = ResultTable(
@@ -130,12 +152,20 @@ def experiment_e1_prop1_validation(
     use_runtime = backend is not None or cache is not None or engine is not None
     rng = None if use_runtime else np.random.default_rng(seed)
     seeds = _spawn_int_seeds(seed, len(scenarios)) if use_runtime else [None] * len(scenarios)
-    for (work, ckpt, downtime, recovery, rate), sub_seed in zip(scenarios, seeds):
+    # Experiment-wide progress: each sub-estimate contributes its own chunk
+    # count (one chunk each on the serial path), reported as one monotone
+    # stream so the scenario service sees real per-chunk progress.
+    per_estimate = plan_chunks(num_runs, chunk_size).num_chunks if use_runtime else 1
+    total_chunks = len(scenarios) * per_estimate
+    for index, ((work, ckpt, downtime, recovery, rate), sub_seed) in enumerate(
+        zip(scenarios, seeds)
+    ):
         analytic = expected_completion_time(work, ckpt, downtime, recovery, rate)
         estimate = estimate_expected_completion_time(
             work, ckpt, downtime, recovery, rate, num_runs=num_runs,
             rng=rng, seed=sub_seed, backend=backend, cache=cache,
             chunk_size=chunk_size, engine=engine,
+            progress=_offset_progress(progress, index * per_estimate, total_chunks),
         )
         table.add_row(
             work=work,
@@ -492,6 +522,7 @@ def experiment_e8_general_failures(
     cache: Optional[ResultCache] = None,
     chunk_size: Optional[int] = None,
     engine: Optional[str] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
 ) -> ResultTable:
     """Weibull / log-normal failures: placement heuristics compared by simulation (E8)."""
     table = ResultTable(
@@ -516,6 +547,10 @@ def experiment_e8_general_failures(
     # path; the serial default keeps consuming the single shared stream so
     # historical tables stay bit-identical.
     sub_seeds = iter(_spawn_int_seeds(seed, 4 * len(laws)) if use_runtime else [])
+    # 4 strategies per law, each one estimate; see E1 for the progress scheme.
+    per_estimate = plan_chunks(num_runs, chunk_size).num_chunks if use_runtime else 1
+    total_chunks = 4 * len(laws) * per_estimate
+    estimate_index = 0
     for law_name, law in laws.items():
         rate_equivalent = 1.0 / platform_mtbf
         placements = {
@@ -528,13 +563,17 @@ def experiment_e8_general_failures(
             schedule = Schedule.for_chain(chain, positions)
             platform = Platform(num_processors=1, failure_law=law, downtime=downtime)
             estimator = MonteCarloEstimator(schedule, platform, downtime)
+            hook = _offset_progress(
+                progress, estimate_index * per_estimate, total_chunks
+            )
+            estimate_index += 1
             if use_runtime:
                 estimate = estimator.estimate(
                     num_runs, seed=next(sub_seeds), backend=backend, cache=cache,
-                    chunk_size=chunk_size, engine=engine,
+                    chunk_size=chunk_size, engine=engine, progress=hook,
                 )
             else:
-                estimate = estimator.estimate(num_runs, rng=rng)
+                estimate = estimator.estimate(num_runs, rng=rng, progress=hook)
             table.add_row(
                 law=law_name,
                 strategy=strategy,
@@ -678,24 +717,36 @@ def run_experiment(
     cache: Optional[ResultCache] = None,
     chunk_size: Optional[int] = None,
     engine: Optional[str] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
     **kwargs,
 ) -> ResultTable:
     """Run one experiment by id (e.g. ``"E3"``).
 
-    ``backend``, ``cache``, ``chunk_size`` and ``engine`` are forwarded only
-    to experiments whose signature declares them: the Monte-Carlo-heavy E1
-    and E8 take all four, the analytic-but-parallelisable E6 takes
-    ``backend``/``cache``, and the purely analytic experiments run unchanged
-    and ignore them all.
+    ``backend``, ``cache``, ``chunk_size``, ``engine`` and ``progress`` are
+    forwarded only to experiments whose signature declares them: the
+    Monte-Carlo-heavy E1 and E8 take all five (reporting experiment-wide
+    chunk counts through ``progress``), the analytic-but-parallelisable E6
+    takes ``backend``/``cache``, and the purely analytic experiments run
+    unchanged and ignore them all.  For experiments without their own
+    progress support a ``progress`` callback still fires ``(0, 1)`` before
+    and ``(1, 1)`` after the run, so callers (the scenario service's job
+    scheduler) always observe a consistent contract.
     """
     key = name.upper()
     if key not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}")
     fn = EXPERIMENTS[key]
     supported = inspect.signature(fn).parameters
-    for runtime_kwarg, value in zip(_RUNTIME_KWARGS, (backend, cache, chunk_size, engine)):
+    for runtime_kwarg, value in zip(
+        _RUNTIME_KWARGS, (backend, cache, chunk_size, engine, progress)
+    ):
         if runtime_kwarg in supported and value is not None:
             kwargs[runtime_kwarg] = value
+    if progress is not None and "progress" not in supported:
+        progress(0, 1)
+        table = fn(**kwargs)
+        progress(1, 1)
+        return table
     return fn(**kwargs)
 
 

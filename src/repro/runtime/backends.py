@@ -18,7 +18,9 @@ Three backends are provided:
   inner backend (serial by default, a process pool for a pool of vectorized
   chunks) but advertise ``engine == "vectorized"``, so simulation callers
   execute each chunk as a NumPy array program
-  (:mod:`repro.simulation.vectorized`) instead of a Python event loop.
+  (:mod:`repro.simulation.vectorized`) instead of a Python event loop --
+  on memoryless models that is the exact segment-jumping Poisson kernel,
+  bit-identical to the scalar event loop for the same seed and chunk plan.
   Parallelism and vectorization are orthogonal levers, and this composition
   lets them multiply.
 

@@ -18,7 +18,7 @@ import json
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.runtime.scenario import ScenarioSpec
 from repro.simulation.campaign import CampaignResult
@@ -175,24 +175,53 @@ class ServiceClient:
         return self._request("DELETE", f"/v1/jobs/{job_id}")["job"]
 
     def wait(
-        self, job_id: str, *, timeout: float = 300.0, poll_interval: float = 0.2
+        self,
+        job_id: str,
+        *,
+        timeout: float = 300.0,
+        poll_interval: float = 0.2,
+        max_poll_interval: float = 2.0,
+        on_progress: Optional[Callable[[Dict[str, Any]], None]] = None,
     ) -> Dict[str, Any]:
         """Poll until the job reaches a terminal state; returns its record.
 
         Raises :class:`ServiceError` when ``timeout`` elapses first.  The
         returned job may be ``done``, ``failed`` or ``cancelled`` -- the
         caller decides what failure means for it.
+
+        ``on_progress`` is called with the freshly polled record whenever
+        its observable state changes (job state, chunk progress, or the
+        first poll), which is how ``repro submit --wait`` renders a live
+        progress line.  The poll interval starts at ``poll_interval`` and
+        backs off by half its value per unchanged poll up to
+        ``max_poll_interval``, so short jobs return promptly while long
+        jobs do not hammer the service; any observed change resets the
+        interval to ``poll_interval``.
         """
         deadline = time.monotonic() + timeout
+        interval = poll_interval
+        last_seen: Optional[tuple] = None
         while True:
             record = self.job(job_id)
+            observed = (record["state"], record["progress"]["chunks_done"],
+                        record["progress"]["chunks_total"])
+            if observed != last_seen:
+                interval = poll_interval
+                if on_progress is not None:
+                    on_progress(record)
+                last_seen = observed
+            else:
+                interval = min(interval + poll_interval / 2, max_poll_interval)
             if record["state"] in ("done", "failed", "cancelled"):
                 return record
-            if time.monotonic() >= deadline:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
                 raise ServiceError(
                     f"job {job_id} still {record['state']!r} after {timeout:g}s"
                 )
-            time.sleep(poll_interval)
+            # Never sleep past the caller's deadline: a backed-off interval
+            # must not stretch the effective timeout.
+            time.sleep(min(interval, remaining))
 
     # ------------------------------------------------------------------
     # Result reconstruction

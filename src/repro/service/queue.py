@@ -112,6 +112,15 @@ class JobScheduler:
         Default chunk size for campaign jobs (a job may override it).
     """
 
+    #: Upper bound on a single chunk, in replications.  Running jobs cancel
+    #: cooperatively *between* chunks, so the largest chunk bounds the
+    #: service's cancellation latency (25k replications is seconds at scalar
+    #: event-loop speed, not minutes).  Oversized requests are *rejected*
+    #: (a clean HTTP 400), never silently shrunk: the chunk plan is part of
+    #: a scenario's sample identity, and a server that altered it would
+    #: serve different samples than a direct run of the same spec.
+    MAX_CHUNK_SIZE = 25_000
+
     def __init__(
         self,
         store: JobStore,
@@ -155,6 +164,7 @@ class JobScheduler:
         a new one.
         """
         spec = ScenarioSpec.from_dict(scenario)
+        chunk_size = self._validated_chunk_size(chunk_size, num_runs=spec.num_runs)
         effective_chunk = chunk_size if chunk_size is not None else self.chunk_size
         dedupe_key = stable_hash({
             "service_job": "campaign",
@@ -185,6 +195,11 @@ class JobScheduler:
                 f"unknown experiment {experiment!r}; available: {sorted(EXPERIMENTS)}"
             )
         params = dict(params or {})
+        if "chunk_size" in params:
+            # The Monte-Carlo-heavy experiments accept a chunk_size; bound it
+            # like a campaign's (their num_runs defaults differ per
+            # experiment, so only the type and cap checks apply).
+            params["chunk_size"] = self._validated_chunk_size(params["chunk_size"])
         dedupe_key = stable_hash({
             "service_job": "experiment",
             "experiment": key,
@@ -195,6 +210,42 @@ class JobScheduler:
         if engine is not None:
             payload["engine"] = engine
         return self._submit("experiment", payload, dedupe_key)
+
+    def _validated_chunk_size(
+        self, chunk_size: Optional[int], num_runs: Optional[int] = None
+    ) -> Optional[int]:
+        """Validate (and canonicalise) a submission's chunk size.
+
+        * non-integers and values below 1 raise (the HTTP layer turns the
+          :exc:`TypeError`/:exc:`ValueError` into a 400);
+        * a chunk size above ``num_runs`` is clamped *down to* ``num_runs``
+          -- a sample-preserving rewrite, because every chunk size at or
+          above the budget yields the very same single-chunk plan (same
+          sizes, same spawned RNG streams), so the clamped job serves
+          bit-identical samples and deduplicates with the canonical
+          spelling;
+        * anything still above :attr:`MAX_CHUNK_SIZE` is rejected: chunks
+          are the unit of progress and cooperative cancellation, and one
+          absurdly long chunk would make a running job uninterruptible.
+        """
+        if chunk_size is None:
+            return None
+        if isinstance(chunk_size, bool) or not isinstance(chunk_size, int):
+            raise TypeError(
+                f"chunk_size must be an integer, got {type(chunk_size).__name__}"
+            )
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if num_runs is not None and chunk_size > num_runs:
+            chunk_size = num_runs
+        if chunk_size > self.MAX_CHUNK_SIZE:
+            raise ValueError(
+                f"chunk_size {chunk_size} exceeds the service cap of "
+                f"{self.MAX_CHUNK_SIZE} replications; running jobs cancel "
+                "cooperatively between chunks, so oversized chunks would make "
+                "cancellation unresponsive"
+            )
+        return chunk_size
 
     def _submit(
         self, kind: str, payload: Dict[str, Any], dedupe_key: str
@@ -321,14 +372,16 @@ class JobScheduler:
         return payload
 
     def _execute_experiment(self, job: JobRecord) -> Dict[str, Any]:
-        hook = self._progress_hook(job.id)
-        hook(0, 1)
+        # Monte-Carlo-heavy experiments (E1, E8) report real per-chunk
+        # counts through the hook -- and therefore also honour cooperative
+        # cancellation mid-experiment; run_experiment itself provides the
+        # 0/1 -> 1/1 fallback for experiments without progress support.
         table = run_experiment(
             job.spec["experiment"],
             backend=self.backend,
             cache=self.cache,
             engine=job.spec.get("engine"),
+            progress=self._progress_hook(job.id),
             **job.spec.get("params", {}),
         )
-        hook(1, 1)
         return table_payload(table)

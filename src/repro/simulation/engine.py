@@ -81,7 +81,11 @@ class PoissonFailureSource(FailureSource):
         # A fresh draw per query is correct for a Poisson process *because*
         # the executor only queries at the start of an attempt and the
         # remaining time to the next event is Exponential regardless of the
-        # elapsed time (memorylessness).
+        # elapsed time (memorylessness).  (The chunked/vectorized execution
+        # paths use repro.simulation.vectorized.PlannedPoissonSource instead,
+        # which reads the same one-draw-per-attempt pattern from an
+        # engine-neutral delay plan so the scalar event loop and the
+        # segment-jumping batch kernel stay bit-identical.)
         return float(self._rng.exponential(1.0 / self.rate))
 
     def register_failure(self, time: float) -> None:

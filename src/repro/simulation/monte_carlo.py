@@ -265,6 +265,7 @@ class MonteCarloEstimator:
         cache: Optional[ResultCache] = None,
         chunk_size: Optional[int] = None,
         engine: Optional[str] = None,
+        progress: Optional[Callable[[int, int], None]] = None,
     ) -> MonteCarloEstimate:
         """Simulate ``num_runs`` independent runs and aggregate them.
 
@@ -283,7 +284,8 @@ class MonteCarloEstimator:
         ``engine`` selects how each chunk executes: ``"scalar"`` (the Python
         event loop, the default) or ``"vectorized"`` (the NumPy array
         program of :mod:`repro.simulation.vectorized`, which simulates the
-        whole chunk in lock-step).  For memoryless failure models the two
+        whole chunk at once -- jumping whole runs of successful segments per
+        round on the memoryless fast path).  For memoryless failure models the two
         engines consume an engine-neutral delay plan and are **bit-identical**
         for the same ``(seed, chunk_size)`` -- they even share cache entries;
         for renewal laws (Weibull, log-normal) the vectorized engine batches
@@ -293,6 +295,15 @@ class MonteCarloEstimator:
         with the scalar engine to ~1 ulp per segment.  ``engine=None``
         inherits the engine advertised by the backend (so passing a
         :class:`~repro.runtime.backends.VectorizedBackend` is enough).
+
+        ``progress`` is an optional ``callback(done, total)`` reporting how
+        many of the estimate's deterministic chunks have completed, with the
+        same contract as :meth:`~repro.simulation.campaign.CampaignRunner.run`:
+        it fires once with ``(0, total)`` before execution, then after every
+        chunk (a cache hit reports ``(total, total)`` immediately), and
+        exceptions it raises abort the estimation -- which is how the
+        scenario service implements cooperative cancellation.  On the serial
+        (non-chunked) path the whole run counts as a single chunk.
         """
         check_positive_int("num_runs", num_runs)
         if isinstance(self._failure_model, tuple) and num_runs > len(self._failure_model):
@@ -301,15 +312,21 @@ class MonteCarloEstimator:
                 f"({len(self._failure_model)} traces); run i replays trace i"
             )
         if backend is None and cache is None and engine is None:
+            if progress is not None:
+                progress(0, 1)
             if rng is None:
                 rng = np.random.default_rng(seed)
             results: List[SimulationResult] = []
             for index in range(num_runs):
                 results.append(self.run_once(rng, run_index=index))
-            return MonteCarloEstimate.from_results(results)
+            estimate = MonteCarloEstimate.from_results(results)
+            if progress is not None:
+                progress(1, 1)
+            return estimate
         return self._estimate_chunked(
             num_runs, rng=rng, seed=seed, backend=backend, cache=cache,
             chunk_size=chunk_size, engine=resolve_engine(engine, backend),
+            progress=progress,
         )
 
     def _estimate_chunked(
@@ -322,6 +339,7 @@ class MonteCarloEstimator:
         cache: Optional[ResultCache],
         chunk_size: Optional[int],
         engine: str = "scalar",
+        progress: Optional[Callable[[int, int], None]] = None,
     ) -> MonteCarloEstimate:
         if rng is not None:
             raise ValueError(
@@ -330,6 +348,8 @@ class MonteCarloEstimator:
                 "instead of rng=..."
             )
         plan = plan_chunks(num_runs, chunk_size)
+        if progress is not None:
+            progress(0, plan.num_chunks)
         store = None
         key = None
         if cache is not None:
@@ -365,6 +385,8 @@ class MonteCarloEstimator:
             entry = store.get(key)
             if entry is not None:
                 _, arrays = entry
+                if progress is not None:
+                    progress(plan.num_chunks, plan.num_chunks)
                 return MonteCarloEstimate.from_samples(
                     arrays["makespans"], arrays["num_failures"], arrays["wasted_times"]
                 )
@@ -378,7 +400,13 @@ class MonteCarloEstimator:
             for chunk_seed, size, offset in zip(plan.seeds(seed), plan.sizes, offsets)
         ]
         with backend_scope(backend) as executor:
-            chunks = executor.map(_estimate_chunk, tasks)
+            if progress is None:
+                chunks = executor.map(_estimate_chunk, tasks)
+            else:
+                chunks = []
+                for chunk in executor.imap(_estimate_chunk, tasks):
+                    chunks.append(chunk)
+                    progress(len(chunks), plan.num_chunks)
         makespans = np.concatenate([c[0] for c in chunks])
         num_failures = np.concatenate([c[1] for c in chunks])
         wasted_times = np.concatenate([c[2] for c in chunks])
@@ -406,8 +434,9 @@ def _estimate_chunk(
     For memoryless failure models, both engines draw their attempt delays
     from one engine-neutral :class:`PlannedExponentialDelays` built from the
     chunk's RNG stream: the scalar engine reads it replication by replication
-    through the event loop, the vectorized engine round by round through the
-    array program, and the two are bit-identical by construction.  Renewal
+    through the event loop, the vectorized engine in windowed jumps over each
+    replication's delay row (falling back to lock-step rounds when failures
+    are dense), and the two are bit-identical by construction.  Renewal
     models batch their draws on the vectorized engine (statistically
     equivalent); explicit trace models replay deterministically through
     :func:`replay_traces_batch` (matching the scalar event loop to ~1 ulp);
@@ -490,6 +519,7 @@ def estimate_expected_completion_time(
     cache: Optional[ResultCache] = None,
     chunk_size: Optional[int] = None,
     engine: Optional[str] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
 ) -> MonteCarloEstimate:
     """Monte-Carlo estimate of ``E[T(W, C, D, R, lambda)]`` (experiment E1).
 
@@ -516,5 +546,5 @@ def estimate_expected_completion_time(
     estimator = MonteCarloEstimator([segment], rate, downtime)
     return estimator.estimate(
         num_runs, rng=rng, seed=seed, backend=backend, cache=cache,
-        chunk_size=chunk_size, engine=engine,
+        chunk_size=chunk_size, engine=engine, progress=progress,
     )

@@ -19,7 +19,15 @@ Three batch engines live here:
   RNG stream.  The scalar engine consumes the very same plan through
   :class:`PlannedPoissonSource`, which makes the two engines **bit-identical**
   for a given seed -- the strongest possible cross-validation of the array
-  program against the event loop.
+  program against the event loop.  Since the delay plan pins down *which*
+  draw every attempt reads, the batch loop is free to advance each
+  replication by whole *runs* of successful attempts per round (windowed
+  comparisons against the upcoming draws, `cumsum` prefix sums seeded with
+  each replication's clock for the bit-exact sequential additions) instead
+  of one attempt per lock-step round -- rounds scale with the failure count,
+  not the segment count.  The historical one-attempt-per-round kernel is
+  kept as :func:`simulate_poisson_batch_lockstep` (reference implementation
+  and benchmark baseline); the two are bit-identical by construction.
 * :func:`simulate_renewal_batch` -- the non-memoryless laws (Weibull,
   log-normal renewal processes of Section 6).  Per-processor next-failure
   times are carried as a ``(replications, processors)`` matrix and renewed
@@ -39,7 +47,7 @@ Three batch engines live here:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -55,6 +63,7 @@ __all__ = [
     "PlannedExponentialDelays",
     "PlannedPoissonSource",
     "simulate_poisson_batch",
+    "simulate_poisson_batch_lockstep",
     "simulate_renewal_batch",
     "generate_trace_times_batch",
     "pack_trace_times",
@@ -102,15 +111,21 @@ class PlannedExponentialDelays:
     On the memoryless fast path every segment or recovery attempt consumes
     exactly one Exponential draw, whichever engine executes it.  This class
     pins down *which* draw: the ``j``-th attempt of replication ``i`` always
-    reads entry ``(j, i)`` of a sequence of ``(rounds, count)`` blocks drawn
-    from a single generator, each block materialised only when some
-    replication actually reaches its first round.  The block schedule is a
-    pure function of the consumption pattern (first ``first_rounds`` rounds,
-    then doubling), and the consumption pattern is a pure function of the
-    simulated dynamics -- so the scalar engine (which reads entries
+    reads entry ``(j, i)`` of a conceptually infinite ``(rounds, count)``
+    matrix filled row-major from a single generator's variate stream.  NumPy
+    generators emit that stream identically however the draw calls are
+    shaped or batched (an ``(r, c)`` draw is the next ``r*c`` variates in
+    C order), so the value behind any entry is a pure function of ``(rng
+    state, count, j, i)`` -- independent of *when* rounds are materialised
+    and of which engine asks first.  The scalar engine (which reads entries
     replication by replication) and the vectorized engine (which reads them
-    round by round) draw *exactly* the same numbers from the generator and
-    therefore produce bit-identical executions.
+    in windows along a replication's row cursor) therefore see *exactly*
+    the same numbers and produce bit-identical executions.
+
+    ``first_rounds`` sizes the initial draw; further rounds are drawn on
+    demand with a 25% geometric headroom so incremental consumers (the
+    scalar event loop asks round by round) amortise the draw-call overhead
+    without the engines over-drawing much past what the dynamics consume.
     """
 
     def __init__(
@@ -127,8 +142,7 @@ class PlannedExponentialDelays:
         self._scale = scale
         self._count = count
         self._first_rounds = max(int(first_rounds), 1)
-        self._blocks: List[np.ndarray] = []
-        self._offsets: List[int] = []
+        self._data = np.empty((0, count))
         self._rounds = 0
 
     @property
@@ -136,34 +150,41 @@ class PlannedExponentialDelays:
         """Number of rounds materialised so far (for tests/diagnostics)."""
         return self._rounds
 
+    def rows(self, num_rounds: int) -> np.ndarray:
+        """A flat ``(rounds, count)`` view covering at least ``num_rounds`` rounds.
+
+        Entry ``(j, i)`` is the ``j``-th attempt delay of replication ``i``
+        -- the same number :meth:`delay` returns, laid out for the batched
+        window gathers of the segment-jumping kernel.  The returned array is
+        a zero-copy view of the plan's storage.
+        """
+        self._ensure(max(num_rounds, 1) - 1)
+        return self._data[: self._rounds]
+
     def _ensure(self, round_index: int) -> None:
-        while round_index >= self._rounds:
-            size = (
-                self._first_rounds
-                if not self._blocks
-                else self._blocks[-1].shape[0] * 2
-            )
-            self._offsets.append(self._rounds)
-            self._blocks.append(
-                self._rng.exponential(self._scale, size=(size, self._count))
-            )
-            self._rounds += size
+        needed = round_index + 1
+        if needed <= self._rounds:
+            return
+        target = max(needed, self._first_rounds, self._rounds + self._rounds // 4)
+        if target > self._data.shape[0]:
+            capacity = max(target, 2 * self._data.shape[0])
+            grown = np.empty((capacity, self._count))
+            grown[: self._rounds] = self._data[: self._rounds]
+            self._data = grown
+        self._data[self._rounds : target] = self._rng.exponential(
+            self._scale, size=(target - self._rounds, self._count)
+        )
+        self._rounds = target
 
     def round_delays(self, round_index: int) -> np.ndarray:
         """The delay of every replication's ``round_index``-th attempt."""
         self._ensure(round_index)
-        for offset, block in zip(reversed(self._offsets), reversed(self._blocks)):
-            if round_index >= offset:
-                return block[round_index - offset]
-        raise AssertionError("unreachable: _ensure guarantees coverage")
+        return self._data[round_index]
 
     def delay(self, replication: int, round_index: int) -> float:
         """The ``round_index``-th attempt delay of one replication (scalar view)."""
         self._ensure(round_index)
-        for offset, block in zip(reversed(self._offsets), reversed(self._blocks)):
-            if round_index >= offset:
-                return float(block[round_index - offset, replication])
-        raise AssertionError("unreachable: _ensure guarantees coverage")
+        return float(self._data[round_index, replication])
 
 
 class PlannedPoissonSource(FailureSource):
@@ -206,6 +227,20 @@ def _segment_durations(segments: Sequence[Segment]) -> Tuple[np.ndarray, np.ndar
     return attempt, recovery
 
 
+#: Cap on the number of window entries (rows x offsets) a single jump round
+#: may gather at once; bounds the kernel's transient memory to a few matrices
+#: of this many doubles (~16 MB each) however long the chain is.
+_MAX_WINDOW_ELEMENTS = 1 << 21
+
+#: Expected failures per replication (segments x per-attempt failure
+#: probability) above which :func:`simulate_poisson_batch` automatically
+#: delegates to the lock-step kernel: when most replications fail early and
+#: often, windows are mostly waste and one-attempt-per-round lock-step is the
+#: better array program.  Jumping targets the opposite regime -- long chains
+#: whose replications complete whole runs of segments between rare failures.
+_JUMP_MAX_EXPECTED_FAILURES = 0.5
+
+
 def simulate_poisson_batch(
     segments: Sequence[Segment],
     rate: float,
@@ -214,6 +249,8 @@ def simulate_poisson_batch(
     count: int,
     *,
     plan: Optional[PlannedExponentialDelays] = None,
+    window: Optional[int] = None,
+    method: Optional[str] = None,
 ) -> BatchSimulationResult:
     """Simulate ``count`` replications under Poisson failures as one array program.
 
@@ -222,6 +259,24 @@ def simulate_poisson_batch(
     ``MonteCarloEstimator.estimate(engine="scalar")`` does on the chunked
     execution path), because both engines read the same draws and apply the
     same floating-point operations in the same per-replication order.
+
+    Unlike :func:`simulate_poisson_batch_lockstep` (the historical reference
+    kernel, one attempt per round for every replication), this kernel *jumps*
+    over whole runs of successful segment attempts per round: the upcoming
+    draws of every replication are compared against the durations of its
+    upcoming segments in one windowed array operation, and the clock advance
+    over the jumped segments is a ``cumsum`` prefix sum seeded with the
+    replication's current clock -- a strict left-to-right fold, hence the
+    *same* sequence of floating-point additions the scalar event loop
+    performs.  Rounds therefore scale with the number of failures, not the
+    number of segments: a thousand-segment chain with rare failures completes
+    in a handful of rounds instead of a thousand lock-step rounds.
+
+    Dense-failure batches (expected failures per replication above
+    ``_JUMP_MAX_EXPECTED_FAILURES``) are automatically delegated to the
+    lock-step kernel, which is the better array program when windows would
+    mostly be waste; both kernels are bit-identical on every input, so the
+    dispatch is purely a performance decision.
 
     Parameters
     ----------
@@ -238,6 +293,279 @@ def simulate_poisson_batch(
     plan:
         Pre-built delay plan (mainly for tests that drive both engines off
         one plan); by default a fresh plan is built from ``rng``.
+    window:
+        Cap on how many segments a single round may jump (default: adaptive,
+        about twice the expected success-run length, subject to a memory
+        cap).  A replication that exhausts its window without failing simply
+        continues jumping next round -- the addition chain is split, not
+        re-associated, so results are bit-identical for every window.
+        Exposed for tests; implies ``method="jump"``.
+    method:
+        ``None`` (the default) picks the kernel by expected failure density;
+        ``"jump"`` or ``"lockstep"`` force one.  Results are bit-identical
+        either way.
+    """
+    if method not in (None, "jump", "lockstep"):
+        raise ValueError(
+            f"unknown method {method!r}; expected None, 'jump' or 'lockstep'"
+        )
+    check_positive("rate", rate)
+    check_non_negative("downtime", downtime)
+    check_positive_int("count", count)
+    attempt_dur, recovery_dur = _segment_durations(segments)
+    if plan is None:
+        plan = PlannedExponentialDelays(
+            rng, 1.0 / rate, count, first_rounds=len(segments) + 4
+        )
+
+    num_segments = len(attempt_dur)
+    # Exact left-to-right prefix sums of the attempt durations: ``prefix[k]``
+    # is the clock (and the committed useful time) of a replication that has
+    # completed segments 0..k-1 without ever failing, evaluated with the
+    # same addition chain as the scalar loop (np.cumsum is a sequential
+    # fold, and the scalar clock starts at 0.0).
+    prefix = np.empty(num_segments + 1)
+    prefix[0] = 0.0
+    np.cumsum(attempt_dur, out=prefix[1:])
+    useful_total = float(prefix[num_segments])
+
+    # Window sizing: runs of consecutive successful attempts are roughly
+    # geometric with mean 1/q, so windows much longer than a typical run are
+    # wasted work for the rows that fail early in them.  Correctness is
+    # window-independent: a row that exhausts its window without failing
+    # simply continues next round (the addition chain is split, never
+    # re-associated).
+    failure_prob = -float(np.expm1(-rate * float(np.mean(attempt_dur))))
+    if method == "lockstep" or (
+        method is None
+        and window is None
+        and num_segments * failure_prob > _JUMP_MAX_EXPECTED_FAILURES
+    ):
+        return simulate_poisson_batch_lockstep(
+            segments, rate, downtime, rng, count, plan=plan
+        )
+    expected_run = 1.0 / max(failure_prob, 1e-12)
+    span_cap = int(min(max(2.0 * expected_run, 8.0), 65536.0))
+    if window is not None:
+        span_cap = max(int(window), 1)
+
+    makespans = np.empty(count)
+    out_wasted = np.empty(count)
+    out_fails = np.zeros(count, dtype=np.int64)
+    out_rec = np.zeros(count, dtype=np.int64)
+
+    # Replications that have never failed all share the exact same state --
+    # segment v_seg, plan cursor v_cursor, clock prefix[v_seg], zero waste --
+    # so the pool advances through one shared window comparison per sweep
+    # with no per-row clock arithmetic at all.
+    virgin = np.arange(count, dtype=np.int64)
+    v_seg = 0
+    v_cursor = 0
+
+    # Compressed per-row state of the "veterans" (rows that failed at least
+    # once); finished rows are squeezed out, their samples scattered to the
+    # output arrays via ``out_index``, which doubles as each row's plan
+    # column (the original replication index).
+    empty_i = np.empty(0, dtype=np.int64)
+    now = np.empty(0)
+    wasted = np.empty(0)
+    fails = empty_i
+    rec_att = empty_i
+    seg = empty_i
+    cursor = empty_i
+    recovering = np.empty(0, dtype=bool)
+    out_index = empty_i
+
+    round_index = 0
+    while virgin.size or now.size:
+        # --- Virgin sweep: one contiguous window comparison advances every
+        # never-failed replication at once.
+        if virgin.size:
+            rem_v = num_segments - v_seg
+            span = min(rem_v, span_cap, max(_MAX_WINDOW_ELEMENTS // virgin.size, 1))
+            flat = plan.rows(v_cursor + span)
+            if virgin.size == count:
+                # The whole batch is still virgin (typically the first
+                # sweep, the bulk of the work): the window is a zero-copy
+                # slice of the plan.
+                block = flat[v_cursor : v_cursor + span]
+            else:
+                block = flat[v_cursor : v_cursor + span, virgin]
+            fail_win = block < attempt_dur[v_seg : v_seg + span, None]
+            # argmax doubles as the any-reduction: a column with no failure
+            # reports offset 0, where fail_win is False.
+            offsets_all = fail_win.argmax(axis=0)
+            has_fail = fail_win[offsets_all, np.arange(virgin.size)]
+            if has_fail.any():
+                offsets = offsets_all[has_fail]
+                hit = virgin[has_fail]
+                lost = block[offsets, np.flatnonzero(has_fail)]
+                seg_hit = v_seg + offsets
+                # The scalar loop's additions, in its order: the clock was
+                # exactly prefix[seg_hit] and the wasted time exactly 0.0
+                # when the failure struck.
+                now_hit = prefix[seg_hit] + lost
+                now_hit += downtime
+                wasted_hit = lost + downtime
+                now = np.concatenate([now, now_hit])
+                wasted = np.concatenate([wasted, wasted_hit])
+                fails = np.concatenate([fails, np.ones(hit.size, dtype=np.int64)])
+                rec_att = np.concatenate([rec_att, np.zeros(hit.size, dtype=np.int64)])
+                seg = np.concatenate([seg, seg_hit])
+                cursor = np.concatenate([cursor, v_cursor + offsets + 1])
+                recovering = np.concatenate([recovering, np.ones(hit.size, dtype=bool)])
+                out_index = np.concatenate([out_index, hit])
+                virgin = virgin[~has_fail]
+            if virgin.size:
+                if span == rem_v:
+                    # The surviving pool completes the whole chain: its
+                    # makespan is the shared failure-free prefix total and
+                    # nothing was ever wasted.
+                    makespans[virgin] = prefix[num_segments]
+                    out_wasted[virgin] = 0.0
+                    virgin = empty_i
+                else:
+                    v_seg += span
+                    v_cursor += span
+
+        # --- Veteran round: one window comparison per failure generation.
+        # Every row's window resolves its pending recovery (when one is
+        # owed), jumps the run of consecutive segment completions after it,
+        # and absorbs the next failure, all in lock-step across the whole
+        # veteran set with plain full-array operations.
+        n_vet = now.size
+        if n_vet:
+            rem = num_segments - seg  # >= 1: finished rows are squeezed out
+            # Upcoming attempts a row can complete: its pending recovery
+            # (if any) plus its remaining segments.
+            valid = rem + recovering
+            span = int(valid.max())
+            span = min(span, span_cap, max(_MAX_WINDOW_ELEMENTS // n_vet, 1))
+            span = max(span, 2)
+            flat = plan.rows(int(cursor.max()) + span)
+            draw_win = np.lib.stride_tricks.sliding_window_view(flat, span, axis=0)[
+                cursor, out_index
+            ]
+            # Per-row threshold windows: the j-th upcoming attempt of a row
+            # at segment s must outlast thr[j] -- the recovery cost first
+            # when a recovery is pending, then the consecutive attempt
+            # durations, padded with -inf past the end of the chain (no
+            # delay is below -inf, so completed rows simply run out of
+            # failures).  The sliding windows over the padded durations are
+            # zero-copy views; only the n_vet needed rows are materialised.
+            att_pad = np.concatenate([attempt_dur, np.full(span - 1, -np.inf)])
+            att_win = np.lib.stride_tricks.sliding_window_view(att_pad, span)
+            thr = np.empty((n_vet, span))
+            fresh = ~recovering
+            if fresh.any():
+                thr[fresh] = att_win[seg[fresh]]
+            if recovering.any():
+                seg_rec = seg[recovering]
+                thr[recovering, 0] = recovery_dur[seg_rec]
+                thr[recovering, 1:] = np.lib.stride_tricks.sliding_window_view(
+                    att_pad, span - 1
+                )[seg_rec]
+            fail_win = draw_win < thr
+            lanes = np.arange(n_vet)
+            # argmax doubles as the any-reduction: a row with no failure
+            # reports offset 0, where fail_win is False.
+            first_fail = fail_win.argmax(axis=1)
+            has_fail = fail_win[lanes, first_fail]
+            # Successful attempts this round: up to the first short delay,
+            # the end of the chain, or the window edge.
+            successes = np.where(has_fail, first_fail, span)
+            successes = np.minimum(successes, valid)
+            # A pending recovery is an attempt too: it is counted when it
+            # starts, commits its cost into the wasted time when it
+            # completes, and leaves the row recovering when it does not.
+            rec_att += recovering
+            rec_done = recovering & (successes > 0)
+            wasted += np.where(rec_done, recovery_dur[seg], 0.0)
+            # Seeded prefix sums: row r's column k is
+            # (((now + thr_0) + thr_1) + ... + thr_{k-1}) evaluated strictly
+            # left to right (np.cumsum is a sequential fold), i.e. the exact
+            # clock the scalar loop holds after k consecutive completions.
+            clocks = np.empty((n_vet, span + 1))
+            clocks[:, 0] = now
+            clocks[:, 1:] = thr
+            np.cumsum(clocks, axis=1, out=clocks)
+            now = clocks[lanes, successes]
+            seg += successes - rec_done
+            cursor += successes
+            recovering &= ~rec_done
+            hit = np.flatnonzero(has_fail)
+            if hit.size:
+                lost = draw_win[hit, successes[hit]]
+                fails[hit] += 1
+                now[hit] += lost
+                wasted[hit] += lost
+                now[hit] += downtime
+                wasted[hit] += downtime
+                cursor[hit] += 1  # the failed attempt consumed its draw
+                recovering[hit] = True
+
+            finished = seg >= num_segments
+            if finished.any():
+                done = np.flatnonzero(finished)
+                makespans[out_index[done]] = now[done]
+                out_wasted[out_index[done]] = wasted[done]
+                out_fails[out_index[done]] = fails[done]
+                out_rec[out_index[done]] = rec_att[done]
+                keep = ~finished
+                now = now[keep]
+                wasted = wasted[keep]
+                fails = fails[keep]
+                rec_att = rec_att[keep]
+                seg = seg[keep]
+                cursor = cursor[keep]
+                recovering = recovering[keep]
+                out_index = out_index[keep]
+
+        if fails.size and int(fails.max()) > _MAX_FAILURES_PER_RUN:
+            raise RuntimeError(
+                "simulation aborted after "
+                f"{_MAX_FAILURES_PER_RUN} failures; the instance parameters make "
+                "completion astronomically unlikely"
+            )
+        round_index += 1
+        if round_index > 2 * _MAX_FAILURES_PER_RUN + num_segments:
+            # Unreachable progress guard (every round strikes, recovers,
+            # advances or finishes some replication); kept as a backstop for
+            # the kernel's progress invariant.
+            raise RuntimeError(
+                "segment-jumping kernel exceeded its round budget "
+                f"({2 * _MAX_FAILURES_PER_RUN + num_segments} rounds) without "
+                "completing every replication; this indicates a stalled round, "
+                "not an instance problem -- please report it"
+            )
+
+    return BatchSimulationResult(
+        makespans=makespans,
+        num_failures=out_fails.astype(float),
+        wasted_times=out_wasted,
+        useful_times=np.full(count, useful_total),
+        recovery_attempts=out_rec,
+    )
+
+
+def simulate_poisson_batch_lockstep(
+    segments: Sequence[Segment],
+    rate: float,
+    downtime: float,
+    rng: np.random.Generator,
+    count: int,
+    *,
+    plan: Optional[PlannedExponentialDelays] = None,
+) -> BatchSimulationResult:
+    """One-attempt-per-round reference kernel for the exact Poisson fast path.
+
+    The historical (PR 2) array program: every round advances every active
+    replication by exactly one attempt, so rounds scale with the *attempt*
+    count (segments plus failures).  Kept as the executable specification of
+    the plan-consumption contract -- :func:`simulate_poisson_batch` (the
+    segment-jumping kernel) must stay bit-identical to it on every input --
+    and as the baseline the runtime benchmark measures the jump kernel
+    against.
     """
     check_positive("rate", rate)
     check_non_negative("downtime", downtime)

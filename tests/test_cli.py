@@ -203,8 +203,14 @@ class TestServiceCommands:
                 "--timeout", "60",
             ])
             assert exit_code == 0
-            out = capsys.readouterr().out
-            assert "Simulation campaign" in out and "optimal_dp" in out
+            captured = capsys.readouterr()
+            assert "Simulation campaign" in captured.out and "optimal_dp" in captured.out
+            # --wait surfaces the polled job's live progress (line-per-change
+            # on a non-tty stderr); the final observation is the done state.
+            progress_lines = [
+                line for line in captured.err.splitlines() if line.startswith("job ")
+            ]
+            assert progress_lines and "done" in progress_lines[-1]
 
             assert main(["jobs", "--url", server.url]) == 0
             listing = capsys.readouterr().out

@@ -450,3 +450,215 @@ class TestReviewRegressions:
         finally:
             scheduler.stop()
             store.close()
+
+
+class TestChunkSizeBounds:
+    """Submit-time chunk validation: cancellation latency stays bounded."""
+
+    def test_scheduler_rejects_absurd_chunk_sizes(self):
+        with JobStore() as store:
+            scheduler = JobScheduler(store)
+            spec = small_spec().to_dict()
+            # A budget large enough that the num_runs clamp cannot save the
+            # oversized chunk (clamping only ever *shrinks* a chunk).
+            big = small_spec(num_runs=JobScheduler.MAX_CHUNK_SIZE * 4).to_dict()
+            with pytest.raises(ValueError, match="service cap"):
+                scheduler.submit_campaign(
+                    big, chunk_size=JobScheduler.MAX_CHUNK_SIZE * 2
+                )
+            with pytest.raises(ValueError, match=">= 1"):
+                scheduler.submit_campaign(spec, chunk_size=0)
+            with pytest.raises(TypeError, match="integer"):
+                scheduler.submit_campaign(spec, chunk_size=2.5)
+            with pytest.raises(TypeError, match="integer"):
+                scheduler.submit_campaign(spec, chunk_size=True)
+            assert store.counts()["queued"] == 0  # nothing slipped in
+
+    def test_oversized_chunk_is_clamped_to_num_runs(self):
+        # chunk_size above the budget is a sample-preserving rewrite: every
+        # value >= num_runs yields the same single-chunk plan, so the job is
+        # stored (and deduplicated) under the canonical num_runs spelling.
+        spec = small_spec(name="clamp", num_runs=40)
+        with JobStore() as store:
+            scheduler = JobScheduler(store)
+            record, reused = scheduler.submit_campaign(
+                spec.to_dict(), chunk_size=10_000
+            )
+            assert not reused
+            assert record.spec["chunk_size"] == 40
+            canonical, reused = scheduler.submit_campaign(
+                spec.to_dict(), chunk_size=40
+            )
+            assert reused and canonical.id == record.id
+            scheduler.run_pending()
+            done = store.get(record.id)
+            assert done.state == "done"
+            direct = spec.run(chunk_size=10_000)
+            for name, samples in direct.makespans.items():
+                assert done.result["makespans"][name] == list(samples)
+
+    def test_experiment_chunk_size_params_are_validated(self):
+        with JobStore() as store:
+            scheduler = JobScheduler(store)
+            with pytest.raises(ValueError, match="service cap"):
+                scheduler.submit_experiment(
+                    "E1", params={"chunk_size": 10**9, "num_runs": 50}
+                )
+            record, _ = scheduler.submit_experiment(
+                "E1", params={"chunk_size": 25, "num_runs": 50, "seed": 1}
+            )
+            assert record.spec["params"]["chunk_size"] == 25
+
+    def test_http_submission_with_absurd_chunk_size_is_a_400(self, live_service):
+        client = live_service["client"]
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_campaign(
+                small_spec(name="huge-chunk", num_runs=100_000), chunk_size=10**9
+            )
+        assert excinfo.value.status == 400
+        assert "service cap" in str(excinfo.value)
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_campaign(small_spec(name="zero-chunk"), chunk_size=0)
+        assert excinfo.value.status == 400
+
+
+class TestExperimentProgress:
+    """Experiment jobs report real chunk counts, not just 0/1 -> 1/1."""
+
+    def test_e1_job_reports_per_chunk_progress(self):
+        with JobStore() as store:
+            scheduler = JobScheduler(store)
+            record, _ = scheduler.submit_experiment(
+                "E1",
+                engine="vectorized",
+                params={"num_runs": 120, "seed": 1, "chunk_size": 30},
+            )
+            scheduler.run_pending()
+            done = store.get(record.id)
+            assert done.state == "done"
+            # 6 scenarios x 4 chunks each: the progress hook saw real chunk
+            # counts and the final write is (total, total).
+            assert done.chunks_total == 24
+            assert done.chunks_done == 24
+
+    def test_e8_job_reports_per_chunk_progress(self):
+        with JobStore() as store:
+            scheduler = JobScheduler(store)
+            record, _ = scheduler.submit_experiment(
+                "E8",
+                engine="vectorized",
+                params={"num_runs": 40, "seed": 6, "chunk_size": 20, "n": 6},
+            )
+            scheduler.run_pending()
+            done = store.get(record.id)
+            assert done.state == "done", done.error
+            assert done.chunks_total == 32  # 16 estimates x 2 chunks
+            assert done.chunks_done == 32
+
+    def test_experiment_without_progress_support_keeps_the_0_1_contract(self):
+        with JobStore() as store:
+            scheduler = JobScheduler(store)
+            record, _ = scheduler.submit_experiment("E2")
+            scheduler.run_pending()
+            done = store.get(record.id)
+            assert done.state == "done"
+            assert (done.chunks_done, done.chunks_total) == (1, 1)
+
+    def test_running_experiment_cancels_mid_run(self):
+        # The progress hook threads cancellation into the experiment's
+        # chunk loop: a cancel requested after the job is claimed lands
+        # before the first chunk completes.
+        with JobStore() as store:
+            scheduler = JobScheduler(store)
+            record, _ = scheduler.submit_experiment(
+                "E1", params={"num_runs": 60, "seed": 2, "chunk_size": 30}
+            )
+            claimed = store.claim_next()
+            assert claimed.id == record.id
+            store.request_cancel(record.id)
+            scheduler.execute(claimed)
+            assert store.get(record.id).state == "cancelled"
+
+
+class TestClientWaitProgress:
+    """wait() surfaces progress changes and backs off while nothing moves."""
+
+    @staticmethod
+    def _record(state, done, total):
+        return {
+            "id": "j1",
+            "state": state,
+            "progress": {"chunks_done": done, "chunks_total": total},
+        }
+
+    def test_wait_notifies_on_change_and_backs_off_between(self, monkeypatch):
+        records = iter([
+            self._record("queued", 0, 0),
+            self._record("running", 0, 4),
+            self._record("running", 0, 4),
+            self._record("running", 0, 4),
+            self._record("running", 2, 4),
+            self._record("done", 4, 4),
+        ])
+
+        class Scripted(ServiceClient):
+            def job(self, job_id):
+                return next(records)
+
+        sleeps = []
+        monkeypatch.setattr("repro.service.client.time.sleep", sleeps.append)
+        seen = []
+        client = Scripted("http://scripted.invalid")
+        final = client.wait("j1", timeout=30.0, poll_interval=0.2,
+                            on_progress=seen.append)
+        assert final["state"] == "done"
+        # One notification per observable change: queued, running 0/4,
+        # running 2/4, done 4/4 -- the two unchanged polls stay silent.
+        assert [(r["state"], r["progress"]["chunks_done"]) for r in seen] == [
+            ("queued", 0), ("running", 0), ("running", 2), ("done", 4),
+        ]
+        # Backoff: the interval grows by half the base per unchanged poll
+        # and snaps back to the base on any change.
+        assert sleeps == pytest.approx([0.2, 0.2, 0.3, 0.4, 0.2])
+
+    def test_wait_backoff_is_capped(self, monkeypatch):
+        states = iter(
+            [self._record("running", 0, 4)] * 30 + [self._record("done", 4, 4)]
+        )
+
+        class Scripted(ServiceClient):
+            def job(self, job_id):
+                return next(states)
+
+        sleeps = []
+        monkeypatch.setattr("repro.service.client.time.sleep", sleeps.append)
+        Scripted("http://scripted.invalid").wait(
+            "j1", timeout=300.0, poll_interval=0.2, max_poll_interval=1.0
+        )
+        assert max(sleeps) == pytest.approx(1.0)
+        assert sleeps[-1] == pytest.approx(1.0)
+
+    def test_wait_never_sleeps_past_the_deadline(self, monkeypatch):
+        # Backed-off intervals must be clipped to the remaining timeout:
+        # otherwise a 1s timeout could stretch by up to max_poll_interval.
+        clock = {"t": 0.0}
+        sleeps = []
+        monkeypatch.setattr("repro.service.client.time.monotonic", lambda: clock["t"])
+
+        def fake_sleep(seconds):
+            sleeps.append(seconds)
+            clock["t"] += seconds
+
+        monkeypatch.setattr("repro.service.client.time.sleep", fake_sleep)
+        stuck = self._record("running", 0, 4)
+
+        class Scripted(ServiceClient):
+            def job(self, job_id):
+                return dict(stuck)
+
+        with pytest.raises(ServiceError, match="still 'running'"):
+            Scripted("http://scripted.invalid").wait(
+                "j1", timeout=1.0, poll_interval=0.4, max_poll_interval=5.0
+            )
+        assert clock["t"] == pytest.approx(1.0)  # raised at the deadline
+        assert max(sleeps) <= 1.0
