@@ -1,0 +1,160 @@
+"""Analytic solver kernels -- vectorized DP vs the scalar reference.
+
+PR 5 turned the chain-checkpointing DP (Proposition 3), its budget-constrained
+variant and the DAG linearize-then-place DP into NumPy array programs (one
+closed-form transition vector per DP row, the whole budget axis per row for
+the budget DP).  This benchmark times each solver both ways on the same
+instances and asserts, in-bench, that the results are *exactly* equal --
+same expected makespans, same checkpoint positions -- so a speedup row can
+never hide a numerics regression.
+
+Rows report ``reference_seconds``, ``vectorized_seconds``, the speedup and
+the exact-equality flag; the CI bench-smoke job archives the ``--quick``
+JSON like every other ``bench_*.py``.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.chain_dp import (
+    optimal_chain_checkpoints,
+    optimal_chain_checkpoints_budget,
+)
+from repro.core.dag_scheduling import place_checkpoints_on_order
+from repro.core.independent import schedule_independent_tasks
+from repro.experiments.reporting import ResultTable
+from repro.workflows.generators import uniform_random_chain
+
+DOWNTIME = 0.5
+RATE = 0.01
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def run_analytic_solver_benchmarks(
+    *,
+    chain_n: int = 500,
+    budget_n: int = 200,
+    budget_cap: int = 50,
+    dag_n: int = 300,
+    independent_n: int = 50,
+    seed: int = 3,
+) -> ResultTable:
+    """Time reference vs vectorized for every analytic solver, checking equality."""
+    table = ResultTable(
+        title="Analytic solver kernels: scalar reference vs vectorized NumPy DP",
+        columns=[
+            "solver", "n", "reference_seconds", "vectorized_seconds",
+            "speedup", "exact_match",
+        ],
+    )
+
+    def add_row(solver, n, build_ref, build_vec, same):
+        ref_result, ref_seconds = _timed(build_ref)
+        vec_result, vec_seconds = _timed(build_vec)
+        match = same(ref_result, vec_result)
+        if not match:
+            raise AssertionError(
+                f"{solver}: vectorized result diverges from the scalar reference"
+            )
+        table.add_row(
+            solver=solver,
+            n=n,
+            reference_seconds=ref_seconds,
+            vectorized_seconds=vec_seconds,
+            speedup=ref_seconds / max(vec_seconds, 1e-12),
+            exact_match=match,
+        )
+
+    def placements_equal(a, b):
+        return (
+            a.expected_makespan == b.expected_makespan
+            and a.checkpoint_after == b.checkpoint_after
+        )
+
+    chain = uniform_random_chain(chain_n, seed=seed)
+    add_row(
+        "chain_dp", chain_n,
+        lambda: optimal_chain_checkpoints(chain, DOWNTIME, RATE, method="reference"),
+        lambda: optimal_chain_checkpoints(chain, DOWNTIME, RATE, method="vectorized"),
+        placements_equal,
+    )
+
+    budget_chain = uniform_random_chain(budget_n, seed=seed + 1)
+    add_row(
+        "budget_dp", budget_n,
+        lambda: optimal_chain_checkpoints_budget(
+            budget_chain, DOWNTIME, RATE, budget_cap, method="reference"
+        ),
+        lambda: optimal_chain_checkpoints_budget(
+            budget_chain, DOWNTIME, RATE, budget_cap, method="vectorized"
+        ),
+        placements_equal,
+    )
+
+    dag = uniform_random_chain(dag_n, seed=seed + 2).to_workflow()
+    order = dag.topological_order()
+    add_row(
+        "dag_placement", dag_n,
+        lambda: place_checkpoints_on_order(
+            dag, order, DOWNTIME, RATE, method="reference"
+        ),
+        lambda: place_checkpoints_on_order(
+            dag, order, DOWNTIME, RATE, method="vectorized"
+        ),
+        lambda a, b: a == b,
+    )
+
+    works = list(np.random.default_rng(seed + 3).uniform(1.0, 10.0, size=independent_n))
+    add_row(
+        "independent_local_search", independent_n,
+        lambda: schedule_independent_tasks(
+            works, 1.0, 1.0, 0.0, 0.05, method="reference"
+        ),
+        lambda: schedule_independent_tasks(
+            works, 1.0, 1.0, 0.0, 0.05, method="vectorized"
+        ),
+        # The local searches may settle in different (equal-quality) local
+        # optima when candidate improvements sit below one ulp, so this row
+        # checks value agreement rather than identical partitions.
+        lambda a, b: abs(a.expected_makespan - b.expected_makespan)
+        <= 1e-9 * a.expected_makespan,
+    )
+    return table
+
+
+def test_analytic_solver_speedups(benchmark, print_table):
+    table = benchmark(
+        run_analytic_solver_benchmarks,
+        chain_n=300, budget_n=120, budget_cap=30, dag_n=150, independent_n=40,
+    )
+    print_table(table)
+    assert all(row["exact_match"] for row in table.rows)
+    chain_row = next(row for row in table.rows if row["solver"] == "chain_dp")
+    assert chain_row["speedup"] > 1.0
+
+
+#: Parameter sets for script mode (the CI smoke job runs ``--quick``).  The
+#: quick set keeps the 500-task chain: the acceptance claim is >= 5x on a
+#: 500-task chain DP in a 1-core container.
+FULL_PARAMS = {
+    "chain_n": 500, "budget_n": 200, "budget_cap": 50,
+    "dag_n": 300, "independent_n": 50, "seed": 3,
+}
+QUICK_PARAMS = {
+    "chain_n": 500, "budget_n": 120, "budget_cap": 30,
+    "dag_n": 150, "independent_n": 32, "seed": 3,
+}
+
+if __name__ == "__main__":  # pragma: no cover - exercised by the CI bench-smoke job
+    from harness import run_cli
+
+    raise SystemExit(run_cli(
+        "bench_analytic_solvers", run_analytic_solver_benchmarks,
+        quick_params=QUICK_PARAMS, full_params=FULL_PARAMS,
+    ))

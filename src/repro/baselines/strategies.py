@@ -19,7 +19,7 @@ comparable with the DP output.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro._validation import check_non_negative, check_positive, check_positive_int
 from repro.core.chain_dp import ChainDPResult, optimal_chain_checkpoints
@@ -140,32 +140,52 @@ def evaluate_chain_strategies(
     *,
     every_k: Sequence[int] = (2, 5),
     final_checkpoint: bool = True,
+    only: Optional[Sequence[str]] = None,
+    method: str = "auto",
 ) -> Dict[str, ChainDPResult]:
     """Evaluate the optimal DP and every baseline strategy on the same chain.
 
     Returns a mapping from strategy name to its placement/expected makespan;
-    the "optimal_dp" entry is always included and is guaranteed to have the
-    smallest expected makespan of the set (the DP explores a superset of these
-    placements).
+    the "optimal_dp" entry is always included (unless excluded via ``only``)
+    and is guaranteed to have the smallest expected makespan of the set (the
+    DP explores a superset of these placements).
+
+    ``only`` restricts evaluation to the named strategies -- scenario specs
+    that compare a subset then skip the ``O(n^2)`` DP solve (or the other
+    placements) entirely; unknown names raise ``KeyError`` listing the full
+    catalog.  ``method`` is forwarded to the DP solver
+    (:func:`~repro.core.chain_dp.optimal_chain_checkpoints`).
     """
-    results: Dict[str, ChainDPResult] = {
-        "optimal_dp": optimal_chain_checkpoints(
+    builders: Dict[str, Callable[[], ChainDPResult]] = {
+        "optimal_dp": lambda: optimal_chain_checkpoints(
+            chain, downtime, rate, final_checkpoint=final_checkpoint, method=method
+        ),
+        "checkpoint_all": lambda: checkpoint_all_chain(chain, downtime, rate),
+        "checkpoint_none": lambda: checkpoint_none_chain(
             chain, downtime, rate, final_checkpoint=final_checkpoint
         ),
-        "checkpoint_all": checkpoint_all_chain(chain, downtime, rate),
-        "checkpoint_none": checkpoint_none_chain(
+        "daly_period": lambda: daly_period_chain(
             chain, downtime, rate, final_checkpoint=final_checkpoint
         ),
-        "daly_period": daly_period_chain(
-            chain, downtime, rate, final_checkpoint=final_checkpoint
-        ),
-        "young_period": daly_period_chain(
+        "young_period": lambda: daly_period_chain(
             chain, downtime, rate, use_higher_order=False, final_checkpoint=final_checkpoint
         ),
     }
     for k in every_k:
         if 1 <= k <= chain.n:
-            results[f"every_{k}"] = checkpoint_every_k_chain(
-                chain, k, downtime, rate, final_checkpoint=final_checkpoint
+            builders[f"every_{k}"] = (
+                lambda step=k: checkpoint_every_k_chain(
+                    chain, step, downtime, rate, final_checkpoint=final_checkpoint
+                )
             )
+    if only is None:
+        requested = list(builders)
+    else:
+        requested = list(dict.fromkeys(only))
+        unknown = [name for name in requested if name not in builders]
+        if unknown:
+            raise KeyError(
+                f"unknown strategies {unknown!r}; available: {sorted(builders)}"
+            )
+    results: Dict[str, ChainDPResult] = {name: builders[name]() for name in requested}
     return results

@@ -28,6 +28,15 @@ Two implementations are provided:
 Both force a checkpoint after the last task (the base case of the paper's
 Algorithm 1 charges ``C_n``); pass ``final_checkpoint=False`` to drop it, e.g.
 when the final result does not need to be saved.
+
+The production solvers run on the vectorized row kernels of
+:mod:`repro.core.dp_kernels` by default (``method="auto"``): each DP row's
+whole transition vector is one closed-form NumPy expression over the work
+prefix sums, and the budget DP additionally sweeps its entire budget axis per
+row.  The plain-Python loops are retained as ``method="reference"``; both
+paths are **bit-identical** -- same expected times, same first-lowest-index
+tie-breaking -- which the property tests and the analytic-solver benchmark
+assert on every run.
 """
 
 from __future__ import annotations
@@ -36,7 +45,15 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro._validation import check_non_negative, check_positive
+from repro.core.dp_kernels import (
+    budget_dp_tables,
+    chain_dp_tables,
+    reconstruct_positions,
+    resolve_dp_method,
+)
 from repro.core.expected_time import expected_completion_time
 from repro.core.schedule import CheckpointPlan, Schedule
 from repro.workflows.chain import LinearChain
@@ -108,48 +125,20 @@ class ChainDPResult:
         return CheckpointPlan.from_positions(self.chain.n, self.checkpoint_after)
 
 
-def optimal_chain_checkpoints(
+def _reference_chain_tables(
     chain: LinearChain,
     downtime: float,
     rate: float,
-    *,
-    final_checkpoint: bool = True,
-) -> ChainDPResult:
-    """Optimal checkpoint placement for a linear chain (Proposition 3).
-
-    Parameters
-    ----------
-    chain:
-        The linear chain (works ``w_i``, checkpoint costs ``C_i``, recovery
-        costs ``R_i``, initial recovery ``R_0``).
-    downtime:
-        Downtime ``D >= 0`` after each failure.
-    rate:
-        Platform failure rate ``lambda > 0``.
-    final_checkpoint:
-        When True (default, matching the paper's Algorithm 1), a checkpoint is
-        always taken after the last task and its cost ``C_n`` is charged.
-        When False, the final segment ends without a checkpoint.
-
-    Returns
-    -------
-    ChainDPResult
-        The optimal expected makespan and checkpoint positions.
-
-    Notes
-    -----
-    Complexity is ``O(n^2)`` time and ``O(n)`` space, using prefix sums of the
-    work array so each candidate segment cost is evaluated in ``O(1)``.
-    """
-    downtime = check_non_negative("downtime", downtime)
-    rate = check_positive("rate", rate)
+    final_checkpoint: bool,
+) -> Tuple[List[float], List[int]]:
+    """Scalar reference DP tables (the pre-vectorization nested loops)."""
     n = chain.n
     prefix = chain.prefix_work()
 
     # best[x] = optimal expected time for tasks x..n-1 (0-based), starting
     # right after the checkpoint preceding task x; best[n] = 0.
     best: List[float] = [math.inf] * (n + 1)
-    choice: List[int] = [-1] * (n + 1)
+    choice: List[int] = [-1] * n
     best[n] = 0.0
 
     for x in range(n - 1, -1, -1):
@@ -169,6 +158,64 @@ def optimal_chain_checkpoints(
                 best_j = j
         best[x] = best_value
         choice[x] = best_j
+    return best, choice
+
+
+def optimal_chain_checkpoints(
+    chain: LinearChain,
+    downtime: float,
+    rate: float,
+    *,
+    final_checkpoint: bool = True,
+    method: str = "auto",
+) -> ChainDPResult:
+    """Optimal checkpoint placement for a linear chain (Proposition 3).
+
+    Parameters
+    ----------
+    chain:
+        The linear chain (works ``w_i``, checkpoint costs ``C_i``, recovery
+        costs ``R_i``, initial recovery ``R_0``).
+    downtime:
+        Downtime ``D >= 0`` after each failure.
+    rate:
+        Platform failure rate ``lambda > 0``.
+    final_checkpoint:
+        When True (default, matching the paper's Algorithm 1), a checkpoint is
+        always taken after the last task and its cost ``C_n`` is charged.
+        When False, the final segment ends without a checkpoint.
+    method:
+        ``"auto"`` (default) solves each DP row as one vectorized NumPy
+        transition vector on chains large enough to amortise the ufunc
+        dispatch, and falls back to the plain-Python loops below that;
+        ``"vectorized"`` / ``"reference"`` force one path.  Both are
+        bit-identical (same values, same lowest-index tie-breaking).
+
+    Returns
+    -------
+    ChainDPResult
+        The optimal expected makespan and checkpoint positions.
+
+    Notes
+    -----
+    Complexity is ``O(n^2)`` time and ``O(n)`` space, using prefix sums of the
+    work array so each candidate segment cost is evaluated in ``O(1)``.
+    """
+    downtime = check_non_negative("downtime", downtime)
+    rate = check_positive("rate", rate)
+    n = chain.n
+    if resolve_dp_method(method, n) == "vectorized":
+        prefix = np.array(chain.prefix_work())
+        best, choice = chain_dp_tables(
+            prefix,
+            np.array(chain.checkpoint_costs, dtype=float),
+            chain.recovery_before,
+            downtime,
+            rate,
+            final_checkpoint=final_checkpoint,
+        )
+    else:
+        best, choice = _reference_chain_tables(chain, downtime, rate, final_checkpoint)
 
     if not math.isfinite(best[0]):
         raise OverflowError(
@@ -177,62 +224,24 @@ def optimal_chain_checkpoints(
             "rate and task durations"
         )
 
-    # Reconstruct the checkpoint positions by following the recorded choices.
-    positions: List[int] = []
-    x = 0
-    while x < n:
-        j = choice[x]
-        is_last_segment = j == n - 1
-        if not (is_last_segment and not final_checkpoint):
-            positions.append(j)
-        x = j + 1
-
     return ChainDPResult(
-        expected_makespan=best[0],
-        checkpoint_after=tuple(positions),
+        expected_makespan=float(best[0]),
+        checkpoint_after=reconstruct_positions(choice, n, final_checkpoint),
         chain=chain,
         downtime=downtime,
         rate=rate,
     )
 
 
-def optimal_chain_checkpoints_budget(
+def _reference_budget_tables(
     chain: LinearChain,
     downtime: float,
     rate: float,
-    max_checkpoints: int,
-    *,
-    final_checkpoint: bool = True,
-) -> ChainDPResult:
-    """Optimal placement of at most ``max_checkpoints`` checkpoints on a chain.
-
-    A practical variant of Algorithm 1 for platforms where checkpoint storage
-    or bandwidth is rationed (e.g. burst-buffer quotas): the schedule may take
-    at most ``max_checkpoints`` checkpoints, counting the final one when
-    ``final_checkpoint`` is True.  The dynamic program adds the remaining
-    budget to the state, giving ``O(n^2 * max_checkpoints)`` time.
-
-    With ``max_checkpoints >= n`` the result coincides with
-    :func:`optimal_chain_checkpoints` (the budget is not binding); with
-    ``max_checkpoints = 1`` and ``final_checkpoint=True`` it degenerates to
-    the single-final-checkpoint placement.
-
-    Raises
-    ------
-    ValueError
-        If ``max_checkpoints`` is smaller than 1 while a final checkpoint is
-        required, or negative.
-    """
-    downtime = check_non_negative("downtime", downtime)
-    rate = check_positive("rate", rate)
+    budget_cap: int,
+    final_checkpoint: bool,
+) -> Tuple[List[List[float]], List[List[int]]]:
+    """Scalar reference tables of the budgeted DP (the pre-vectorization loops)."""
     n = chain.n
-    if max_checkpoints < 0:
-        raise ValueError(f"max_checkpoints must be >= 0, got {max_checkpoints}")
-    if final_checkpoint and max_checkpoints < 1:
-        raise ValueError(
-            "max_checkpoints must be >= 1 when a final checkpoint is required"
-        )
-    budget_cap = min(max_checkpoints, n)
     prefix = chain.prefix_work()
 
     # best[x][b] = optimal expected time for tasks x..n-1 with at most b
@@ -269,8 +278,71 @@ def optimal_chain_checkpoints_budget(
                         best_j = j
             best[x][b] = best_value
             choice[x][b] = best_j
+    return best, choice
 
-    if not math.isfinite(best[0][budget_cap]):
+
+def optimal_chain_checkpoints_budget(
+    chain: LinearChain,
+    downtime: float,
+    rate: float,
+    max_checkpoints: int,
+    *,
+    final_checkpoint: bool = True,
+    method: str = "auto",
+) -> ChainDPResult:
+    """Optimal placement of at most ``max_checkpoints`` checkpoints on a chain.
+
+    A practical variant of Algorithm 1 for platforms where checkpoint storage
+    or bandwidth is rationed (e.g. burst-buffer quotas): the schedule may take
+    at most ``max_checkpoints`` checkpoints, counting the final one when
+    ``final_checkpoint`` is True.  The dynamic program adds the remaining
+    budget to the state, giving ``O(n^2 * max_checkpoints)`` time.
+
+    With ``max_checkpoints >= n`` the result coincides with
+    :func:`optimal_chain_checkpoints` (the budget is not binding); with
+    ``max_checkpoints = 1`` and ``final_checkpoint=True`` it degenerates to
+    the single-final-checkpoint placement.
+
+    ``method`` selects the execution path exactly as in
+    :func:`optimal_chain_checkpoints`; the vectorized kernel computes each
+    row's segment costs once and sweeps the whole budget dimension in one
+    broadcast ``argmin``, and is bit-identical to the reference loops.
+
+    Raises
+    ------
+    ValueError
+        If ``max_checkpoints`` is smaller than 1 while a final checkpoint is
+        required, or negative.
+    """
+    downtime = check_non_negative("downtime", downtime)
+    rate = check_positive("rate", rate)
+    n = chain.n
+    if max_checkpoints < 0:
+        raise ValueError(f"max_checkpoints must be >= 0, got {max_checkpoints}")
+    if final_checkpoint and max_checkpoints < 1:
+        raise ValueError(
+            "max_checkpoints must be >= 1 when a final checkpoint is required"
+        )
+    budget_cap = min(max_checkpoints, n)
+    if resolve_dp_method(method, n) == "vectorized":
+        best_arr, choice_arr = budget_dp_tables(
+            np.array(chain.prefix_work()),
+            np.array(chain.checkpoint_costs, dtype=float),
+            chain.recovery_before,
+            downtime,
+            rate,
+            budget_cap,
+            final_checkpoint=final_checkpoint,
+        )
+        best_final = float(best_arr[0, budget_cap])
+        choice = choice_arr
+    else:
+        best, choice = _reference_budget_tables(
+            chain, downtime, rate, budget_cap, final_checkpoint
+        )
+        best_final = best[0][budget_cap]
+
+    if not math.isfinite(best_final):
         raise OverflowError(
             "no placement within the checkpoint budget has a finite expected makespan; "
             "increase max_checkpoints or check the instance parameters"
@@ -279,7 +351,7 @@ def optimal_chain_checkpoints_budget(
     positions: List[int] = []
     x, b = 0, budget_cap
     while x < n:
-        j = choice[x][b]
+        j = int(choice[x][b])
         if j == n:
             break  # tail executed without further checkpoints
         positions.append(j)
@@ -287,7 +359,7 @@ def optimal_chain_checkpoints_budget(
         b -= 1
 
     return ChainDPResult(
-        expected_makespan=best[0][budget_cap],
+        expected_makespan=best_final,
         checkpoint_after=tuple(positions),
         chain=chain,
         downtime=downtime,

@@ -14,7 +14,9 @@ provides:
   generalising the chain DP of Section 5 to position-dependent checkpoint and
   recovery costs -- including the frontier-dependent cost model of the first
   extension in Section 6 (checkpoint cost = aggregate of the live tasks'
-  costs);
+  costs).  All linearisation orders run through the shared vectorized row
+  kernel of :mod:`repro.core.dp_kernels` by default, with the plain-Python
+  loops retained (bit-identically) as ``method="reference"``;
 * :func:`schedule_dag` -- the production heuristic: try several linearisation
   strategies, optimally place checkpoints on each with the DP, keep the best;
 * :func:`exhaustive_dag_schedule` -- exact optimum for tiny DAGs by
@@ -32,7 +34,13 @@ import networkx as nx
 import numpy as np
 
 from repro._validation import check_non_negative, check_positive
-from repro.core.expected_time import expected_completion_time
+from repro.core.dp_kernels import (
+    chain_dp_tables,
+    reconstruct_positions,
+    resolve_dp_method,
+    row_transition_values,
+)
+from repro.core.expected_time import _MAX_EXPONENT, expected_completion_time
 from repro.core.schedule import CheckpointPlan, Schedule
 from repro.models.checkpoint import FrontierCheckpointCost
 from repro.workflows.dag import Workflow
@@ -211,6 +219,7 @@ def place_checkpoints_on_order(
     initial_recovery: float = 0.0,
     checkpoint_model: Optional[FrontierCheckpointCost] = None,
     final_checkpoint: bool = True,
+    method: str = "auto",
 ) -> Tuple[Tuple[int, ...], float]:
     """Optimal checkpoint placement for a *fixed* linearisation.
 
@@ -223,6 +232,14 @@ def place_checkpoints_on_order(
     on the position of the previous checkpoint (the set of live tasks in the
     window), which the DP handles because each subproblem is indexed by the
     position following the previous checkpoint.
+
+    ``method`` selects the execution path (``"auto"``/``"vectorized"``/
+    ``"reference"``, as in :func:`~repro.core.chain_dp.optimal_chain_checkpoints`):
+    the vectorized path evaluates every linearisation through the same row
+    kernel as the chain DP.  With a :class:`FrontierCheckpointCost` the
+    per-row checkpoint-cost vector still comes from the model (its live-set
+    aggregation is inherently per-window), but the transition math is
+    vectorized; both paths are bit-identical either way.
 
     Returns the optimal checkpoint positions and the associated expected
     makespan.
@@ -248,11 +265,46 @@ def place_checkpoints_on_order(
             return checkpoint_model.recovery(names, prev_ckpt)
         return workflow.task(names[prev_ckpt]).recovery_cost
 
+    if resolve_dp_method(method, n) == "vectorized":
+        best, choice = _vectorized_order_tables(
+            np.array(prefix),
+            names,
+            workflow,
+            recovery_cost,
+            checkpoint_model,
+            downtime,
+            rate,
+            final_checkpoint,
+        )
+    else:
+        best, choice = _reference_order_tables(
+            prefix, n, checkpoint_cost, recovery_cost, downtime, rate, final_checkpoint
+        )
+
+    if not math.isfinite(best[0]):
+        raise OverflowError(
+            "even the best checkpoint placement on this order has an expected time "
+            "that overflows float; check the failure rate and task durations"
+        )
+
+    return reconstruct_positions(choice, n, final_checkpoint), float(best[0])
+
+
+def _reference_order_tables(
+    prefix: Sequence[float],
+    n: int,
+    checkpoint_cost: Callable[[int, int], float],
+    recovery_cost: Callable[[int], float],
+    downtime: float,
+    rate: float,
+    final_checkpoint: bool,
+) -> Tuple[List[float], List[int]]:
+    """Scalar reference DP tables over a fixed order (pre-vectorization loops)."""
     # best[x] = optimal expected time for positions x..n-1 given that the
     # previous checkpoint sits right before position x (i.e. at position x-1,
     # or nowhere when x == 0).
     best: List[float] = [math.inf] * (n + 1)
-    choice: List[int] = [-1] * (n + 1)
+    choice: List[int] = [-1] * n
     best[n] = 0.0
     for x in range(n - 1, -1, -1):
         prev_ckpt = x - 1
@@ -275,21 +327,68 @@ def place_checkpoints_on_order(
                 best_j = j
         best[x] = best_value
         choice[x] = best_j
+    return best, choice
 
-    if not math.isfinite(best[0]):
-        raise OverflowError(
-            "even the best checkpoint placement on this order has an expected time "
-            "that overflows float; check the failure rate and task durations"
+
+def _vectorized_order_tables(
+    prefix: np.ndarray,
+    names: Sequence[str],
+    workflow: Workflow,
+    recovery_cost: Callable[[int], float],
+    checkpoint_model: Optional[FrontierCheckpointCost],
+    downtime: float,
+    rate: float,
+    final_checkpoint: bool,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized DP tables over a fixed order, sharing the chain row kernel."""
+    n = len(names)
+    if checkpoint_model is None:
+        # Base cost model: position-independent per-task costs, so every
+        # linearisation runs through the exact chain kernel.
+        ckpt_costs = np.array(
+            [workflow.task(name).checkpoint_cost for name in names], dtype=float
         )
-
-    positions: List[int] = []
-    x = 0
-    while x < n:
-        j = choice[x]
-        if not (j == n - 1 and not final_checkpoint):
-            positions.append(j)
-        x = j + 1
-    return tuple(positions), best[0]
+        return chain_dp_tables(
+            prefix,
+            ckpt_costs,
+            lambda x: recovery_cost(x - 1),
+            downtime,
+            rate,
+            final_checkpoint=final_checkpoint,
+        )
+    # Frontier model: the checkpoint cost of ending a segment depends on the
+    # window (prev_ckpt, j], so each row's cost vector is built through the
+    # model; the transition math is still one vector expression per row.
+    best = np.empty(n + 1)
+    best[n] = 0.0
+    choice = np.empty(n, dtype=np.int64)
+    inv_plus_downtime = 1.0 / rate + downtime
+    for x in range(n - 1, -1, -1):
+        prev_ckpt = x - 1
+        rec_exponent = rate * recovery_cost(prev_ckpt)
+        if rec_exponent > _MAX_EXPONENT:
+            best[x] = np.inf
+            choice[x] = n - 1
+            continue
+        factor = float(np.exp(rec_exponent)) * inv_plus_downtime
+        ckpt_row = np.array(
+            [
+                0.0
+                if (j == n - 1 and not final_checkpoint)
+                else checkpoint_model.cost(names, prev_ckpt, j)
+                for j in range(x, n)
+            ]
+        )
+        exponents = rate * ((prefix[x + 1 :] - prefix[x]) + ckpt_row)
+        values = row_transition_values(factor, exponents, best[x + 1 :])
+        j = int(np.argmin(values))
+        if values[j] < np.inf:
+            best[x] = values[j]
+            choice[x] = x + j
+        else:
+            best[x] = np.inf
+            choice[x] = n - 1
+    return best, choice
 
 
 def schedule_dag(
@@ -304,13 +403,16 @@ def schedule_dag(
     num_random_orders: int = 4,
     rng: Optional[np.random.Generator] = None,
     seed: Optional[int] = None,
+    method: str = "auto",
 ) -> DagScheduleResult:
     """Heuristic checkpoint scheduling of an arbitrary workflow DAG.
 
     Tries several linearisation strategies (all deterministic strategies by
     default plus ``num_random_orders`` random list-scheduling orders), places
     checkpoints optimally on each linearisation with the DP of
-    :func:`place_checkpoints_on_order`, and returns the best combination.
+    :func:`place_checkpoints_on_order` (``method`` is forwarded, so every
+    candidate order shares one vectorized kernel by default), and returns the
+    best combination.
     """
     if len(workflow) == 0:
         raise ValueError("cannot schedule an empty workflow")
@@ -336,6 +438,7 @@ def schedule_dag(
             initial_recovery=initial_recovery,
             checkpoint_model=checkpoint_model,
             final_checkpoint=final_checkpoint,
+            method=method,
         )
         if best is None or value < best.expected_makespan:
             best = DagScheduleResult(
@@ -361,6 +464,7 @@ def exhaustive_dag_schedule(
     checkpoint_model: Optional[FrontierCheckpointCost] = None,
     final_checkpoint: bool = True,
     max_orders: int = 50_000,
+    method: str = "auto",
 ) -> DagScheduleResult:
     """Exact optimum over every topological order (tiny DAGs only).
 
@@ -385,6 +489,7 @@ def exhaustive_dag_schedule(
             initial_recovery=initial_recovery,
             checkpoint_model=checkpoint_model,
             final_checkpoint=final_checkpoint,
+            method=method,
         )
         if best is None or value < best.expected_makespan:
             best = DagScheduleResult(

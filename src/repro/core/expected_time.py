@@ -21,12 +21,20 @@ paper compares against:
 
 Numerical care: the formula involves ``e^{lambda (W+C)} - 1``.  When
 ``lambda (W + C)`` is tiny this difference loses precision if computed
-naively, so :func:`expected_completion_time` uses ``math.expm1``.  When the
+naively, so :func:`expected_completion_time` uses ``expm1``.  When the
 exponent is large (very failure-prone platform or very long segment) the
 result overflows ``float``; we raise :class:`OverflowError` with a clear
 message instead of silently returning ``inf``, because a schedule with such a
 segment is essentially never going to complete and the caller almost certainly
 passed wrong units.
+
+The transcendentals go through NumPy's scalar ufuncs (:data:`_exp`,
+:data:`_expm1`) rather than :mod:`math`: NumPy's ``exp``/``expm1`` are
+internally consistent between scalar calls and array sweeps but differ from
+glibc's ``libm`` by up to 1 ulp on some inputs, so sharing the ufuncs is what
+lets the vectorized DP kernels (:mod:`repro.core.dp_kernels`) reproduce this
+scalar reference *bit for bit* -- the same engine-neutrality trick the
+Monte-Carlo engines use for their shared delay plans.
 """
 
 from __future__ import annotations
@@ -34,9 +42,12 @@ from __future__ import annotations
 import math
 from typing import Iterable, Tuple
 
+import numpy as np
+
 from repro._validation import check_non_negative, check_positive
 
 __all__ = [
+    "ANALYTIC_NUMERICS",
     "expected_completion_time",
     "expected_lost_time",
     "expected_recovery_time",
@@ -50,6 +61,23 @@ __all__ = [
 # Beyond this value of lambda * (W + C + R) the expectation exceeds ~1e260 and
 # downstream arithmetic (sums over segments) would overflow anyway.
 _MAX_EXPONENT = 600.0
+
+#: Generation tag of the analytic transcendentals.  Cached or deduplicated
+#: artifacts whose *values* embed analytic results (experiment tables, not
+#: Monte-Carlo samples) include this tag in their keys, so switching libm
+#: generations (math.* -> NumPy ufuncs in PR 5, <= 1 ulp) recomputes them
+#: instead of replaying stale bits.
+ANALYTIC_NUMERICS = "np-ufunc"
+
+
+def _exp(value: float) -> float:
+    """``e^value`` through the same ufunc the vectorized DP kernels apply to arrays."""
+    return float(np.exp(value))
+
+
+def _expm1(value: float) -> float:
+    """``e^value - 1`` through the same ufunc the vectorized DP kernels apply to arrays."""
+    return float(np.expm1(value))
 
 
 def _checked_exponent(value: float, what: str) -> float:
@@ -115,7 +143,7 @@ def expected_completion_time(
         return 0.0
     exponent = _checked_exponent(rate * (work + checkpoint), "lambda * (W + C)")
     rec_exponent = _checked_exponent(rate * recovery, "lambda * R")
-    return math.exp(rec_exponent) * (1.0 / rate + downtime) * math.expm1(exponent)
+    return _exp(rec_exponent) * (1.0 / rate + downtime) * _expm1(exponent)
 
 
 def expected_lost_time(work: float, checkpoint: float, rate: float) -> float:
@@ -134,7 +162,7 @@ def expected_lost_time(work: float, checkpoint: float, rate: float) -> float:
     if total == 0.0:
         return 0.0
     exponent = _checked_exponent(rate * total, "lambda * (W + C)")
-    return 1.0 / rate - total / math.expm1(exponent)
+    return 1.0 / rate - total / _expm1(exponent)
 
 
 def expected_recovery_time(downtime: float, recovery: float, rate: float) -> float:
@@ -149,7 +177,7 @@ def expected_recovery_time(downtime: float, recovery: float, rate: float) -> flo
     recovery = check_non_negative("recovery", recovery)
     rate = check_positive("rate", rate)
     exponent = _checked_exponent(rate * recovery, "lambda * R")
-    return downtime * math.exp(exponent) + math.expm1(exponent) / rate
+    return downtime * _exp(exponent) + _expm1(exponent) / rate
 
 
 def expected_segments_time(
@@ -205,7 +233,7 @@ def bouguerra_expected_time(
     if work + checkpoint + recovery == 0.0:
         return 0.0
     exponent = _checked_exponent(rate * (recovery + work + checkpoint), "lambda * (R + W + C)")
-    return (1.0 / rate + downtime) * math.expm1(exponent)
+    return (1.0 / rate + downtime) * _expm1(exponent)
 
 
 def young_period(checkpoint: float, rate: float) -> float:

@@ -36,12 +36,15 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro._validation import (
     check_non_negative,
     check_positive,
     check_sequence_of_positive,
 )
-from repro.core.expected_time import expected_completion_time
+from repro.core.dp_kernels import resolve_dp_method
+from repro.core.expected_time import _MAX_EXPONENT, expected_completion_time
 from repro.core.schedule import CheckpointPlan, Schedule
 from repro.workflows.generators import make_independent
 
@@ -163,14 +166,40 @@ def grouping_expected_time(
     return total
 
 
+#: Hard cap on set-partition enumeration.  The Bell numbers explode past a
+#: dozen items (``B_13`` is ~27.6 million partitions, each evaluated in
+#: ``O(n)``); beyond this the enumeration silently hangs for hours, so the
+#: generator refuses outright instead.
+MAX_PARTITION_ITEMS = 13
+
+
 def _set_partitions(items: Sequence[int]) -> Iterable[List[List[int]]]:
-    """Enumerate all set partitions of ``items`` (Bell-number many)."""
+    """Enumerate all set partitions of ``items`` (Bell-number many).
+
+    Raises
+    ------
+    ValueError
+        If ``items`` has more than :data:`MAX_PARTITION_ITEMS` elements --
+        enumerating the ``B_n`` partitions of a larger set would appear to
+        hang; use :func:`schedule_independent_tasks` for such instances.
+    """
     items = list(items)
+    if len(items) > MAX_PARTITION_ITEMS:
+        raise ValueError(
+            f"refusing to enumerate the set partitions of {len(items)} items: the Bell "
+            f"number B_{len(items)} is astronomically large and the enumeration would "
+            f"appear to hang (the cap is MAX_PARTITION_ITEMS={MAX_PARTITION_ITEMS}); use "
+            "the schedule_independent_tasks() heuristic for larger instances"
+        )
+    return _set_partitions_unchecked(items)
+
+
+def _set_partitions_unchecked(items: List[int]) -> Iterable[List[List[int]]]:
     if not items:
         yield []
         return
     first, rest = items[0], items[1:]
-    for partition in _set_partitions(rest):
+    for partition in _set_partitions_unchecked(rest):
         # Put `first` in its own new block...
         yield [[first]] + [list(block) for block in partition]
         # ...or add it to each existing block.
@@ -196,7 +225,10 @@ def exhaustive_independent_schedule(
     and of tasks within a group is irrelevant with constant costs) and keeps
     the one with the smallest expected makespan.  The number of set partitions
     is the Bell number ``B_n`` (e.g. ``B_12 = 4 213 597``), so the function
-    refuses instances larger than ``max_tasks``.
+    refuses instances larger than ``max_tasks`` -- and, whatever ``max_tasks``
+    says, larger than :data:`MAX_PARTITION_ITEMS`, the hard enumeration cap
+    enforced by the partition generator itself (raising ``max_tasks`` past it
+    only changes which guard rejects the instance).
     """
     works = check_sequence_of_positive("works", works)
     n = len(works)
@@ -367,6 +399,149 @@ def _local_search(
     return [sorted(g) for g in current if g], current_value
 
 
+def _local_search_vectorized(
+    groups: List[List[int]],
+    works: Sequence[float],
+    checkpoint_cost: float,
+    recovery_cost: float,
+    downtime: float,
+    rate: float,
+    initial_recovery: Optional[float],
+    max_iterations: int,
+) -> Tuple[List[List[int]], float]:
+    """First-improvement local search with incremental delta scoring.
+
+    Explores the same neighbourhood in the same order as :func:`_local_search`
+    (single-task moves by ``(src, position, dst)``, then pairwise swaps by
+    ``(src, dst, i, j)``) but scores every candidate of a round as one NumPy
+    batch: a candidate only changes two groups, so its value is
+    ``current + delta`` with ``delta`` built from the per-group Proposition 1
+    costs -- no ``O(m)`` re-summation per candidate.  Accepted moves are
+    re-evaluated in full (like the reference) so rounding never accumulates.
+
+    One deliberate divergence from the reference: a candidate whose group
+    exponent overflows is scored ``+inf`` (never accepted) instead of raising
+    ``OverflowError`` out of the search like
+    :func:`~repro.core.expected_time.expected_completion_time` does when the
+    reference evaluates such a candidate in full.
+    """
+
+    def evaluate(candidate: List[List[int]]) -> float:
+        cleaned = [g for g in candidate if g]
+        return grouping_expected_time(
+            cleaned,
+            works,
+            checkpoint_cost,
+            recovery_cost,
+            downtime,
+            rate,
+            initial_recovery=initial_recovery,
+        )
+
+    works_arr = np.asarray(works, dtype=float)
+    first_recovery = recovery_cost if initial_recovery is None else initial_recovery
+    inv_plus_downtime = 1.0 / rate + downtime
+
+    def recovery_factor(recovery: float) -> float:
+        # When lambda * R overflows the very first full evaluation below
+        # raises OverflowError (same as the reference), so +inf never spreads.
+        exponent = rate * recovery
+        if exponent > _MAX_EXPONENT:
+            return np.inf
+        return float(np.exp(exponent)) * inv_plus_downtime
+
+    factor_first = recovery_factor(first_recovery)
+    factor_rest = recovery_factor(recovery_cost)
+
+    def group_costs(new_works: np.ndarray, factors: np.ndarray) -> np.ndarray:
+        """Proposition 1 cost of each candidate group, ``+inf`` on overflow."""
+        exponents = rate * (new_works + checkpoint_cost)
+        over = exponents > _MAX_EXPONENT
+        if over.any():
+            exponents = np.minimum(exponents, _MAX_EXPONENT)
+        with np.errstate(over="ignore"):
+            costs = factors * np.expm1(exponents)
+        if over.any():
+            costs = np.where(over, np.inf, costs)
+        return costs
+
+    current = [list(g) for g in groups]
+    current_value = evaluate(current)
+    for _ in range(max_iterations):
+        m = len(current)
+        group_of = np.empty(len(works_arr), dtype=np.int64)
+        task_order: List[int] = []
+        for g_index, group in enumerate(current):
+            for task in group:
+                group_of[task] = g_index
+            task_order.extend(group)
+        tasks = np.array(task_order, dtype=np.int64)
+        w_t = works_arr[tasks]
+        g_t = group_of[tasks]
+        sizes = np.array([len(g) for g in current], dtype=np.int64)
+        group_works = np.array([sum(works_arr[i] for i in g) for g in current])
+        factors = np.full(m, factor_rest)
+        factors[0] = factor_first
+        e_cur = group_costs(group_works, factors)
+
+        improved = False
+        if m > 1:
+            # --- Single-task moves: delta[t, d] for moving task t (rows in
+            # the reference's (src, position) order) into group d (columns).
+            # Row-major flattening therefore reproduces the reference's exact
+            # candidate order, so "first improving" picks the same move.
+            e_src_minus = group_costs((group_works[g_t] - w_t), factors[g_t])
+            e_dst_plus = group_costs(
+                group_works[None, :] + w_t[:, None], np.broadcast_to(factors, (tasks.size, m))
+            )
+            delta = (e_src_minus - e_cur[g_t])[:, None] + (e_dst_plus - e_cur[None, :])
+            delta[np.arange(tasks.size), g_t] = np.inf  # dst == src
+            delta[sizes[g_t] == 1, :] = np.inf  # the reference never empties a group
+            improving = delta < -1e-15
+            if improving.any():
+                flat = int(np.argmax(improving))
+                t_row, dst = divmod(flat, m)
+                src = int(g_t[t_row])
+                # Position of the task within its group (rows are grouped by
+                # src in order, so subtract the offset of src's first row).
+                task_pos = int(t_row - int(np.concatenate(([0], np.cumsum(sizes)))[src]))
+                candidate = [list(g) for g in current]
+                task = candidate[src].pop(task_pos)
+                candidate[dst].append(task)
+                current_value = evaluate(candidate)
+                current = [sorted(g) for g in candidate if g]
+                improved = True
+        if improved:
+            continue
+
+        # --- Pairwise swaps, batched per group pair in the reference's
+        # (src, dst) order; within a pair the (i, j) delta matrix flattens
+        # row-major to the reference's inner order.
+        for src, dst in itertools.combinations(range(m), 2):
+            wi = works_arr[current[src]]
+            wj = works_arr[current[dst]]
+            src_new = (group_works[src] - wi)[:, None] + wj[None, :]
+            dst_new = (group_works[dst] - wj)[None, :] + wi[:, None]
+            e_src = group_costs(src_new, np.full(src_new.shape, factors[src]))
+            e_dst = group_costs(dst_new, np.full(dst_new.shape, factors[dst]))
+            delta = (e_src - e_cur[src]) + (e_dst - e_cur[dst])
+            improving = delta < -1e-15
+            if improving.any():
+                i, j = divmod(int(np.argmax(improving)), delta.shape[1])
+                candidate = [list(g) for g in current]
+                candidate[src][i], candidate[dst][j] = (
+                    candidate[dst][j],
+                    candidate[src][i],
+                )
+                current_value = evaluate(candidate)
+                current = [sorted(g) for g in candidate]
+                improved = True
+                break
+        if not improved:
+            break
+    return [sorted(g) for g in current if g], current_value
+
+
 def schedule_independent_tasks(
     works: Sequence[float],
     checkpoint_cost: float,
@@ -377,6 +552,7 @@ def schedule_independent_tasks(
     initial_recovery: Optional[float] = None,
     group_counts: Optional[Iterable[int]] = None,
     local_search_iterations: int = 200,
+    method: str = "auto",
 ) -> IndependentScheduleResult:
     """Heuristic scheduler for independent tasks with constant checkpoint costs.
 
@@ -390,9 +566,21 @@ def schedule_independent_tasks(
     This is a heuristic -- the problem is strongly NP-hard -- but it always
     dominates the trivial strategies (a single checkpoint at the end, and a
     checkpoint after every task) because both are among the candidates.
+
+    ``method`` picks the local-search implementation: ``"auto"`` (default)
+    batches every candidate move/swap of a round through the incremental
+    NumPy scoring of :func:`_local_search_vectorized` on large instances and
+    keeps the plain reference loops on small ones; ``"vectorized"`` /
+    ``"reference"`` force one.  Both explore the same first-improvement
+    neighbourhood in the same order.
     """
     works = check_sequence_of_positive("works", works)
     n = len(works)
+    local_search = (
+        _local_search_vectorized
+        if resolve_dp_method(method, n) == "vectorized"
+        else _local_search
+    )
     if group_counts is None:
         if n <= 20:
             candidates = list(range(1, n + 1))
@@ -419,7 +607,7 @@ def schedule_independent_tasks(
     best_value = math.inf
     for m in candidates:
         groups = balanced_grouping(works, m)
-        groups, value = _local_search(
+        groups, value = local_search(
             groups,
             works,
             checkpoint_cost,

@@ -38,6 +38,7 @@ from repro.baselines.strategies import evaluate_chain_strategies
 from repro.baselines.work_maximization import work_maximization_chain
 from repro.core.chain_dp import optimal_chain_checkpoints
 from repro.core.expected_time import (
+    ANALYTIC_NUMERICS,
     bouguerra_expected_time,
     daly_higher_order_period,
     expected_completion_time,
@@ -242,8 +243,15 @@ def experiment_e2_formula_comparison(
 def experiment_e3_chain_dp(
     *, brute_force_sizes: tuple = (4, 6, 8, 10), scaling_sizes: tuple = (100, 200, 400, 800),
     seed: int = 2, downtime: float = 0.5, rate: float = 0.02,
+    method: str = "auto",
 ) -> ResultTable:
-    """Chain DP equals brute force on small chains, and scales quadratically (E3)."""
+    """Chain DP equals brute force on small chains, and scales quadratically (E3).
+
+    ``method`` picks the DP execution path (``"auto"`` defaults to the
+    vectorized kernels on the scaling sizes; ``"reference"`` forces the
+    scalar loops) -- results are bit-identical either way, only
+    ``dp_seconds`` changes.
+    """
     table = ResultTable(
         title="E3: linear-chain DP vs brute force, and runtime scaling",
         columns=[
@@ -255,7 +263,7 @@ def experiment_e3_chain_dp(
     for n in brute_force_sizes:
         chain = uniform_random_chain(n, rng=rng)
         start = time.perf_counter()
-        dp = optimal_chain_checkpoints(chain, downtime, rate)
+        dp = optimal_chain_checkpoints(chain, downtime, rate, method=method)
         elapsed = time.perf_counter() - start
         brute = brute_force_chain_checkpoints(chain, downtime, rate)
         table.add_row(
@@ -270,7 +278,7 @@ def experiment_e3_chain_dp(
     for n in scaling_sizes:
         chain = uniform_random_chain(n, rng=rng)
         start = time.perf_counter()
-        dp = optimal_chain_checkpoints(chain, downtime, rate)
+        dp = optimal_chain_checkpoints(chain, downtime, rate, method=method)
         elapsed = time.perf_counter() - start
         table.add_row(
             n=n,
@@ -346,8 +354,14 @@ def experiment_e4_reduction(*, num_yes: int = 4, num_no: int = 2, seed: int = 3)
 def experiment_e5_independent_heuristics(
     *, exact_sizes: tuple = (5, 7, 9), heuristic_sizes: tuple = (30, 60),
     seed: int = 4, checkpoint: float = 1.0, downtime: float = 0.0, rate: float = 0.05,
+    method: str = "auto",
 ) -> ResultTable:
-    """Heuristic grouping vs exhaustive optimum and trivial strategies (E5)."""
+    """Heuristic grouping vs exhaustive optimum and trivial strategies (E5).
+
+    ``method`` picks the local-search implementation of
+    :func:`~repro.core.independent.schedule_independent_tasks` (the batched
+    incremental scoring by default on the heuristic sizes).
+    """
     table = ResultTable(
         title="E5: independent-task heuristic vs exhaustive optimum and trivial groupings",
         columns=[
@@ -359,7 +373,7 @@ def experiment_e5_independent_heuristics(
     for n in list(exact_sizes) + list(heuristic_sizes):
         works = list(rng.uniform(1.0, 10.0, size=n))
         heuristic = schedule_independent_tasks(
-            works, checkpoint, checkpoint, downtime, rate
+            works, checkpoint, checkpoint, downtime, rate, method=method
         )
         one_group = grouping_expected_time(
             [list(range(n))], works, checkpoint, checkpoint, downtime, rate
@@ -440,9 +454,13 @@ def experiment_e6_chain_strategies(
     key = None
     if cache is not None:
         store = cache.with_namespace("experiment")
+        # "numerics" keys the analytic libm generation: PR 5 moved
+        # expected_completion_time onto NumPy's exp/expm1 (<= 1 ulp from the
+        # old math.* values), so pre-PR5 tables must not replay as-if fresh.
         key = store.key_for({
             "kind": "experiment_table", "experiment": "E6",
             "n": n, "seed": seed, "downtime": downtime,
+            "numerics": ANALYTIC_NUMERICS,
         })
         entry = store.get(key)
         if entry is not None:

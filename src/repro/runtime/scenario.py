@@ -240,20 +240,26 @@ class ScenarioSpec:
         return self.failure.build()
 
     def build_schedules(self) -> Dict[str, Schedule]:
-        """Materialise one :class:`Schedule` per requested strategy."""
+        """Materialise one :class:`Schedule` per requested strategy.
+
+        Only the requested strategies are evaluated (``only=``): a swept spec
+        that compares, say, ``checkpoint_all`` vs ``checkpoint_none`` never
+        pays the chain DP solve, and specs that do request ``optimal_dp`` get
+        the vectorized solver the DP defaults to.
+        """
         chain = self.build_chain()
-        available = evaluate_chain_strategies(
-            chain, self.downtime, self.failure.rate_equivalent
-        )
-        schedules: Dict[str, Schedule] = {}
-        for strategy in self.strategies:
-            if strategy not in available:
-                raise KeyError(
-                    f"scenario {self.name!r}: unknown strategy {strategy!r}; "
-                    f"available: {sorted(available)}"
-                )
-            schedules[strategy] = available[strategy].to_schedule()
-        return schedules
+        try:
+            available = evaluate_chain_strategies(
+                chain,
+                self.downtime,
+                self.failure.rate_equivalent,
+                only=self.strategies,
+            )
+        except KeyError as exc:
+            raise KeyError(f"scenario {self.name!r}: {exc.args[0]}") from exc
+        return {
+            strategy: available[strategy].to_schedule() for strategy in self.strategies
+        }
 
     def runner(self):
         """Build the :class:`~repro.simulation.campaign.CampaignRunner` for this spec."""

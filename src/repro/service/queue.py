@@ -31,6 +31,7 @@ from __future__ import annotations
 import threading
 from typing import Any, Dict, Optional, Tuple
 
+from repro.core.expected_time import ANALYTIC_NUMERICS
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.runtime.backends import ExecutionBackend, resolve_backend
 from repro.runtime.cache import ResultCache
@@ -200,11 +201,18 @@ class JobScheduler:
             # like a campaign's (their num_runs defaults differ per
             # experiment, so only the type and cap checks apply).
             params["chunk_size"] = self._validated_chunk_size(params["chunk_size"])
+        # Experiment tables embed *analytic* values, so their dedupe key
+        # carries the analytic-numerics generation: jobs persisted before a
+        # libm switch (math.* -> NumPy ufuncs in PR 5, <= 1 ulp) re-run
+        # instead of replaying stale bits.  Campaign/scenario jobs do not
+        # need the tag -- their samples come from the simulation engines,
+        # whose numerics are unchanged.
         dedupe_key = stable_hash({
             "service_job": "experiment",
             "experiment": key,
             "engine": engine,
             "params": params,
+            "analytic_numerics": ANALYTIC_NUMERICS,
         })
         payload: Dict[str, Any] = {"experiment": key, "params": params}
         if engine is not None:

@@ -232,13 +232,26 @@ def _segment_durations(segments: Sequence[Segment]) -> Tuple[np.ndarray, np.ndar
 #: of this many doubles (~16 MB each) however long the chain is.
 _MAX_WINDOW_ELEMENTS = 1 << 21
 
-#: Expected failures per replication (segments x per-attempt failure
-#: probability) above which :func:`simulate_poisson_batch` automatically
+#: Expected failures per replication (sum of the per-segment failure
+#: probabilities) above which :func:`simulate_poisson_batch` automatically
 #: delegates to the lock-step kernel: when most replications fail early and
 #: often, windows are mostly waste and one-attempt-per-round lock-step is the
 #: better array program.  Jumping targets the opposite regime -- long chains
 #: whose replications complete whole runs of segments between rare failures.
 _JUMP_MAX_EXPECTED_FAILURES = 0.5
+
+
+def _auto_window(num_segments: int, expected_failures: float) -> int:
+    """Jump-window cap derived from the expected failures per replication.
+
+    ``num_segments / (expected_failures + 1)`` is the typical run of
+    consecutive segment completions between failures across one replication;
+    the floor keeps tiny windows from degenerating into lock-step rounds and
+    the ceiling bounds the sliding-window views (the per-round gather is
+    additionally capped by ``_MAX_WINDOW_ELEMENTS``).
+    """
+    span = num_segments / (expected_failures + 1.0) + 1.0
+    return int(min(max(span, 8.0), 65536.0))
 
 
 def simulate_poisson_batch(
@@ -294,8 +307,9 @@ def simulate_poisson_batch(
         Pre-built delay plan (mainly for tests that drive both engines off
         one plan); by default a fresh plan is built from ``rng``.
     window:
-        Cap on how many segments a single round may jump (default: adaptive,
-        about twice the expected success-run length, subject to a memory
+        Cap on how many segments a single round may jump (default:
+        auto-selected from the plan's expected failures per replication --
+        about one failure-to-failure run of segments -- subject to a memory
         cap).  A replication that exhausts its window without failing simply
         continues jumping next round -- the addition chain is split, not
         re-associated, so results are bit-identical for every window.
@@ -329,23 +343,27 @@ def simulate_poisson_batch(
     np.cumsum(attempt_dur, out=prefix[1:])
     useful_total = float(prefix[num_segments])
 
-    # Window sizing: runs of consecutive successful attempts are roughly
-    # geometric with mean 1/q, so windows much longer than a typical run are
-    # wasted work for the rows that fail early in them.  Correctness is
-    # window-independent: a row that exhausts its window without failing
-    # simply continues next round (the addition chain is split, never
-    # re-associated).
-    failure_prob = -float(np.expm1(-rate * float(np.mean(attempt_dur))))
+    # Expected failures per replication over this plan's segment durations
+    # (exact per-segment sum, not a mean-attempt approximation): the quantity
+    # that decides both the kernel dispatch and the jump window below.
+    expected_failures = float(np.sum(-np.expm1(-rate * attempt_dur)))
     if method == "lockstep" or (
         method is None
         and window is None
-        and num_segments * failure_prob > _JUMP_MAX_EXPECTED_FAILURES
+        and expected_failures > _JUMP_MAX_EXPECTED_FAILURES
     ):
         return simulate_poisson_batch_lockstep(
             segments, rate, downtime, rng, count, plan=plan
         )
-    expected_run = 1.0 / max(failure_prob, 1e-12)
-    span_cap = int(min(max(2.0 * expected_run, 8.0), 65536.0))
+    # Window auto-selection from the expected failures per replication: a
+    # replication that fails ``ef`` times completes about ``n / (ef + 1)``
+    # segments between consecutive failures, so windows beyond that are
+    # mostly wasted gathers for the veteran rows (the ROADMAP's
+    # moderate-failure-regime note), while shorter ones needlessly split the
+    # virgin sweep.  Correctness is window-independent: a row that exhausts
+    # its window without failing simply continues next round (the addition
+    # chain is split, never re-associated).
+    span_cap = _auto_window(num_segments, expected_failures)
     if window is not None:
         span_cap = max(int(window), 1)
 

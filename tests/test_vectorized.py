@@ -256,6 +256,20 @@ class TestPoissonSegmentJumping:
         for ref_arr, cap_arr in zip(_batch_fields(reference), _batch_fields(capped)):
             np.testing.assert_array_equal(ref_arr, cap_arr)
 
+    def test_auto_window_tracks_expected_failures(self):
+        from repro.simulation.vectorized import _auto_window
+
+        # Rare failures: the window covers the whole chain in one sweep.
+        assert _auto_window(256, 0.0) == 257
+        # Moderate failures (the ROADMAP regime note): about one
+        # failure-to-failure run of segments.
+        assert _auto_window(300, 0.5) == int(300 / 1.5 + 1.0)
+        # More failures -> shorter windows, with a floor that keeps the jump
+        # kernel from degenerating into lock-step rounds...
+        assert _auto_window(16, 10.0) == 8
+        # ...and a ceiling bounding the sliding-window views.
+        assert _auto_window(10_000_000, 0.0) == 65536
+
     def test_method_is_validated(self):
         segments = _checkpoint_all_segments(3, seed=1)
         with pytest.raises(ValueError, match="unknown method"):
