@@ -16,7 +16,10 @@ Python:
 * ``repro submit``        -- submit a ``ScenarioSpec`` JSON file (or a
   registry experiment) to a running service, optionally waiting for the
   result;
-* ``repro jobs``          -- list, inspect or cancel service jobs.
+* ``repro jobs``          -- list, inspect or cancel service jobs
+  (``--stats`` adds the per-job queue/compute/cache timing breakdown);
+* ``repro metrics``       -- snapshot a running service's metrics
+  (Prometheus text, or JSON with ``--json``).
 
 The simulation-heavy sub-commands (``simulate``, ``experiment``) accept
 ``--parallel N`` to fan replication chunks out over ``N`` worker processes,
@@ -205,7 +208,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=1,
                        help="concurrent job worker threads (default: %(default)s); "
                        "each job's chunks additionally fan out over --parallel")
-    serve.add_argument("--verbose", action="store_true", help="log every HTTP request")
+    serve.add_argument("--chunk-size", type=int, default=None, metavar="N",
+                       help="server-wide default replications per chunk for campaign "
+                       "jobs (validated at startup; a submission may still override it)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request and span (DEBUG-level JSON events)")
 
     submit = subparsers.add_parser(
         "submit", help="submit a campaign (ScenarioSpec JSON) or experiment to a service"
@@ -239,6 +246,16 @@ def build_parser() -> argparse.ArgumentParser:
                       help="filter the listing by state")
     jobs.add_argument("--cancel", action="store_true",
                       help="cancel the given job instead of inspecting it")
+    jobs.add_argument("--stats", action="store_true",
+                      help="show the per-job queue/compute/cache timing breakdown")
+
+    metrics = subparsers.add_parser(
+        "metrics", help="snapshot a running scenario service's metrics"
+    )
+    metrics.add_argument("--url", default="http://127.0.0.1:8765",
+                         help="service address (default: %(default)s)")
+    metrics.add_argument("--json", action="store_true",
+                         help="print the JSON snapshot instead of Prometheus text")
 
     return parser
 
@@ -363,15 +380,28 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     # Imported lazily: the service pulls in the experiment registry and the
     # whole runtime, which the lightweight solve-* commands never need.
+    import logging
+
+    from repro.obs.logging import configure_logging
     from repro.service.jobs import JobStore
     from repro.service.queue import JobScheduler
     from repro.service.server import ScenarioServer
 
+    # A server is the one place the structured JSON log stream is always
+    # wanted; --verbose additionally surfaces per-request/span DEBUG events.
+    configure_logging(level=logging.DEBUG if args.verbose else logging.INFO)
     backend, cache, _engine = _runtime_from_args(args)
     store = JobStore(args.db)
-    scheduler = JobScheduler(
-        store, num_workers=args.workers, backend=backend, cache=cache
-    )
+    try:
+        scheduler = JobScheduler(
+            store, num_workers=args.workers, backend=backend, cache=cache,
+            chunk_size=args.chunk_size,
+        )
+    except (TypeError, ValueError) as exc:
+        # Startup validation (e.g. --chunk-size over the service cap) must
+        # exit with a clear message, not a traceback.
+        store.close()
+        raise SystemExit(f"error: {exc}")
     server = ScenarioServer(
         scheduler, host=args.host, port=args.port, verbose=args.verbose
     )
@@ -382,7 +412,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"recovered jobs     : {scheduler.recovered} (re-queued after restart)")
     print(f"workers            : {scheduler.num_workers} x {scheduler.backend!r}")
     print("endpoints          : POST /v1/jobs  GET /v1/jobs[/{id}]  "
-          "DELETE /v1/jobs/{id}  GET /v1/scenarios  GET /v1/healthz")
+          "DELETE /v1/jobs/{id}  GET /v1/scenarios  GET /v1/healthz  "
+          "GET /v1/metrics")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -489,13 +520,19 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
             if not records:
                 print("no jobs")
                 return 0
-            print(f"{'id':<16s}  {'kind':<10s}  {'state':<9s}  {'progress':<9s}  error")
+            header = f"{'id':<16s}  {'kind':<10s}  {'state':<9s}  {'progress':<9s}"
+            if args.stats:
+                header += f"  {'queue_s':>8s}  {'compute_s':>9s}  {'cache_s':>8s}"
+            print(header + "  error")
             for job in records:
                 progress = job["progress"]
                 total = progress["chunks_total"]
                 shown = f"{progress['chunks_done']}/{total}" if total else "-"
-                print(f"{job['id']:<16s}  {job['kind']:<10s}  {job['state']:<9s}  "
-                      f"{shown:<9s}  {job.get('error') or ''}")
+                line = (f"{job['id']:<16s}  {job['kind']:<10s}  {job['state']:<9s}  "
+                        f"{shown:<9s}")
+                if args.stats:
+                    line += "  " + _format_phases(job["timings"].get("phases"))
+                print(line + f"  {job.get('error') or ''}")
             return 0
         if args.cancel:
             job = client.cancel(args.id)
@@ -506,7 +543,43 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
     except ServiceError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    if args.stats:
+        phases = (job.get("timings") or {}).get("phases")
+        print(f"job {job['id']}: {job['state']}")
+        if phases is None:
+            print("no timing breakdown yet (recorded when the job executes)")
+        else:
+            total = sum(phases.values())
+            for name in ("queue_wait_s", "compute_s", "cache_s"):
+                value = phases.get(name, 0.0)
+                share = f"{100.0 * value / total:5.1f}%" if total > 0 else "    -"
+                print(f"  {name:<13s}: {value:10.4f}s  {share}")
+        return 0
     print(json.dumps(job, indent=2, sort_keys=True))
+    return 0
+
+
+def _format_phases(phases: Optional[dict]) -> str:
+    """The fixed-width queue/compute/cache cell of a ``jobs --stats`` row."""
+    if not phases:
+        return f"{'-':>8s}  {'-':>9s}  {'-':>8s}"
+    return (f"{phases.get('queue_wait_s', 0.0):8.3f}  "
+            f"{phases.get('compute_s', 0.0):9.3f}  "
+            f"{phases.get('cache_s', 0.0):8.3f}")
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        if args.json:
+            print(json.dumps(client.metrics(), indent=2, sort_keys=True))
+        else:
+            print(client.metrics_text(), end="")
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -522,6 +595,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "serve": _cmd_serve,
         "submit": _cmd_submit,
         "jobs": _cmd_jobs,
+        "metrics": _cmd_metrics,
     }
     return handlers[args.command](args)
 

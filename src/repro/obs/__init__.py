@@ -1,0 +1,59 @@
+"""Observability substrate: metrics, timing spans, structured logs.
+
+Stdlib-only and pay-for-what-you-use.  The three modules layer cleanly:
+
+* :mod:`repro.obs.metrics` -- thread-safe ``Counter`` / ``Gauge`` /
+  ``Histogram`` in a ``MetricsRegistry`` with Prometheus text rendering;
+* :mod:`repro.obs.tracing` -- ``span()`` context managers feeding duration
+  histograms, plus correlation ids propagated request → job → chunk;
+* :mod:`repro.obs.logging` -- one-JSON-object-per-line structured events on
+  the ``repro.*`` logger tree.
+
+Instrumentation throughout the tree records into the process-global
+registry by default; tests swap in their own via ``use_registry``.
+"""
+
+from repro.obs.logging import JsonLineFormatter, configure_logging, get_logger, log_event
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.obs.tracing import (
+    Trace,
+    activate,
+    context_snapshot,
+    current_correlation_id,
+    current_trace,
+    new_correlation_id,
+    span,
+    start_trace,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonLineFormatter",
+    "MetricsRegistry",
+    "Trace",
+    "activate",
+    "configure_logging",
+    "context_snapshot",
+    "current_correlation_id",
+    "current_trace",
+    "get_logger",
+    "get_registry",
+    "log_event",
+    "new_correlation_id",
+    "set_registry",
+    "span",
+    "start_trace",
+    "use_registry",
+]

@@ -1,0 +1,103 @@
+"""Structured JSON logging for the ``repro.*`` logger tree.
+
+One event per line, machine-parseable, with the active correlation id (when
+a trace is running -- see :mod:`repro.obs.tracing`) injected automatically so
+a job's log lines can be stitched back together across threads.
+
+The module is inert until :func:`configure_logging` is called: importing it
+only attaches a ``NullHandler`` to the ``repro`` root logger so that the
+service's new ERROR-level events do not leak through logging's last-resort
+stderr handler in library/test use.  ``repro serve`` calls
+:func:`configure_logging` so operators get the JSON stream on stderr.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import Any, Optional, TextIO
+
+__all__ = ["JsonLineFormatter", "configure_logging", "get_logger", "log_event"]
+
+_ROOT = "repro"
+
+# Library default: swallow events unless the embedding application (or
+# `repro serve`) configures a handler.  Without this, logging's lastResort
+# handler would print our new error events into every existing failure-path
+# test and every quiet CLI run.
+logging.getLogger(_ROOT).addHandler(logging.NullHandler())
+
+
+class JsonLineFormatter(logging.Formatter):
+    """Render each record as a single sorted-key JSON object."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        fields = getattr(record, "repro_fields", None)
+        if fields:
+            payload.update(fields)
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` tree (``get_logger("service.queue")``)."""
+    return logging.getLogger(f"{_ROOT}.{name}" if name else _ROOT)
+
+
+def log_event(
+    logger: logging.Logger,
+    event: str,
+    *,
+    level: int = logging.INFO,
+    exc_info: Any = None,
+    **fields: Any,
+) -> None:
+    """Emit one structured event.
+
+    ``fields`` become top-level JSON keys; the active trace's correlation id
+    is injected as ``correlation_id`` when one exists and the caller did not
+    supply their own.  The ``isEnabledFor`` early-out keeps disabled levels
+    (DEBUG span chatter in production) at the cost of one dict lookup.
+    """
+    if not logger.isEnabledFor(level):
+        return
+    if "correlation_id" not in fields:
+        # Imported lazily: tracing imports this module for its span logs.
+        from repro.obs.tracing import current_correlation_id
+
+        correlation_id = current_correlation_id()
+        if correlation_id is not None:
+            fields["correlation_id"] = correlation_id
+    logger.log(level, event, exc_info=exc_info, extra={"repro_fields": fields})
+
+
+def configure_logging(
+    *,
+    level: int = logging.INFO,
+    stream: Optional[TextIO] = None,
+) -> logging.Handler:
+    """Attach a JSON-lines stream handler to the ``repro`` root logger.
+
+    Idempotent: a previous handler installed by this function is replaced,
+    not stacked, so repeated calls (tests, CLI re-entry) never double-log.
+    Returns the installed handler (tests use it to redirect the stream).
+    """
+    root = logging.getLogger(_ROOT)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_obs_handler", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonLineFormatter())
+    handler._repro_obs_handler = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    root.setLevel(level)
+    root.propagate = False
+    return handler

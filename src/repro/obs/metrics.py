@@ -1,0 +1,414 @@
+"""Thread-safe metrics primitives and a Prometheus-compatible registry.
+
+The observability substrate of the whole tree: counters, gauges and
+fixed-bucket histograms that any layer (runtime, service, CLI) can record
+into without coordinating with the others.  Design constraints, in order:
+
+* **cheap** -- recording a sample is a dict lookup plus a lock-protected
+  float add, so the instrumented seams (one observation per HTTP request,
+  per job, per simulation *chunk* -- never per replication) cost nanoseconds
+  against work units that take milliseconds to minutes;
+* **inert** -- metrics never touch RNG streams, hashing or cache keys, so an
+  instrumented run is bit-identical to an uninstrumented one (pinned by
+  ``tests/test_obs.py``);
+* **dependency-free** -- the wire format is the Prometheus text exposition
+  format rendered by :meth:`MetricsRegistry.render_prometheus`, consumable
+  by ``curl`` and every metrics stack, with a JSON ``snapshot`` twin for
+  programmatic callers.
+
+A process-global default registry (:func:`get_registry`) is what production
+code records into; tests inject their own via :func:`use_registry` /
+:func:`set_registry` so assertions never race with background threads of
+other fixtures.
+
+Labels follow the Prometheus model: a metric is declared once with a fixed
+tuple of label *names*, and every observation supplies the label *values*
+as keyword arguments.  Children are keyed by the frozen tuple of values.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from bisect import bisect_left
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+]
+
+#: Default histogram bucket upper bounds (seconds): spans the sub-millisecond
+#: sqlite ops through multi-minute campaign jobs.  ``+Inf`` is implicit.
+DEFAULT_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _check_name(name: str) -> str:
+    if not isinstance(name, str) or not _NAME_RE.match(name):
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _format_value(value: float) -> str:
+    """Prometheus-style number rendering: integral values without a dot."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if value != value:  # NaN
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class _Metric:
+    """Shared machinery of every metric type: labels, locking, children."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> None:
+        self.name = _check_name(name)
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        for label in self.labelnames:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r} on metric {name!r}")
+        self._lock = threading.Lock()
+        self._children: Dict[Tuple[str, ...], Any] = {}
+
+    def _key(self, labels: Dict[str, Any]) -> Tuple[str, ...]:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def _label_suffix(self, key: Tuple[str, ...], extra: str = "") -> str:
+        pairs = [
+            f'{name}="{_escape_label_value(value)}"'
+            for name, value in zip(self.labelnames, key)
+        ]
+        if extra:
+            pairs.append(extra)
+        return "{" + ",".join(pairs) + "}" if pairs else ""
+
+    def children(self) -> List[Tuple[Tuple[str, ...], Any]]:
+        """Snapshot of ``(label_values, child_state)`` pairs, insertion order."""
+        with self._lock:
+            return list(self._children.items())
+
+
+class Counter(_Metric):
+    """A monotonically increasing count (requests, jobs, cache hits)."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        """Add ``amount`` (default 1) to the child selected by ``labels``."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
+        key = self._key(labels)
+        with self._lock:
+            self._children[key] = self._children.get(key, 0.0) + float(amount)
+
+    def value(self, **labels: Any) -> float:
+        """Current value of one child (0.0 when never incremented)."""
+        key = self._key(labels)
+        with self._lock:
+            return self._children.get(key, 0.0)
+
+    def total(self) -> float:
+        """Sum over every child."""
+        with self._lock:
+            return sum(self._children.values())
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (queue depth, throughput)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: Any) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._children[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._children[key] = self._children.get(key, 0.0) + float(amount)
+
+    def dec(self, amount: float = 1.0, **labels: Any) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: Any) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return self._children.get(key, 0.0)
+
+    def total(self) -> float:
+        with self._lock:
+            return sum(self._children.values())
+
+
+class _HistogramChild:
+    __slots__ = ("bucket_counts", "sum", "count")
+
+    def __init__(self, num_buckets: int) -> None:
+        self.bucket_counts = [0] * (num_buckets + 1)  # +1 for the +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+
+
+class Histogram(_Metric):
+    """Fixed-bucket distribution of observed values (latencies, durations).
+
+    Buckets are *upper bounds* in increasing order; an implicit ``+Inf``
+    bucket catches everything beyond the last bound.  Cumulative bucket
+    counts (the Prometheus ``le`` convention) are computed at render time so
+    the hot :meth:`observe` path is a single list increment.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        bounds = tuple(float(b) for b in (buckets if buckets is not None else DEFAULT_BUCKETS))
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ValueError(f"histogram buckets must be distinct and increasing, got {bounds}")
+        self.buckets = bounds
+
+    def observe(self, value: float, **labels: Any) -> None:
+        """Record one observation into the child selected by ``labels``."""
+        value = float(value)
+        key = self._key(labels)
+        index = bisect_left(self.buckets, value)  # le buckets: value == bound lands inside
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._children[key] = _HistogramChild(len(self.buckets))
+            child.bucket_counts[index] += 1
+            child.sum += value
+            child.count += 1
+
+    def count(self, **labels: Any) -> int:
+        """Number of observations of one child (0 when never observed)."""
+        key = self._key(labels)
+        with self._lock:
+            child = self._children.get(key)
+            return child.count if child is not None else 0
+
+    def sum_value(self, **labels: Any) -> float:
+        key = self._key(labels)
+        with self._lock:
+            child = self._children.get(key)
+            return child.sum if child is not None else 0.0
+
+    def total(self) -> float:
+        with self._lock:
+            return float(sum(child.count for child in self._children.values()))
+
+
+class MetricsRegistry:
+    """Named collection of metrics with get-or-create declaration semantics.
+
+    Declaring the same metric twice returns the existing instance (so every
+    call site can carry its own declaration); re-declaring with a different
+    type or label set raises, catching drift between call sites early.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._metrics: Dict[str, _Metric] = {}
+
+    # ------------------------------------------------------------------
+    # Declaration (get-or-create)
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labelnames, buckets=buckets)
+
+    def _get_or_create(self, cls, name, help, labelnames, **kwargs) -> Any:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if type(existing) is not cls or existing.labelnames != tuple(labelnames):
+                    raise ValueError(
+                        f"metric {name!r} already registered as {existing.kind} with "
+                        f"labels {existing.labelnames}; cannot re-declare as "
+                        f"{cls.kind} with labels {tuple(labelnames)}"
+                    )
+                return existing
+            metric = cls(name, help, labelnames, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def get(self, name: str) -> Optional[_Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def metrics(self) -> List[_Metric]:
+        with self._lock:
+            return list(self._metrics.values())
+
+    def total(self, name: str) -> float:
+        """Sum over every child of ``name`` (0.0 for unknown metrics).
+
+        Counters and gauges sum their values; histograms sum their
+        observation counts.  The one-line way to ask "did anything happen"
+        (health summaries, the CI smoke gate).
+        """
+        metric = self.get(name)
+        return metric.total() if metric is not None else 0.0
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def render_prometheus(self) -> str:
+        """The registry in the Prometheus text exposition format."""
+        lines: List[str] = []
+        for metric in self.metrics():
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            if isinstance(metric, Histogram):
+                self._render_histogram(metric, lines)
+            else:
+                for key, value in metric.children():
+                    lines.append(
+                        f"{metric.name}{metric._label_suffix(key)} {_format_value(value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    @staticmethod
+    def _render_histogram(metric: Histogram, lines: List[str]) -> None:
+        for key, child in metric.children():
+            cumulative = 0
+            for bound, bucket_count in zip(
+                list(metric.buckets) + [math.inf], child.bucket_counts
+            ):
+                cumulative += bucket_count
+                le = f'le="{_format_value(bound)}"'
+                lines.append(
+                    f"{metric.name}_bucket{metric._label_suffix(key, le)} {cumulative}"
+                )
+            lines.append(
+                f"{metric.name}_sum{metric._label_suffix(key)} {_format_value(child.sum)}"
+            )
+            lines.append(f"{metric.name}_count{metric._label_suffix(key)} {child.count}")
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-compatible dump of every metric (the ``?format=json`` twin)."""
+        out: Dict[str, Any] = {}
+        for metric in self.metrics():
+            entry: Dict[str, Any] = {
+                "kind": metric.kind,
+                "help": metric.help,
+                "labelnames": list(metric.labelnames),
+            }
+            if isinstance(metric, Histogram):
+                entry["buckets"] = list(metric.buckets)
+                entry["values"] = [
+                    {
+                        "labels": dict(zip(metric.labelnames, key)),
+                        "count": child.count,
+                        "sum": child.sum,
+                        "bucket_counts": list(child.bucket_counts),
+                    }
+                    for key, child in metric.children()
+                ]
+            else:
+                entry["values"] = [
+                    {"labels": dict(zip(metric.labelnames, key)), "value": value}
+                    for key, value in metric.children()
+                ]
+            out[metric.name] = entry
+        return out
+
+
+# ----------------------------------------------------------------------
+# Process-global default registry (with injection for tests)
+# ----------------------------------------------------------------------
+
+_global_registry = MetricsRegistry()
+_global_lock = threading.Lock()
+
+
+def get_registry() -> MetricsRegistry:
+    """The registry un-injected call sites record into."""
+    return _global_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the process-global registry; returns the previous one."""
+    global _global_registry
+    if not isinstance(registry, MetricsRegistry):
+        raise TypeError(f"expected a MetricsRegistry, got {type(registry).__name__}")
+    with _global_lock:
+        previous, _global_registry = _global_registry, registry
+    return previous
+
+
+class use_registry:
+    """Context manager swapping the global registry in, restoring on exit.
+
+    >>> registry = MetricsRegistry()
+    >>> with use_registry(registry):
+    ...     get_registry().counter("c").inc()
+    >>> registry.total("c")
+    1.0
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self._previous: Optional[MetricsRegistry] = None
+
+    def __enter__(self) -> MetricsRegistry:
+        self._previous = set_registry(self.registry)
+        return self.registry
+
+    def __exit__(self, *exc_info) -> None:
+        assert self._previous is not None
+        set_registry(self._previous)

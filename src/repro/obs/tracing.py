@@ -1,0 +1,194 @@
+"""Monotonic-clock timing spans with correlation-id propagation.
+
+A *span* times one named unit of work (an HTTP request, a job execution, a
+simulation chunk) with ``time.perf_counter`` and always feeds a
+``repro_span_seconds{span=...}`` histogram in the active metrics registry.
+When a :class:`Trace` is active in the current context, finished spans are
+additionally appended to it as structured records carrying the trace's
+correlation id -- that is how a single id follows a request from the HTTP
+handler, through the scheduler's worker thread, down to individual chunks.
+
+Crossing process boundaries (``ProcessPoolBackend``) cannot share a
+``contextvars`` context, so the chunk-task payload carries a plain-dict
+:func:`context_snapshot` which the worker re-activates with
+:func:`activate`.  The snapshot is deliberately tiny (just the correlation
+id): span *records* collected in a child process stay in that process --
+only its log lines (inherited stderr) and, on fork-start platforms, its
+registry observations within the same chunk call are visible.
+
+Everything here is pay-for-what-you-use: with no active trace and DEBUG
+logging off, a span costs two clock reads and one histogram observation.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import logging
+import time
+import uuid
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.obs import metrics as _metrics
+from repro.obs.logging import get_logger, log_event
+
+__all__ = [
+    "Trace",
+    "activate",
+    "context_snapshot",
+    "current_correlation_id",
+    "current_trace",
+    "new_correlation_id",
+    "span",
+    "start_trace",
+]
+
+_trace_logger = get_logger("trace")
+
+#: Hard cap on retained span records per trace: a runaway job cannot grow an
+#: unbounded list in the scheduler's memory.  Overflow is counted, not kept.
+MAX_SPANS_PER_TRACE = 10_000
+
+
+class Trace:
+    """A correlation id plus the span records collected under it."""
+
+    def __init__(self, correlation_id: str, *, collect: bool = True) -> None:
+        self.correlation_id = correlation_id
+        self.collect = collect
+        self.spans: List[Dict[str, Any]] = []
+        self.dropped = 0
+        self._stack: List[str] = []  # names of open spans (parent linkage)
+
+    def add(self, record: Dict[str, Any]) -> None:
+        if not self.collect:
+            return
+        if len(self.spans) >= MAX_SPANS_PER_TRACE:
+            self.dropped += 1
+            return
+        self.spans.append(record)
+
+    def durations(self, prefix: str = "") -> float:
+        """Total seconds spent in spans whose name starts with ``prefix``."""
+        return sum(
+            record["duration_s"]
+            for record in self.spans
+            if record["name"].startswith(prefix)
+        )
+
+
+_ACTIVE: contextvars.ContextVar[Optional[Trace]] = contextvars.ContextVar(
+    "repro_trace", default=None
+)
+
+
+def new_correlation_id() -> str:
+    """A short random id, unique enough to grep a fleet's logs by."""
+    return uuid.uuid4().hex[:16]
+
+
+def current_trace() -> Optional[Trace]:
+    return _ACTIVE.get()
+
+
+def current_correlation_id() -> Optional[str]:
+    trace = _ACTIVE.get()
+    return trace.correlation_id if trace is not None else None
+
+
+@contextmanager
+def start_trace(
+    correlation_id: Optional[str] = None, *, collect: bool = True
+) -> Iterator[Trace]:
+    """Activate a new trace in this context; yields the :class:`Trace`.
+
+    The trace object stays readable after the block exits (the scheduler
+    inspects ``trace.spans`` for the per-job phase breakdown even when the
+    job raised).
+    """
+    trace = Trace(correlation_id or new_correlation_id(), collect=collect)
+    token = _ACTIVE.set(trace)
+    try:
+        yield trace
+    finally:
+        _ACTIVE.reset(token)
+
+
+def context_snapshot() -> Optional[Dict[str, str]]:
+    """Picklable capture of the active trace context (or None).
+
+    Small by design: it rides in every chunk-task payload sent to pool
+    workers, so it must never grow state that varies between runs (cache
+    keys hash spec payloads, not task tuples -- but keep it lean anyway).
+    """
+    correlation_id = current_correlation_id()
+    if correlation_id is None:
+        return None
+    return {"correlation_id": correlation_id}
+
+
+@contextmanager
+def activate(snapshot: Optional[Dict[str, str]]) -> Iterator[Optional[Trace]]:
+    """Re-enter a snapshotted context inside a worker (no-op for None)."""
+    if not snapshot:
+        yield None
+        return
+    current = _ACTIVE.get()
+    if current is not None and current.correlation_id == snapshot["correlation_id"]:
+        # Already in the originating context (serial in-thread execution):
+        # keep collecting into it so the parent trace sees the chunk spans.
+        yield current
+        return
+    # Workers only need the id for logs/metrics; collecting span records in
+    # a child process would be invisible to the parent anyway.
+    with start_trace(snapshot["correlation_id"], collect=False) as trace:
+        yield trace
+
+
+@contextmanager
+def span(
+    name: str,
+    *,
+    registry: Optional[_metrics.MetricsRegistry] = None,
+    **attrs: Any,
+) -> Iterator[Dict[str, Any]]:
+    """Time a block; yields a mutable record the body may annotate.
+
+    Always observes ``repro_span_seconds{span=name}``.  When a trace is
+    active the finished record (name, duration, parent span, attributes,
+    correlation id) is appended to it; when DEBUG logging is on for
+    ``repro.trace`` the record is also emitted as a JSON event.
+    """
+    trace = _ACTIVE.get()
+    record: Dict[str, Any] = {"name": name}
+    if attrs:
+        record["attrs"] = attrs
+    if trace is not None:
+        trace._stack.append(name)
+    start = time.perf_counter()
+    try:
+        yield record
+    finally:
+        duration = time.perf_counter() - start
+        record["duration_s"] = duration
+        if trace is not None:
+            trace._stack.pop()
+            record["parent"] = trace._stack[-1] if trace._stack else None
+            record["correlation_id"] = trace.correlation_id
+            trace.add(record)
+        reg = registry if registry is not None else _metrics.get_registry()
+        reg.histogram(
+            "repro_span_seconds",
+            "Duration of named timing spans.",
+            labelnames=("span",),
+        ).observe(duration, span=name)
+        if _trace_logger.isEnabledFor(logging.DEBUG):
+            log_event(
+                _trace_logger,
+                "span",
+                level=logging.DEBUG,
+                span=name,
+                duration_s=round(duration, 6),
+                parent=record.get("parent"),
+                **attrs,
+            )

@@ -34,6 +34,8 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro.obs import metrics as _metrics
+from repro.obs import tracing as _tracing
 from repro.runtime.hashing import stable_hash
 
 __all__ = ["CACHE_VERSION", "ResultCache", "default_cache_root"]
@@ -73,6 +75,10 @@ class ResultCache:
     readonly:
         When True, :meth:`put` becomes a no-op -- useful for replaying a
         shared cache without mutating it.
+    registry:
+        Metrics registry receiving ``repro_cache_requests_total`` /
+        ``repro_cache_bytes_written_total``; defaults to the process-global
+        registry at call time (so ``use_registry`` works in tests).
     """
 
     def __init__(
@@ -81,12 +87,14 @@ class ResultCache:
         *,
         namespace: str = "results",
         readonly: bool = False,
+        registry: Optional[_metrics.MetricsRegistry] = None,
     ) -> None:
         self.root = Path(root) if root is not None else default_cache_root()
         if not namespace or any(sep in namespace for sep in ("/", "\\", "..")):
             raise ValueError(f"invalid cache namespace {namespace!r}")
         self.namespace = namespace
         self.readonly = readonly
+        self._registry = registry
         self.hits = 0
         self.misses = 0
         # Namespaced views report their hits/misses to the cache they were
@@ -116,9 +124,15 @@ class ResultCache:
         namespaced view increments the counters of the cache the caller
         originally passed in.
         """
-        view = ResultCache(self.root, namespace=namespace, readonly=self.readonly)
+        view = ResultCache(
+            self.root, namespace=namespace, readonly=self.readonly,
+            registry=self._registry,
+        )
         view._parent = self
         return view
+
+    def _metrics_registry(self) -> _metrics.MetricsRegistry:
+        return self._registry if self._registry is not None else _metrics.get_registry()
 
     def _count(self, hit: bool) -> None:
         node: Optional["ResultCache"] = self
@@ -128,6 +142,11 @@ class ResultCache:
             else:
                 node.misses += 1
             node = node._parent
+        self._metrics_registry().counter(
+            "repro_cache_requests_total",
+            "Cache lookups by namespace and outcome (hit/miss).",
+            labelnames=("namespace", "outcome"),
+        ).inc(namespace=self.namespace, outcome="hit" if hit else "miss")
 
     # ------------------------------------------------------------------
     # Read / write
@@ -139,23 +158,26 @@ class ResultCache:
         A torn or unreadable entry counts as a miss (the caller recomputes
         and overwrites it) rather than an error.
         """
-        meta_path, npz_path = self._paths(key)
-        try:
-            with open(meta_path, "r", encoding="utf-8") as handle:
-                meta = json.load(handle)
-        except (OSError, json.JSONDecodeError):
-            self._count(hit=False)
-            return None
-        arrays: Dict[str, np.ndarray] = {}
-        if meta.get("has_arrays"):
+        with _tracing.span(
+            "cache.get", registry=self._registry, namespace=self.namespace
+        ):
+            meta_path, npz_path = self._paths(key)
             try:
-                with np.load(npz_path) as npz:
-                    arrays = {name: npz[name].copy() for name in npz.files}
-            except (OSError, ValueError):
+                with open(meta_path, "r", encoding="utf-8") as handle:
+                    meta = json.load(handle)
+            except (OSError, json.JSONDecodeError):
                 self._count(hit=False)
                 return None
-        self._count(hit=True)
-        return meta, arrays
+            arrays: Dict[str, np.ndarray] = {}
+            if meta.get("has_arrays"):
+                try:
+                    with np.load(npz_path) as npz:
+                        arrays = {name: npz[name].copy() for name in npz.files}
+                except (OSError, ValueError):
+                    self._count(hit=False)
+                    return None
+            self._count(hit=True)
+            return meta, arrays
 
     def put(
         self,
@@ -166,24 +188,39 @@ class ResultCache:
         """Store an entry atomically; returns the metadata path (None if readonly)."""
         if self.readonly:
             return None
-        meta_path, npz_path = self._paths(key)
-        meta_path.parent.mkdir(parents=True, exist_ok=True)
-        meta = dict(metadata)
-        meta["has_arrays"] = bool(arrays)
-        if arrays:
-            self._atomic_write(npz_path, lambda fh: np.savez_compressed(fh, **arrays))
-        self._atomic_write(
-            meta_path,
-            lambda fh: fh.write(json.dumps(meta, indent=2, sort_keys=True).encode("utf-8")),
-        )
-        return meta_path
+        with _tracing.span(
+            "cache.put", registry=self._registry, namespace=self.namespace
+        ):
+            meta_path, npz_path = self._paths(key)
+            meta_path.parent.mkdir(parents=True, exist_ok=True)
+            meta = dict(metadata)
+            meta["has_arrays"] = bool(arrays)
+            written = 0
+            if arrays:
+                written += self._atomic_write(
+                    npz_path, lambda fh: np.savez_compressed(fh, **arrays)
+                )
+            written += self._atomic_write(
+                meta_path,
+                lambda fh: fh.write(json.dumps(meta, indent=2, sort_keys=True).encode("utf-8")),
+            )
+            self._metrics_registry().counter(
+                "repro_cache_bytes_written_total",
+                "Bytes written to the result cache, by namespace.",
+                labelnames=("namespace",),
+            ).inc(written, namespace=self.namespace)
+            return meta_path
 
-    def _atomic_write(self, path: Path, writer) -> None:
+    def _atomic_write(self, path: Path, writer) -> int:
+        """Write via tempfile + ``os.replace``; returns the bytes written."""
         fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), prefix=path.name, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
                 writer(handle)
+                handle.flush()
+                size = handle.tell()
             os.replace(tmp_name, path)
+            return size
         except BaseException:
             try:
                 os.unlink(tmp_name)

@@ -19,13 +19,16 @@ Four layers, each usable on its own:
   registry experiments with per-chunk progress and cooperative cancellation;
 * :mod:`repro.service.server` -- the HTTP API
   (:class:`~repro.service.server.ScenarioServer`, stdlib
-  ``ThreadingHTTPServer``): ``/v1/jobs``, ``/v1/scenarios``, ``/v1/healthz``;
+  ``ThreadingHTTPServer``): ``/v1/jobs``, ``/v1/scenarios``, ``/v1/healthz``,
+  ``/v1/metrics``;
 * :mod:`repro.service.client` -- the Python client
   (:class:`~repro.service.client.ServiceClient`) and result reconstruction.
 
-The ``repro serve`` / ``repro submit`` / ``repro jobs`` CLI sub-commands wrap
-these layers; see the README's "Serving scenarios" section for the endpoint
-table and examples.
+The ``repro serve`` / ``repro submit`` / ``repro jobs`` / ``repro metrics``
+CLI sub-commands wrap these layers; see the README's "Serving scenarios" and
+"Observability" sections for the endpoint table and examples.  Every layer
+is instrumented through :mod:`repro.obs` (request/job counters and latency
+histograms, correlation-id tracing, structured JSON logs).
 """
 
 from repro.service.client import ServiceClient, ServiceError

@@ -98,6 +98,33 @@ class ServiceClient:
         """``GET /v1/healthz``."""
         return self._request("GET", "/v1/healthz")
 
+    def metrics(self) -> Dict[str, Any]:
+        """``GET /v1/metrics?format=json`` -- the server's metric snapshot."""
+        return self._request("GET", "/v1/metrics?format=json")["metrics"]
+
+    def metrics_text(self) -> str:
+        """``GET /v1/metrics`` -- raw Prometheus text exposition."""
+        request = urllib.request.Request(self.base_url + "/v1/metrics", method="GET")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(
+                f"GET /v1/metrics failed ({exc.code})", status=exc.code
+            ) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach the scenario service at {self.base_url}: {exc.reason}"
+            ) from exc
+
+    def job_stats(self, job_id: str) -> Optional[Dict[str, float]]:
+        """The per-phase timing breakdown of one job (None until executed).
+
+        Phases are ``queue_wait_s`` / ``compute_s`` / ``cache_s``, recorded
+        by the scheduler when the job reaches a terminal state.
+        """
+        return self.job(job_id)["timings"].get("phases")
+
     def scenarios(self) -> Dict[str, Any]:
         """``GET /v1/scenarios`` -- the experiment/engine catalog."""
         return self._request("GET", "/v1/scenarios")

@@ -38,8 +38,11 @@ import sqlite3
 import threading
 import time
 import uuid
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.obs import metrics as _metrics
 
 __all__ = ["JOB_STATES", "JobRecord", "JobStore"]
 
@@ -60,7 +63,8 @@ CREATE TABLE IF NOT EXISTS jobs (
     cancel_requested INTEGER NOT NULL DEFAULT 0,
     submitted_at     REAL NOT NULL,
     started_at       REAL,
-    finished_at      REAL
+    finished_at      REAL,
+    phases           TEXT
 );
 CREATE INDEX IF NOT EXISTS jobs_state ON jobs (state, submitted_at);
 CREATE INDEX IF NOT EXISTS jobs_dedupe ON jobs (dedupe_key);
@@ -89,6 +93,9 @@ class JobRecord:
     submitted_at: float = 0.0
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
+    #: Per-phase wall-time breakdown recorded at completion (seconds):
+    #: ``queue_wait_s`` / ``compute_s`` / ``cache_s`` (see JobScheduler).
+    phases: Optional[Dict[str, float]] = None
 
     @property
     def is_terminal(self) -> bool:
@@ -108,6 +115,7 @@ class JobRecord:
                 "submitted_at": self.submitted_at,
                 "started_at": self.started_at,
                 "finished_at": self.finished_at,
+                "phases": self.phases,
             },
             "error": self.error,
         }
@@ -144,6 +152,27 @@ class JobStore:
         self._conn.row_factory = sqlite3.Row
         with self._lock, self._conn:
             self._conn.executescript(_SCHEMA)
+            # Schema migration for databases created before the per-job
+            # phase breakdown existed (pre-observability PRs).
+            columns = {
+                row["name"]
+                for row in self._conn.execute("PRAGMA table_info(jobs)").fetchall()
+            }
+            if "phases" not in columns:
+                self._conn.execute("ALTER TABLE jobs ADD COLUMN phases TEXT")
+
+    @contextmanager
+    def _timed_op(self, op: str) -> Iterator[None]:
+        """Time one store operation into ``repro_jobstore_op_seconds{op}``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            _metrics.get_registry().histogram(
+                "repro_jobstore_op_seconds",
+                "Duration of JobStore sqlite operations.",
+                labelnames=("op",),
+            ).observe(time.perf_counter() - start, op=op)
 
     # ------------------------------------------------------------------
     # Submission and lookup
@@ -159,7 +188,7 @@ class JobStore:
         """Append a new ``queued`` job and return its record."""
         job_id = uuid.uuid4().hex[:16]
         now = time.time()
-        with self._lock, self._conn:
+        with self._timed_op("submit"), self._lock, self._conn:
             self._conn.execute(
                 "INSERT INTO jobs (id, kind, spec, dedupe_key, state, submitted_at)"
                 " VALUES (?, ?, ?, ?, 'queued', ?)",
@@ -257,7 +286,7 @@ class JobStore:
         select-then-update pair runs under the store lock and in one sqlite
         transaction, so two worker threads can never claim the same job.
         """
-        with self._lock, self._conn:
+        with self._timed_op("claim_next"), self._lock, self._conn:
             row = self._conn.execute(
                 "SELECT id FROM jobs WHERE state = 'queued'"
                 " ORDER BY submitted_at LIMIT 1"
@@ -275,10 +304,23 @@ class JobStore:
 
     def update_progress(self, job_id: str, done: int, total: int) -> None:
         """Record chunk progress for a running job."""
-        with self._lock, self._conn:
+        with self._timed_op("update_progress"), self._lock, self._conn:
             self._conn.execute(
                 "UPDATE jobs SET chunks_done = ?, chunks_total = ? WHERE id = ?",
                 (int(done), int(total), job_id),
+            )
+
+    def record_phases(self, job_id: str, phases: Dict[str, float]) -> None:
+        """Persist a job's wall-time phase breakdown (seconds per phase).
+
+        Written by the scheduler when execution finishes (whatever the
+        outcome); surfaced through :meth:`JobRecord.to_dict` under
+        ``timings.phases`` and by ``repro jobs --stats``.
+        """
+        with self._timed_op("record_phases"), self._lock, self._conn:
+            self._conn.execute(
+                "UPDATE jobs SET phases = ? WHERE id = ?",
+                (json.dumps({k: float(v) for k, v in phases.items()}), job_id),
             )
 
     def finish(self, job_id: str, result: Dict[str, Any]) -> None:
@@ -301,7 +343,7 @@ class JobStore:
         result: Optional[Dict[str, Any]] = None,
         error: Optional[str] = None,
     ) -> None:
-        with self._lock, self._conn:
+        with self._timed_op("finalize"), self._lock, self._conn:
             self._conn.execute(
                 "UPDATE jobs SET state = ?, result = ?, error = ?, finished_at = ?"
                 " WHERE id = ?",
@@ -395,4 +437,5 @@ class JobStore:
             submitted_at=row["submitted_at"],
             started_at=row["started_at"],
             finished_at=row["finished_at"],
+            phases=json.loads(row["phases"]) if row["phases"] is not None else None,
         )

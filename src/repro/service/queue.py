@@ -28,16 +28,23 @@ HTTP half lives in :mod:`repro.service.server`).  It owns
 
 from __future__ import annotations
 
+import logging
 import threading
+import time
 from typing import Any, Dict, Optional, Tuple
 
 from repro.core.expected_time import ANALYTIC_NUMERICS
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.obs import metrics as _metrics
+from repro.obs import tracing as _tracing
+from repro.obs.logging import get_logger, log_event
 from repro.runtime.backends import ExecutionBackend, resolve_backend
 from repro.runtime.cache import ResultCache
 from repro.runtime.hashing import stable_hash
 from repro.runtime.scenario import ScenarioSpec
 from repro.service.jobs import JobRecord, JobStore
+
+_logger = get_logger("service.queue")
 
 __all__ = ["JobCancelled", "JobScheduler", "campaign_result_payload", "table_payload"]
 
@@ -138,7 +145,11 @@ class JobScheduler:
         self._owns_backend = not isinstance(backend, ExecutionBackend)
         self.backend = resolve_backend(backend)
         self.cache = cache
-        self.chunk_size = chunk_size
+        # The server-wide default is validated at construction, not first
+        # use: a misconfigured deployment (chunk_size > MAX_CHUNK_SIZE, or
+        # not an integer) must fail at startup with a clear error instead of
+        # failing every campaign it later serves.
+        self.chunk_size = self._validated_chunk_size(chunk_size)
         self._threads: list = []
         self._stop = threading.Event()
         self._wake = threading.Condition()
@@ -259,10 +270,32 @@ class JobScheduler:
         self, kind: str, payload: Dict[str, Any], dedupe_key: str
     ) -> Tuple[JobRecord, bool]:
         record, reused = self.store.submit_or_reuse(kind, payload, dedupe_key)
-        if not reused:
+        registry = _metrics.get_registry()
+        if reused:
+            registry.counter(
+                "repro_jobs_deduplicated_total",
+                "Submissions answered by an existing equivalent job.",
+                labelnames=("kind",),
+            ).inc(kind=kind)
+        else:
+            registry.counter(
+                "repro_jobs_submitted_total",
+                "Jobs newly enqueued, by kind.",
+                labelnames=("kind",),
+            ).inc(kind=kind)
+            self._update_queue_depth()
             with self._wake:
                 self._wake.notify_all()
+        log_event(
+            _logger, "job.submitted",
+            job_id=record.id, kind=kind, reused=reused, state=record.state,
+        )
         return record, reused
+
+    def _update_queue_depth(self) -> None:
+        _metrics.get_registry().gauge(
+            "repro_job_queue_depth", "Jobs currently waiting in the queue."
+        ).set(self.store.counts()["queued"])
 
     # ------------------------------------------------------------------
     # Worker loop
@@ -304,6 +337,10 @@ class JobScheduler:
                 thread.join(timeout)
         if any(thread.is_alive() for thread in self._threads):
             self._abandoned_workers = True
+            log_event(
+                _logger, "scheduler.workers_abandoned", level=logging.WARNING,
+                still_running=[t.name for t in self._threads if t.is_alive()],
+            )
         self._threads = []
         if self._owns_backend and not self._abandoned_workers:
             self.backend.close()
@@ -341,22 +378,88 @@ class JobScheduler:
     # ------------------------------------------------------------------
 
     def execute(self, job: JobRecord) -> None:
-        """Run one claimed job to a terminal state (never raises)."""
-        try:
-            if self.store.cancel_requested(job.id):
-                raise JobCancelled(job.id)
-            if job.kind == "campaign":
-                result = self._execute_campaign(job)
-            elif job.kind == "experiment":
-                result = self._execute_experiment(job)
-            else:
-                raise ValueError(f"unknown job kind {job.kind!r}")
-        except JobCancelled:
+        """Run one claimed job to a terminal state (never raises).
+
+        The execution runs under a trace whose correlation id *is* the job
+        id, so every span (cache lookups, chunks -- even in pool workers) and
+        log line it produces can be grepped by the id a client already
+        holds.  On completion the wall-time is decomposed into the
+        queue-wait / compute / cache phases and persisted next to the job.
+        """
+        registry = _metrics.get_registry()
+        queue_wait = max((job.started_at or time.time()) - job.submitted_at, 0.0)
+        registry.histogram(
+            "repro_job_claim_seconds",
+            "Delay between job submission and a worker claiming it.",
+        ).observe(queue_wait)
+        self._update_queue_depth()
+        outcome = "done"
+        error: Optional[BaseException] = None
+        result: Optional[Dict[str, Any]] = None
+        start = time.perf_counter()
+        with _tracing.start_trace(job.id) as trace:
+            try:
+                if self.store.cancel_requested(job.id):
+                    raise JobCancelled(job.id)
+                with _tracing.span("job.run", kind=job.kind):
+                    if job.kind == "campaign":
+                        result = self._execute_campaign(job)
+                    elif job.kind == "experiment":
+                        result = self._execute_experiment(job)
+                    else:
+                        raise ValueError(f"unknown job kind {job.kind!r}")
+            except JobCancelled:
+                outcome = "cancelled"
+            except Exception as exc:  # noqa: BLE001 - a job failure must not kill the worker
+                outcome = "failed"
+                error = exc
+        run_s = time.perf_counter() - start
+        # Cache get/put run in this thread (chunk workers never touch the
+        # cache), so the trace's cache.* spans account the job's cache time
+        # exactly; the remainder of the wall-time is compute.
+        cache_s = min(trace.durations("cache."), run_s)
+        self.store.record_phases(job.id, {
+            "queue_wait_s": queue_wait,
+            "compute_s": max(run_s - cache_s, 0.0),
+            "cache_s": cache_s,
+        })
+        if outcome == "cancelled":
             self.store.mark_cancelled(job.id)
-        except Exception as exc:  # noqa: BLE001 - a job failure must not kill the worker
-            self.store.fail(job.id, f"{type(exc).__name__}: {exc}")
+            registry.counter(
+                "repro_jobs_cancelled_total",
+                "Jobs cancelled, by kind.",
+                labelnames=("kind",),
+            ).inc(kind=job.kind)
+            log_event(
+                _logger, "job.cancelled",
+                job_id=job.id, kind=job.kind, correlation_id=job.id,
+            )
+        elif outcome == "failed":
+            message = f"{type(error).__name__}: {error}"
+            self.store.fail(job.id, message)
+            log_event(
+                _logger, "job.failed", level=logging.ERROR,
+                job_id=job.id, kind=job.kind, error=message,
+                exc_info=error, correlation_id=job.id,
+            )
         else:
             self.store.finish(job.id, result)
+            log_event(
+                _logger, "job.completed",
+                job_id=job.id, kind=job.kind, duration_s=round(run_s, 6),
+                correlation_id=job.id,
+            )
+        registry.counter(
+            "repro_jobs_completed_total",
+            "Executed jobs by kind and terminal outcome.",
+            labelnames=("kind", "outcome"),
+        ).inc(kind=job.kind, outcome=outcome)
+        registry.histogram(
+            "repro_job_run_seconds",
+            "Wall-time of executed jobs, by kind.",
+            labelnames=("kind",),
+        ).observe(run_s, kind=job.kind)
+        self._update_queue_depth()
 
     def _progress_hook(self, job_id: str):
         def hook(done: int, total: int) -> None:

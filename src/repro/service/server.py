@@ -8,7 +8,9 @@ the job store).  Endpoints:
 =======  ==========================  ===============================================
 Method   Path                        Meaning
 =======  ==========================  ===============================================
-GET      ``/v1/healthz``             liveness + job counts
+GET      ``/v1/healthz``             liveness + job counts + compact stats summary
+GET      ``/v1/metrics``             process metrics (Prometheus text;
+                                     ``?format=json`` for the JSON snapshot)
 GET      ``/v1/scenarios``           catalog: experiments, engines, sweepable fields
 POST     ``/v1/scenarios/preview``   expand a sweep without running it
 POST     ``/v1/jobs``                submit a campaign or experiment job
@@ -21,24 +23,53 @@ DELETE   ``/v1/jobs/{id}``           cancel (immediate if queued, cooperative if
 Responses are JSON; errors are ``{"error": message}`` with a 4xx status.
 Submission replies carry ``"deduplicated": true`` (and status 200 instead of
 201) when an equivalent job already existed.
+
+Every request runs under its own short correlation id: log lines the request
+produces (including the scheduler's ``job.submitted``) can be stitched back
+to it, and an unexpected handler error becomes a clean 500 plus a structured
+ERROR event instead of a raw traceback on stderr.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import logging
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from repro.experiments.registry import experiment_descriptions
+from repro.obs import metrics as _metrics
+from repro.obs import tracing as _tracing
+from repro.obs.logging import get_logger, log_event
 from repro.runtime.backends import ENGINES
 from repro.runtime.scenario import ScenarioSpec, expand_scenarios
 from repro.service.queue import JobScheduler
 
 __all__ = ["ScenarioServer"]
+
+_logger = get_logger("service.server")
+
+#: Known route templates, used as the ``route`` metric label so per-job URLs
+#: (``/v1/jobs/<16-hex-id>``) cannot explode the label cardinality.
+_ROUTES = (
+    "/v1/healthz",
+    "/v1/metrics",
+    "/v1/scenarios",
+    "/v1/scenarios/preview",
+    "/v1/jobs",
+)
+
+
+def _route_label(path: str) -> str:
+    if path in _ROUTES:
+        return path
+    if path.startswith("/v1/jobs/"):
+        return "/v1/jobs/{id}"
+    return "other"
 
 
 class _ServiceRequestHandler(BaseHTTPRequestHandler):
@@ -55,9 +86,19 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
-        path, query = self._split_path()
+        self._dispatch("GET", self._route_get)
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST", self._route_post)
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE", self._route_delete)
+
+    def _route_get(self, path: str, query: Dict[str, list]) -> None:
         if path == "/v1/healthz":
             self._send(200, self.service.health())
+        elif path == "/v1/metrics":
+            self._serve_metrics(query)
         elif path == "/v1/scenarios":
             self._send(200, self.service.catalog())
         elif path == "/v1/jobs":
@@ -67,8 +108,7 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         else:
             self._send(404, {"error": f"no such path: {path}"})
 
-    def do_POST(self) -> None:  # noqa: N802
-        path, _ = self._split_path()
+    def _route_post(self, path: str, query: Dict[str, list]) -> None:
         if path == "/v1/jobs":
             self._submit_job()
         elif path == "/v1/scenarios/preview":
@@ -76,12 +116,68 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         else:
             self._send(404, {"error": f"no such path: {path}"})
 
-    def do_DELETE(self) -> None:  # noqa: N802
-        path, _ = self._split_path()
+    def _route_delete(self, path: str, query: Dict[str, list]) -> None:
         if path.startswith("/v1/jobs/"):
             self._cancel_job(path[len("/v1/jobs/"):])
         else:
             self._send(404, {"error": f"no such path: {path}"})
+
+    def _dispatch(
+        self, method: str, router: Callable[[str, Dict[str, list]], None]
+    ) -> None:
+        """Route one request under its own trace, timing and error boundary.
+
+        Unexpected handler exceptions become a JSON 500 plus a structured
+        ERROR event carrying the request's correlation id -- never a raw
+        traceback dumped by the socketserver machinery.
+        """
+        path, query = self._split_path()
+        route = _route_label(path)
+        self._status: Optional[int] = None
+        start = time.perf_counter()
+        with _tracing.start_trace(collect=False):
+            try:
+                router(path, query)
+            except Exception as exc:  # noqa: BLE001 - boundary of the HTTP thread
+                log_event(
+                    _logger, "http.request_error", level=logging.ERROR,
+                    method=method, path=path,
+                    error=f"{type(exc).__name__}: {exc}", exc_info=exc,
+                )
+                if self._status is None:
+                    try:
+                        self._send(500, {"error": "internal server error"})
+                    except OSError:  # pragma: no cover - client hung up mid-reply
+                        pass
+            duration = time.perf_counter() - start
+            status = self._status if self._status is not None else 500
+            registry = _metrics.get_registry()
+            registry.counter(
+                "repro_http_requests_total",
+                "HTTP requests by method, route template and status code.",
+                labelnames=("method", "route", "status"),
+            ).inc(method=method, route=route, status=str(status))
+            registry.histogram(
+                "repro_http_request_seconds",
+                "HTTP request latency by route template.",
+                labelnames=("route",),
+            ).observe(duration, route=route)
+            log_event(
+                _logger, "http.request", level=logging.DEBUG,
+                method=method, path=path, status=status,
+                duration_s=round(duration, 6),
+            )
+
+    def _serve_metrics(self, query: Dict[str, list]) -> None:
+        registry = _metrics.get_registry()
+        if query.get("format", [None])[0] == "json":
+            self._send(200, {"metrics": registry.snapshot()})
+        else:
+            self._send_text(
+                200,
+                registry.render_prometheus(),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
 
     # ------------------------------------------------------------------
     # Handlers
@@ -116,6 +212,20 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             self._send(404, {"error": f"no such job: {job_id}"})
             return
         updated = self.service.scheduler.store.request_cancel(job_id)
+        if record.state == "queued" and updated.state == "cancelled":
+            # Immediate cancellation of a queued job: it will never reach a
+            # worker, so count it here (running jobs are counted by the
+            # scheduler when their cooperative cancel lands).
+            _metrics.get_registry().counter(
+                "repro_jobs_cancelled_total",
+                "Jobs cancelled, by kind.",
+                labelnames=("kind",),
+            ).inc(kind=record.kind)
+            self.service.scheduler._update_queue_depth()
+        log_event(
+            _logger, "job.cancel_requested",
+            job_id=job_id, kind=record.kind, state=updated.state,
+        )
         self._send(200, {"job": updated.to_dict(include_result=False)})
 
     def _submit_job(self) -> None:
@@ -214,9 +324,15 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         return body
 
     def _send(self, status: int, payload: Dict[str, Any]) -> None:
-        data = json.dumps(payload).encode("utf-8")
+        self._send_bytes(status, json.dumps(payload).encode("utf-8"), "application/json")
+
+    def _send_text(self, status: int, text: str, *, content_type: str) -> None:
+        self._send_bytes(status, text.encode("utf-8"), content_type)
+
+    def _send_bytes(self, status: int, data: bytes, content_type: str) -> None:
+        self._status = status
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
         self.end_headers()
         self.wfile.write(data)
@@ -272,16 +388,30 @@ class ScenarioServer:
     # ------------------------------------------------------------------
 
     def health(self) -> Dict[str, Any]:
+        counts = self.scheduler.store.counts()
+        registry = _metrics.get_registry()
+        cache = self.scheduler.cache
         return {
             "status": "ok",
-            "jobs": self.scheduler.store.counts(),
+            "jobs": counts,
             "workers": self.scheduler.num_workers,
             "backend": repr(self.scheduler.backend),
             # `is not None`, not truthiness: ResultCache.__len__ makes an
             # empty cache falsy, and an attached-but-cold cache must still
             # show up here.
-            "cache": repr(self.scheduler.cache) if self.scheduler.cache is not None else None,
+            "cache": repr(cache) if cache is not None else None,
             "uptime_seconds": time.time() - self.started_at,
+            # Compact counters for humans and smoke checks; the full
+            # time-series view lives at /v1/metrics.
+            "stats": {
+                "http_requests": registry.total("repro_http_requests_total"),
+                "jobs_submitted": registry.total("repro_jobs_submitted_total"),
+                "jobs_deduplicated": registry.total("repro_jobs_deduplicated_total"),
+                "jobs_executed": registry.total("repro_jobs_completed_total"),
+                "queue_depth": counts["queued"],
+                "cache_hits": cache.hits if cache is not None else 0,
+                "cache_misses": cache.misses if cache is not None else 0,
+            },
         }
 
     def catalog(self) -> Dict[str, Any]:
@@ -309,6 +439,10 @@ class ScenarioServer:
         restart recovery re-queues on the next start.
         """
         self.scheduler.start()
+        log_event(
+            _logger, "server.started",
+            host=self.host, port=self.port, workers=self.scheduler.num_workers,
+        )
         try:
             self._httpd.serve_forever(poll_interval=0.1)
         finally:

@@ -1,0 +1,37 @@
+"""Shared chunk-level instrumentation for the simulation workers.
+
+One call per *chunk* (hundreds of replications), never per replication, so
+the cost is invisible next to the simulation itself.  Kept in its own module
+because both chunked executors (:mod:`repro.simulation.monte_carlo` and
+:mod:`repro.simulation.campaign`) record the same two instruments and their
+worker functions run inside pool processes -- a module-level helper pickles
+by reference.
+"""
+
+from __future__ import annotations
+
+from repro.obs import metrics as _metrics
+
+__all__ = ["observe_chunk"]
+
+
+def observe_chunk(kind: str, engine: str, runs: int, seconds: float) -> None:
+    """Record one executed chunk: wall-time histogram + throughput gauge.
+
+    ``kind`` distinguishes the two chunked executors (``"monte_carlo"`` /
+    ``"campaign"``); ``engine`` is the execution engine that ran the chunk.
+    The replications-per-second gauge tracks the most recent chunk -- a
+    live-throughput reading, not an average (the histogram holds history).
+    """
+    registry = _metrics.get_registry()
+    registry.histogram(
+        "repro_chunk_seconds",
+        "Wall-time of executed simulation chunks, by engine and executor kind.",
+        labelnames=("engine", "kind"),
+    ).observe(seconds, engine=engine, kind=kind)
+    if seconds > 0.0:
+        registry.gauge(
+            "repro_replications_per_second",
+            "Throughput of the most recently executed chunk.",
+            labelnames=("engine", "kind"),
+        ).set(runs / seconds, engine=engine, kind=kind)

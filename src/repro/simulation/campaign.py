@@ -21,12 +21,14 @@ generator and the executor:
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro._validation import check_non_negative, check_positive, check_positive_int
+from repro.obs import tracing as _tracing
 from repro.core.schedule import Schedule, Segment
 from repro.experiments.reporting import ResultTable
 from repro.failures.distributions import FailureDistribution
@@ -34,6 +36,7 @@ from repro.failures.traces import FailureTrace, generate_trace
 from repro.runtime.backends import ExecutionBackend, backend_scope, resolve_engine
 from repro.runtime.cache import ResultCache
 from repro.runtime.chunking import plan_chunks
+from repro.simulation._obs import observe_chunk
 from repro.simulation.engine import TraceFailureSource
 from repro.simulation.executor import simulate_segments
 from repro.simulation.vectorized import generate_trace_times_batch, replay_traces_batch
@@ -309,6 +312,10 @@ class CampaignRunner:
                 if progress is not None:
                     progress(plan.num_chunks, plan.num_chunks)
                 return CampaignResult(makespans=makespans, num_runs=meta["num_runs"])
+        # The trailing trace-context snapshot keeps the submitting request's
+        # correlation id on chunk spans even in pool workers; it never enters
+        # the cache key (keys hash the payload dict above, not task tuples).
+        obs_context = _tracing.context_snapshot()
         tasks = [
             (
                 self._segments,
@@ -318,6 +325,7 @@ class CampaignRunner:
                 self.downtime,
                 chunk_seed,
                 size,
+                obs_context,
             )
             for chunk_seed, size in zip(plan.seeds(seed), plan.sizes)
         ]
@@ -345,38 +353,40 @@ class CampaignRunner:
         return CampaignResult(makespans=merged, num_runs=num_runs)
 
 
-def _campaign_chunk(
-    args: Tuple[
-        Mapping[str, Sequence[Segment]], FailureDistribution, float, int, float,
-        np.random.SeedSequence, int,
-    ],
-) -> Dict[str, List[float]]:
+_CampaignTask = Tuple[
+    Mapping[str, Sequence[Segment]], FailureDistribution, float, int, float,
+    np.random.SeedSequence, int, Optional[Dict[str, Any]],
+]
+
+
+def _campaign_chunk(args: _CampaignTask) -> Dict[str, List[float]]:
     """Run one chunk of paired rounds (runs in a worker process).
 
     Each round draws a fresh shared trace from the chunk's own RNG stream and
     replays every strategy against it, preserving the common-random-numbers
-    pairing within the chunk and across backends.
+    pairing within the chunk and across backends.  The trailing ``obs``
+    element re-activates the submitting context's correlation id around the
+    chunk's span and metrics.
     """
-    segments, law, horizon, num_processors, downtime, chunk_seed, count = args
-    rng = np.random.default_rng(chunk_seed)
-    makespans: Dict[str, List[float]] = {name: [] for name in segments}
-    for _ in range(count):
-        trace = generate_trace(
-            law, horizon=horizon, num_processors=num_processors, rng=rng
-        )
-        for name, segs in segments.items():
-            source = TraceFailureSource(trace)
-            result = simulate_segments(segs, source, downtime, rng=rng)
-            makespans[name].append(result.makespan)
+    segments, law, horizon, num_processors, downtime, chunk_seed, count, obs = args
+    start = time.perf_counter()
+    with _tracing.activate(obs):
+        with _tracing.span("campaign.chunk", engine="scalar", runs=count):
+            rng = np.random.default_rng(chunk_seed)
+            makespans: Dict[str, List[float]] = {name: [] for name in segments}
+            for _ in range(count):
+                trace = generate_trace(
+                    law, horizon=horizon, num_processors=num_processors, rng=rng
+                )
+                for name, segs in segments.items():
+                    source = TraceFailureSource(trace)
+                    result = simulate_segments(segs, source, downtime, rng=rng)
+                    makespans[name].append(result.makespan)
+    observe_chunk("campaign", "scalar", count, time.perf_counter() - start)
     return makespans
 
 
-def _campaign_chunk_vectorized(
-    args: Tuple[
-        Mapping[str, Sequence[Segment]], FailureDistribution, float, int, float,
-        np.random.SeedSequence, int,
-    ],
-) -> Dict[str, List[float]]:
+def _campaign_chunk_vectorized(args: _CampaignTask) -> Dict[str, List[float]]:
     """Run one chunk of paired rounds as a NumPy array program.
 
     Same work item as :func:`_campaign_chunk`, executed batch-wise: the
@@ -387,9 +397,16 @@ def _campaign_chunk_vectorized(
     but the trace draws are ordered differently from the scalar chunk's, so
     the two engines agree statistically rather than bit-for-bit.
     """
-    segments, law, horizon, num_processors, downtime, chunk_seed, count = args
-    rng = np.random.default_rng(chunk_seed)
-    times = generate_trace_times_batch(law, horizon, num_processors, rng, count)
-    names = list(segments)
-    stacked = replay_traces_batch([segments[name] for name in names], times, downtime)
-    return {name: stacked[index].tolist() for index, name in enumerate(names)}
+    segments, law, horizon, num_processors, downtime, chunk_seed, count, obs = args
+    start = time.perf_counter()
+    with _tracing.activate(obs):
+        with _tracing.span("campaign.chunk", engine="vectorized", runs=count):
+            rng = np.random.default_rng(chunk_seed)
+            times = generate_trace_times_batch(law, horizon, num_processors, rng, count)
+            names = list(segments)
+            stacked = replay_traces_batch(
+                [segments[name] for name in names], times, downtime
+            )
+            result = {name: stacked[index].tolist() for index, name in enumerate(names)}
+    observe_chunk("campaign", "vectorized", count, time.perf_counter() - start)
+    return result

@@ -10,12 +10,14 @@ failure laws, for which no closed form exists (Section 6).
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro._validation import check_non_negative, check_positive, check_positive_int
+from repro.obs import tracing as _tracing
 from repro.core.schedule import Schedule, Segment
 from repro.failures.distributions import ExponentialFailure, FailureDistribution
 from repro.failures.platform import Platform
@@ -23,6 +25,7 @@ from repro.failures.traces import FailureTrace
 from repro.runtime.backends import ExecutionBackend, backend_scope, resolve_engine
 from repro.runtime.cache import ResultCache
 from repro.runtime.chunking import plan_chunks
+from repro.simulation._obs import observe_chunk
 from repro.simulation.engine import FailureSource, failure_source_for
 from repro.simulation.executor import SimulationResult, simulate_segments
 from repro.simulation.vectorized import (
@@ -391,12 +394,17 @@ class MonteCarloEstimator:
                     arrays["makespans"], arrays["num_failures"], arrays["wasted_times"]
                 )
         # Each task carries its chunk's replication offset so trace-list
-        # models know which traces the chunk replays (run i = trace i).
+        # models know which traces the chunk replays (run i = trace i), plus
+        # a trace-context snapshot so chunk spans executed in pool workers
+        # keep the submitting request's correlation id.  Neither rides into
+        # the cache key (keys hash the payload dict above, never the task
+        # tuple), so instrumentation cannot perturb replay.
         offsets = [0]
         for size in plan.sizes[:-1]:
             offsets.append(offsets[-1] + size)
+        obs_context = _tracing.context_snapshot()
         tasks = [
-            (self, chunk_seed, size, engine, offset)
+            (self, chunk_seed, size, engine, offset, obs_context)
             for chunk_seed, size, offset in zip(plan.seeds(seed), plan.sizes, offsets)
         ]
         with backend_scope(backend) as executor:
@@ -423,13 +431,37 @@ class MonteCarloEstimator:
 
 
 def _estimate_chunk(
-    args: Tuple["MonteCarloEstimator", np.random.SeedSequence, int, str, int],
+    args: Tuple[
+        "MonteCarloEstimator", np.random.SeedSequence, int, str, int,
+        Optional[Dict[str, Any]],
+    ],
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Simulate one chunk of replications (runs in a worker process).
 
     Module-level so process pools can pickle it; the estimator itself travels
     with the task (its segments, failure model and factory must therefore be
     picklable -- lambdas as ``failure_model_factory`` only work serially).
+    The trailing ``obs`` element is the submitting context's trace snapshot
+    (or None): the chunk's span and metrics carry the originating request's
+    correlation id even when executing in another thread or process.
+    """
+    estimator, chunk_seed, count, engine, offset, obs = args
+    start = time.perf_counter()
+    with _tracing.activate(obs):
+        with _tracing.span("mc.chunk", engine=engine, runs=count, offset=offset):
+            samples = _estimate_chunk_samples(estimator, chunk_seed, count, engine, offset)
+    observe_chunk("monte_carlo", engine, count, time.perf_counter() - start)
+    return samples
+
+
+def _estimate_chunk_samples(
+    estimator: "MonteCarloEstimator",
+    chunk_seed: np.random.SeedSequence,
+    count: int,
+    engine: str,
+    offset: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The actual chunk simulation (see :func:`_estimate_chunk`).
 
     For memoryless failure models, both engines draw their attempt delays
     from one engine-neutral :class:`PlannedExponentialDelays` built from the
@@ -442,7 +474,6 @@ def _estimate_chunk(
     :func:`replay_traces_batch` (matching the scalar event loop to ~1 ulp);
     models the vectorized engine cannot batch always take the scalar loop.
     """
-    estimator, chunk_seed, count, engine, offset = args
     rng = np.random.default_rng(chunk_seed)
     mode, resolved = estimator._vector_mode()
     segments = estimator._segments

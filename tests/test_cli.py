@@ -1,6 +1,8 @@
 """Tests for the command-line interface."""
 
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -234,3 +236,105 @@ class TestServiceCommands:
         exit_code = main(["submit", "/nonexistent/spec.json", "--url", "http://127.0.0.1:1"])
         assert exit_code == 1
         assert "cannot read spec" in capsys.readouterr().err
+
+    def test_serve_rejects_oversized_chunk_size_at_startup(self, capsys):
+        import logging
+
+        from repro.service.queue import JobScheduler
+
+        too_big = JobScheduler.MAX_CHUNK_SIZE + 1
+        try:
+            with pytest.raises(SystemExit, match="error: chunk_size"):
+                main(["serve", "--port", "0", "--chunk-size", str(too_big)])
+        finally:
+            # _cmd_serve configures the structured log stream before the
+            # validation fires; undo it so later tests keep a quiet stderr.
+            root = logging.getLogger("repro")
+            for handler in list(root.handlers):
+                if getattr(handler, "_repro_obs_handler", False):
+                    root.removeHandler(handler)
+            root.setLevel(logging.NOTSET)
+
+    def test_metrics_and_job_stats_against_live_service(self, tmp_path, capsys):
+        from repro.runtime.cache import ResultCache
+        from repro.runtime.scenario import ChainSpec, FailureSpec, ScenarioSpec
+        from repro.service.jobs import JobStore
+        from repro.service.queue import JobScheduler
+        from repro.service.server import ScenarioServer
+
+        spec = ScenarioSpec(
+            name="cli-metrics", chain=ChainSpec(n=4, seed=1),
+            failure=FailureSpec(kind="exponential", mtbf=30.0),
+            strategies=("optimal_dp", "checkpoint_none"), num_runs=80, seed=5,
+        )
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(spec.to_json())
+        store = JobStore()
+        scheduler = JobScheduler(store, cache=ResultCache(tmp_path / "cache"))
+        server = ScenarioServer(scheduler, port=0)
+        server.start()
+        try:
+            assert main([
+                "submit", str(spec_path), "--url", server.url, "--wait",
+                "--timeout", "60",
+            ]) == 0
+            capsys.readouterr()
+            job_id = store.list_jobs()[0].id
+
+            # Prometheus text over the wire.
+            assert main(["metrics", "--url", server.url]) == 0
+            text = capsys.readouterr().out
+            assert "# TYPE repro_jobs_submitted_total counter" in text
+            assert "repro_cache_requests_total" in text
+            assert "repro_http_requests_total" in text
+
+            # JSON snapshot form.
+            assert main(["metrics", "--url", server.url, "--json"]) == 0
+            snapshot = json.loads(capsys.readouterr().out)
+            assert snapshot["repro_jobs_submitted_total"]["kind"] == "counter"
+
+            # Listing with the timing columns.
+            assert main(["jobs", "--url", server.url, "--stats"]) == 0
+            listing = capsys.readouterr().out
+            assert "queue_s" in listing and "compute_s" in listing and "cache_s" in listing
+
+            # Single-job breakdown with percentage shares.
+            assert main(["jobs", job_id, "--url", server.url, "--stats"]) == 0
+            detail = capsys.readouterr().out
+            assert f"job {job_id}: done" in detail
+            for phase in ("queue_wait_s", "compute_s", "cache_s"):
+                assert phase in detail
+            assert "%" in detail
+        finally:
+            server.shutdown()
+            store.close()
+
+    def test_metrics_unreachable_service_fails_cleanly(self, capsys):
+        exit_code = main(["metrics", "--url", "http://127.0.0.1:9"])
+        assert exit_code == 1
+        assert "cannot reach the scenario service" in capsys.readouterr().err
+
+    def test_jobs_stats_before_execution_reports_no_breakdown(self, capsys):
+        from repro.runtime.scenario import ChainSpec, FailureSpec, ScenarioSpec
+        from repro.service.jobs import JobStore
+        from repro.service.queue import JobScheduler
+        from repro.service.server import ScenarioServer
+
+        store = JobStore()
+        scheduler = JobScheduler(store)
+        server = ScenarioServer(scheduler, port=0)
+        server.start()
+        try:
+            scheduler.stop()  # keep HTTP alive, never execute the job
+            spec = ScenarioSpec(
+                name="queued-only", chain=ChainSpec(n=3, seed=2),
+                failure=FailureSpec(kind="exponential", mtbf=25.0), num_runs=50,
+            )
+            record, _ = scheduler.submit_campaign(spec.to_dict())
+            assert main(["jobs", record.id, "--url", server.url, "--stats"]) == 0
+            out = capsys.readouterr().out
+            assert f"job {record.id}: queued" in out
+            assert "no timing breakdown yet" in out
+        finally:
+            server.shutdown()
+            store.close()

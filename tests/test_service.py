@@ -255,6 +255,14 @@ class TestServiceEndToEnd:
         assert health["status"] == "ok"
         assert set(health["jobs"]) == {"queued", "running", "done", "failed", "cancelled"}
         assert health["workers"] == 2
+        stats = health["stats"]
+        assert set(stats) >= {
+            "http_requests", "jobs_submitted", "jobs_deduplicated",
+            "jobs_executed", "queue_depth", "cache_hits", "cache_misses",
+        }
+        # Requests count after the response goes out: a second poll must see
+        # at least the first one.
+        assert live_service["client"].health()["stats"]["http_requests"] >= 1
 
     def test_catalog_lists_experiments_and_engines(self, live_service):
         catalog = live_service["client"].scenarios()
@@ -394,6 +402,72 @@ class TestServiceEndToEnd:
         with urllib.request.urlopen(url, timeout=10.0) as response:
             assert response.headers["Content-Type"] == "application/json"
             assert json.loads(response.read())["status"] == "ok"
+
+    def test_metrics_endpoint_serves_prometheus_text(self, live_service):
+        client = live_service["client"]
+        # Guarantee at least one executed job and one cache write first.
+        job = client.submit_campaign(small_spec(name="metrics-warmup", seed=31))
+        assert client.wait(job["id"], timeout=60.0)["state"] == "done"
+
+        text = client.metrics_text()
+        for family in (
+            "repro_http_requests_total",
+            "repro_http_request_seconds",
+            "repro_jobs_submitted_total",
+            "repro_jobs_completed_total",
+            "repro_job_queue_depth",
+            "repro_job_run_seconds",
+            "repro_cache_requests_total",
+            "repro_chunk_seconds",
+            "repro_span_seconds",
+        ):
+            assert f"# TYPE {family}" in text, f"missing metric family {family}"
+        assert 'repro_jobs_completed_total{kind="campaign",outcome="done"}' in text
+        assert 'outcome="miss"' in text  # the warmup campaign missed its cache
+
+        # curl parity: the raw endpoint speaks the Prometheus content type.
+        url = live_service["server"].url + "/v1/metrics"
+        with urllib.request.urlopen(url, timeout=10.0) as response:
+            assert response.headers["Content-Type"].startswith("text/plain")
+            assert b"repro_http_requests_total" in response.read()
+
+    def test_metrics_endpoint_json_snapshot(self, live_service):
+        client = live_service["client"]
+        client.metrics_text()  # ensure at least one /v1/metrics request counted
+        snapshot = client.metrics()
+        assert snapshot["repro_http_requests_total"]["kind"] == "counter"
+        values = snapshot["repro_http_requests_total"]["values"]
+        assert any(entry["labels"]["route"] == "/v1/metrics" for entry in values)
+        hist = snapshot["repro_http_request_seconds"]
+        assert hist["kind"] == "histogram"
+        assert all(len(v["bucket_counts"]) == len(hist["buckets"]) + 1
+                   for v in hist["values"])
+
+    def test_job_stats_expose_phase_breakdown(self, live_service):
+        client = live_service["client"]
+        job = client.submit_campaign(small_spec(name="phase-probe", seed=41))
+        done = client.wait(job["id"], timeout=60.0)
+        assert done["state"] == "done"
+        phases = client.job_stats(job["id"])
+        assert set(phases) == {"queue_wait_s", "compute_s", "cache_s"}
+        assert all(value >= 0.0 for value in phases.values())
+        assert done["timings"]["phases"] == phases
+
+    def test_internal_errors_return_500_with_json_body(self, live_service):
+        # Force a handler crash below the dispatch layer and confirm the
+        # client sees a structured 500, not a dropped connection.
+        server = live_service["server"]
+        original = server.scheduler.store.get
+        server.scheduler.store.get = lambda job_id: (_ for _ in ()).throw(
+            RuntimeError("boom")
+        )
+        try:
+            with pytest.raises(ServiceError) as excinfo:
+                live_service["client"].job("whatever")
+        finally:
+            server.scheduler.store.get = original
+        assert excinfo.value.status == 500
+        assert excinfo.value.payload == {"error": "internal server error"}
 
 
 class TestReviewRegressions:

@@ -110,8 +110,10 @@ class TestPoissonExactEquivalence:
 
     def test_chunk_samples_identical(self, poisson_estimator):
         seed = np.random.SeedSequence(21)
-        scalar = _estimate_chunk((poisson_estimator, seed, 200, "scalar", 0))
-        vectorized = _estimate_chunk((poisson_estimator, seed, 200, "vectorized", 0))
+        scalar = _estimate_chunk((poisson_estimator, seed, 200, "scalar", 0, None))
+        vectorized = _estimate_chunk(
+            (poisson_estimator, seed, 200, "vectorized", 0, None)
+        )
         for s_arr, v_arr in zip(scalar, vectorized):
             np.testing.assert_array_equal(s_arr, v_arr)
 
@@ -406,9 +408,11 @@ class TestRenewalStatisticalEquivalence:
     def test_ks_agreement(self, schedule, law):
         platform = Platform(num_processors=2, failure_law=law)
         estimator = MonteCarloEstimator(schedule, platform, 0.5)
-        scalar = _estimate_chunk((estimator, np.random.SeedSequence(1), 1500, "scalar", 0))
+        scalar = _estimate_chunk(
+            (estimator, np.random.SeedSequence(1), 1500, "scalar", 0, None)
+        )
         vectorized = _estimate_chunk(
-            (estimator, np.random.SeedSequence(2), 1500, "vectorized", 0)
+            (estimator, np.random.SeedSequence(2), 1500, "vectorized", 0, None)
         )
         assert ks_2sample_pvalue(scalar[0], vectorized[0]) > 0.01
 
@@ -877,10 +881,10 @@ class TestRejuvenateAllPlatformField:
     def test_engines_agree_with_rejuvenation(self, schedule, rejuvenating_platform):
         estimator = MonteCarloEstimator(schedule, rejuvenating_platform, 0.5)
         scalar = _estimate_chunk(
-            (estimator, np.random.SeedSequence(1), 1500, "scalar", 0)
+            (estimator, np.random.SeedSequence(1), 1500, "scalar", 0, None)
         )
         vectorized = _estimate_chunk(
-            (estimator, np.random.SeedSequence(2), 1500, "vectorized", 0)
+            (estimator, np.random.SeedSequence(2), 1500, "vectorized", 0, None)
         )
         assert ks_2sample_pvalue(scalar[0], vectorized[0]) > 0.01
 
