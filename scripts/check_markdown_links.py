@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Check relative markdown links (and their anchors) in the given files.
+
+CI runs this over README.md and docs/ so a moved file or renamed heading
+breaks the build instead of the reader.  Only repo-relative links are
+checked -- external URLs would make the lint job network-flaky, and the
+point of this gate is the cross-references we control.
+
+Usage::
+
+    python scripts/check_markdown_links.py README.md docs/*.md
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: ``[text](target)`` -- good enough for the markdown this repo writes
+#: (no nested brackets in link text, no ``<...>`` targets).
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+_CODE_FENCE = re.compile(r"^(```|~~~)")
+
+
+def _slugify(heading: str) -> str:
+    """GitHub-style anchor for a heading: lowercase, punctuation dropped."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors(path: Path) -> set:
+    anchors = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if match:
+            anchors.add(_slugify(match.group(1)))
+    return anchors
+
+
+def _links(path: Path):
+    in_fence = False
+    for number, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if _CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK.finditer(line):
+            yield number, match.group(1)
+
+
+def check_files(paths) -> list:
+    """All broken links in ``paths`` as ``file:line: message`` strings."""
+    errors = []
+    for path in paths:
+        for number, target in _links(path):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            target_path, _, anchor = target.partition("#")
+            resolved = (
+                (path.parent / target_path).resolve() if target_path else path.resolve()
+            )
+            if not resolved.exists():
+                errors.append(f"{path}:{number}: broken link target: {target!r}")
+                continue
+            if anchor and resolved.suffix == ".md":
+                if anchor not in _anchors(resolved):
+                    errors.append(
+                        f"{path}:{number}: no heading for anchor {anchor!r} "
+                        f"in {target_path or path.name}"
+                    )
+    return errors
+
+
+def main(argv) -> int:
+    paths = [Path(arg) for arg in argv]
+    if not paths:
+        print("usage: check_markdown_links.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    missing = [path for path in paths if not path.is_file()]
+    if missing:
+        for path in missing:
+            print(f"no such file: {path}", file=sys.stderr)
+        return 2
+    errors = check_files(paths)
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {len(paths)} files: {len(errors)} broken links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

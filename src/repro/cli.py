@@ -208,6 +208,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=1,
                        help="concurrent job worker threads (default: %(default)s); "
                        "each job's chunks additionally fan out over --parallel")
+    serve.add_argument("--server", choices=("asyncio", "threaded"), default="asyncio",
+                       help="HTTP front end: the asyncio gateway (snapshot reads, SSE "
+                            "progress, rate limiting) or the threaded fallback "
+                            "(default: %(default)s)")
+    serve.add_argument("--rate-limit", type=float, default=None, metavar="R",
+                       help="per-client request rate limit in requests/second "
+                            "(asyncio server only; default: unlimited)")
+    serve.add_argument("--burst", type=int, default=None, metavar="B",
+                       help="rate-limit bucket capacity (default: one second's worth)")
+    serve.add_argument("--audit-log", default=None, metavar="PATH",
+                       help="append-only JSONL audit trail of submissions and "
+                            "cancellations (asyncio server only)")
     serve.add_argument("--chunk-size", type=int, default=None, metavar="N",
                        help="server-wide default replications per chunk for campaign "
                        "jobs (validated at startup; a submission may still override it)")
@@ -383,6 +395,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import logging
 
     from repro.obs.logging import configure_logging
+    from repro.service.audit import AuditTrail
+    from repro.service.gateway import GatewayServer
     from repro.service.jobs import JobStore
     from repro.service.queue import JobScheduler
     from repro.service.server import ScenarioServer
@@ -397,23 +411,43 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             store, num_workers=args.workers, backend=backend, cache=cache,
             chunk_size=args.chunk_size,
         )
+        if args.server == "asyncio":
+            server = GatewayServer(
+                scheduler, host=args.host, port=args.port,
+                rate_limit=args.rate_limit, burst=args.burst,
+                audit=AuditTrail(args.audit_log) if args.audit_log else None,
+                verbose=args.verbose,
+            )
+        else:
+            if args.rate_limit is not None or args.audit_log is not None:
+                raise ValueError(
+                    "--rate-limit/--audit-log need the asyncio gateway "
+                    "(drop --server threaded)"
+                )
+            server = ScenarioServer(
+                scheduler, host=args.host, port=args.port, verbose=args.verbose
+            )
     except (TypeError, ValueError) as exc:
         # Startup validation (e.g. --chunk-size over the service cap) must
         # exit with a clear message, not a traceback.
         store.close()
         raise SystemExit(f"error: {exc}")
-    server = ScenarioServer(
-        scheduler, host=args.host, port=args.port, verbose=args.verbose
-    )
     where = args.db if args.db else "in-memory (lost on exit; use --db to persist)"
-    print(f"scenario service listening on {server.url}")
+    print(f"scenario service listening on {server.url} ({args.server})")
     print(f"job store          : {where}")
     if scheduler.recovered:
         print(f"recovered jobs     : {scheduler.recovered} (re-queued after restart)")
     print(f"workers            : {scheduler.num_workers} x {scheduler.backend!r}")
+    if args.rate_limit is not None:
+        burst = args.burst if args.burst is not None else max(1, round(args.rate_limit))
+        print(f"rate limit         : {args.rate_limit:g} req/s per client "
+              f"(burst {burst})")
+    if args.audit_log is not None:
+        print(f"audit trail        : {args.audit_log}")
+    events = "GET /v1/jobs/{id}/events  " if args.server == "asyncio" else ""
     print("endpoints          : POST /v1/jobs  GET /v1/jobs[/{id}]  "
-          "DELETE /v1/jobs/{id}  GET /v1/scenarios  GET /v1/healthz  "
-          "GET /v1/metrics")
+          f"DELETE /v1/jobs/{{id}}  {events}GET /v1/scenarios  "
+          "GET /v1/healthz  GET /v1/metrics")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -491,8 +525,11 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                 print(line, file=sys.stderr)
 
         try:
+            # stream=True follows the gateway's SSE progress events (no
+            # polling); against the threaded server it falls back to polling.
             job = client.wait(
-                job["id"], timeout=args.timeout, on_progress=_show_progress
+                job["id"], timeout=args.timeout, on_progress=_show_progress,
+                stream=True,
             )
         finally:
             if printed_live_line:

@@ -66,6 +66,14 @@ def log_event(
     is injected as ``correlation_id`` when one exists and the caller did not
     supply their own.  The ``isEnabledFor`` early-out keeps disabled levels
     (DEBUG span chatter in production) at the cost of one dict lookup.
+
+    Example::
+
+        >>> log_event(get_logger("service"), "job.claimed",
+        ...           job_id="j-1234", queue_wait_s=0.19)
+        # -> {"ts": ..., "event": "job.claimed", "logger": "repro.service",
+        #     "job_id": "j-1234", "queue_wait_s": 0.19,
+        #     "correlation_id": "..."}   (one JSON object per line)
     """
     if not logger.isEnabledFor(level):
         return
@@ -89,6 +97,14 @@ def configure_logging(
     Idempotent: a previous handler installed by this function is replaced,
     not stacked, so repeated calls (tests, CLI re-entry) never double-log.
     Returns the installed handler (tests use it to redirect the stream).
+
+    Example::
+
+        >>> import logging
+        >>> handler = configure_logging(level=logging.DEBUG)  # doctest: +SKIP
+
+    This is what ``repro serve --verbose`` calls; without it the ``repro.*``
+    loggers follow whatever logging setup the host application has.
     """
     root = logging.getLogger(_ROOT)
     for handler in list(root.handlers):

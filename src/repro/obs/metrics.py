@@ -240,6 +240,16 @@ class MetricsRegistry:
     Declaring the same metric twice returns the existing instance (so every
     call site can carry its own declaration); re-declaring with a different
     type or label set raises, catching drift between call sites early.
+
+    Example::
+
+        >>> registry = MetricsRegistry()
+        >>> registry.counter("requests_total", labelnames=("route",)).inc(route="/v1/jobs")
+        >>> registry.total("requests_total")
+        1.0
+        >>> print(registry.render_prometheus())  # doctest: +ELLIPSIS
+        # TYPE requests_total counter
+        requests_total{route="/v1/jobs"} 1...
     """
 
     def __init__(self) -> None:

@@ -105,6 +105,14 @@ def start_trace(
     The trace object stays readable after the block exits (the scheduler
     inspects ``trace.spans`` for the per-job phase breakdown even when the
     job raised).
+
+    Example::
+
+        >>> with start_trace() as trace:
+        ...     with span("job.compute"):
+        ...         pass
+        >>> len(trace.spans), trace.spans[0]["name"]
+        (1, 'job.compute')
     """
     trace = Trace(correlation_id or new_correlation_id(), collect=collect)
     token = _ACTIVE.set(trace)
@@ -158,6 +166,11 @@ def span(
     active the finished record (name, duration, parent span, attributes,
     correlation id) is appended to it; when DEBUG logging is on for
     ``repro.trace`` the record is also emitted as a JSON event.
+
+    Example::
+
+        >>> with span("cache.read", namespace="campaign") as record:
+        ...     record["hit"] = True   # annotate the span from the body
     """
     trace = _ACTIVE.get()
     record: Dict[str, Any] = {"name": name}

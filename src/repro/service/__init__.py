@@ -17,32 +17,47 @@ Four layers, each usable on its own:
   store, validating and deduplicating submissions by scenario content hash,
   executing :class:`~repro.runtime.scenario.ScenarioSpec` campaigns and
   registry experiments with per-chunk progress and cooperative cancellation;
-* :mod:`repro.service.server` -- the HTTP API
+* :mod:`repro.service.server` -- the threaded HTTP API
   (:class:`~repro.service.server.ScenarioServer`, stdlib
   ``ThreadingHTTPServer``): ``/v1/jobs``, ``/v1/scenarios``, ``/v1/healthz``,
   ``/v1/metrics``;
+* :mod:`repro.service.gateway` -- the asyncio front end
+  (:class:`~repro.service.gateway.GatewayServer`): the same ``/v1`` surface
+  served from an in-memory :class:`~repro.service.snapshot.ServiceSnapshot`,
+  plus SSE progress streams (``/v1/jobs/{id}/events``), per-client
+  :class:`~repro.service.ratelimit.TokenBucketLimiter` rate limiting and an
+  :class:`~repro.service.audit.AuditTrail`;
 * :mod:`repro.service.client` -- the Python client
   (:class:`~repro.service.client.ServiceClient`) and result reconstruction.
 
 The ``repro serve`` / ``repro submit`` / ``repro jobs`` / ``repro metrics``
-CLI sub-commands wrap these layers; see the README's "Serving scenarios" and
-"Observability" sections for the endpoint table and examples.  Every layer
-is instrumented through :mod:`repro.obs` (request/job counters and latency
+CLI sub-commands wrap these layers; ``docs/api.md`` has the full endpoint
+reference and ``docs/architecture.md`` the life of a job.  Every layer is
+instrumented through :mod:`repro.obs` (request/job counters and latency
 histograms, correlation-id tracing, structured JSON logs).
 """
 
+from repro.service.audit import AuditTrail
 from repro.service.client import ServiceClient, ServiceError
+from repro.service.gateway import GatewayServer
 from repro.service.jobs import JOB_STATES, JobRecord, JobStore
 from repro.service.queue import JobCancelled, JobScheduler
+from repro.service.ratelimit import RateLimitDecision, TokenBucketLimiter
 from repro.service.server import ScenarioServer
+from repro.service.snapshot import ServiceSnapshot
 
 __all__ = [
     "JOB_STATES",
+    "AuditTrail",
+    "GatewayServer",
     "JobCancelled",
     "JobRecord",
     "JobScheduler",
     "JobStore",
+    "RateLimitDecision",
     "ScenarioServer",
     "ServiceClient",
     "ServiceError",
+    "ServiceSnapshot",
+    "TokenBucketLimiter",
 ]

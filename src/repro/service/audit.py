@@ -1,0 +1,130 @@
+"""Append-only audit trail of service control-plane actions.
+
+Every *mutating* request the serving front end accepts -- job submissions,
+deduplicated resubmissions, cancellations -- is recorded as one JSON object
+per line in an append-only file: who asked (the client key the rate limiter
+also sees), when, what (job id, kind, the spec's content hash) and under
+which correlation id (the same id :mod:`repro.obs` threads through logs and
+spans, so an audit line can be joined against the request's log lines and
+the job's chunk spans).
+
+The trail is deliberately minimal: a flat JSONL file is greppable, rotates
+with standard tooling, appends atomically under the trail's lock, and needs
+no database.  Without a path the trail records in memory only -- enough for
+tests and ephemeral servers to assert on.
+
+Example::
+
+    >>> trail = AuditTrail()                      # in-memory
+    >>> entry = trail.record("job.submit", client="127.0.0.1",
+    ...                      job_id="abc123", kind="campaign")
+    >>> entry["action"], entry["client"]
+    ('job.submit', '127.0.0.1')
+    >>> len(trail.entries())
+    1
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.obs import metrics as _metrics
+
+__all__ = ["AuditTrail"]
+
+
+class AuditTrail:
+    """Thread-safe append-only JSONL audit log.
+
+    Parameters
+    ----------
+    path:
+        File to append to (parent directories are created).  ``None`` keeps
+        the trail in memory only.
+    keep_in_memory:
+        How many recent entries :meth:`entries`/:meth:`tail` can return
+        without re-reading the file.  In-memory trails ignore the cap's
+        file-backing aspect but still bound their retention.
+
+    Example::
+
+        >>> import tempfile, os
+        >>> path = os.path.join(tempfile.mkdtemp(), "audit.jsonl")
+        >>> trail = AuditTrail(path)
+        >>> _ = trail.record("job.cancel", job_id="deadbeef")
+        >>> with open(path) as handle:
+        ...     json.loads(handle.readline())["action"]
+        'job.cancel'
+    """
+
+    def __init__(
+        self, path: Optional[os.PathLike] = None, *, keep_in_memory: int = 1000
+    ) -> None:
+        self.path = None if path is None else os.fspath(path)
+        self._keep = max(int(keep_in_memory), 1)
+        self._lock = threading.Lock()
+        self._recent: List[Dict[str, Any]] = []
+        self._handle = None
+        if self.path is not None:
+            parent = os.path.dirname(os.path.abspath(self.path))
+            os.makedirs(parent, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")  # noqa: SIM115
+
+    def record(self, action: str, **fields: Any) -> Dict[str, Any]:
+        """Append one entry; returns the entry as written.
+
+        ``action`` is a dotted event name (``job.submit``, ``job.dedupe``,
+        ``job.cancel``); ``fields`` are arbitrary JSON-compatible values
+        (``None`` values are dropped).  A ``ts`` (unix seconds) field is
+        always added.
+        """
+        entry: Dict[str, Any] = {"ts": time.time(), "action": action}
+        entry.update({key: value for key, value in fields.items() if value is not None})
+        line = json.dumps(entry, sort_keys=True)
+        with self._lock:
+            if self._handle is not None:
+                self._handle.write(line + "\n")
+                self._handle.flush()
+            self._recent.append(entry)
+            del self._recent[: -self._keep]
+        _metrics.get_registry().counter(
+            "repro_audit_records_total",
+            "Audit-trail entries appended, by action.",
+            labelnames=("action",),
+        ).inc(action=action)
+        return entry
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """The retained recent entries, oldest first."""
+        with self._lock:
+            return list(self._recent)
+
+    def tail(self, n: int = 10) -> List[Dict[str, Any]]:
+        """The last ``n`` retained entries, oldest first."""
+        with self._lock:
+            return list(self._recent[-n:])
+
+    def close(self) -> None:
+        """Flush and close the backing file (in-memory trails: no-op)."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "AuditTrail":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._recent)
+
+    def __repr__(self) -> str:
+        where = self.path if self.path is not None else ":memory:"
+        return f"AuditTrail(path={where!r}, entries={len(self)})"

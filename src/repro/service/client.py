@@ -52,15 +52,46 @@ class ServiceClient:
         Server address, e.g. ``"http://127.0.0.1:8765"``.
     timeout:
         Per-request socket timeout in seconds.
+    client_key:
+        Optional identity sent as the ``X-Client-Key`` header on every
+        request -- the key the gateway's per-client rate limiter buckets
+        by (defaults to the peer IP server-side, so clients sharing a NAT
+        or host should set distinct keys).
+
+    Example::
+
+        >>> client = ServiceClient("http://127.0.0.1:8765", client_key="me")
+        >>> job = client.submit_campaign(spec)            # doctest: +SKIP
+        >>> done = client.wait(job["id"], stream=True)    # doctest: +SKIP
+        >>> result = ServiceClient.campaign_result(done)  # doctest: +SKIP
+
+    ``wait(stream=True)`` follows the gateway's SSE event stream (no
+    polling) and falls back to polling against servers without the events
+    route; either way a 429 from the rate limiter is absorbed by sleeping
+    the server-announced ``retry_after`` -- a throttled wait is slowed,
+    never failed.
     """
 
-    def __init__(self, base_url: str = "http://127.0.0.1:8765", *, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        base_url: str = "http://127.0.0.1:8765",
+        *,
+        timeout: float = 30.0,
+        client_key: Optional[str] = None,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.client_key = client_key
 
     # ------------------------------------------------------------------
     # Raw transport
     # ------------------------------------------------------------------
+
+    def _headers(self, **extra: str) -> Dict[str, str]:
+        headers = dict(extra)
+        if self.client_key is not None:
+            headers["X-Client-Key"] = self.client_key
+        return headers
 
     def _request(
         self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
@@ -70,7 +101,7 @@ class ServiceClient:
             self.base_url + path,
             data=data,
             method=method,
-            headers={"Content-Type": "application/json"} if data else {},
+            headers=self._headers(**({"Content-Type": "application/json"} if data else {})),
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
@@ -104,7 +135,9 @@ class ServiceClient:
 
     def metrics_text(self) -> str:
         """``GET /v1/metrics`` -- raw Prometheus text exposition."""
-        request = urllib.request.Request(self.base_url + "/v1/metrics", method="GET")
+        request = urllib.request.Request(
+            self.base_url + "/v1/metrics", method="GET", headers=self._headers()
+        )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
                 return response.read().decode("utf-8")
@@ -201,6 +234,83 @@ class ServiceClient:
         """``DELETE /v1/jobs/{id}`` -- request cancellation."""
         return self._request("DELETE", f"/v1/jobs/{job_id}")["job"]
 
+    def events(self, job_id: str, *, timeout: Optional[float] = None):
+        """``GET /v1/jobs/{id}/events`` -- yield ``(event, data)`` SSE pairs.
+
+        A generator over the server-sent-events progress stream the asyncio
+        gateway serves: ``("progress", {...})`` per observed transition, a
+        terminal ``("end", {...})``, and ``("heartbeat", None)`` for the
+        keep-alive comments quiet streams carry.  ``data`` is the decoded
+        JSON payload (job id, state, chunk progress -- never the result;
+        fetch that with :meth:`job` after the ``end`` event).
+
+        Raises :class:`ServiceError` on HTTP errors -- including 404 from
+        servers without SSE support (the threaded ``ScenarioServer``), which
+        is what :meth:`wait` uses to fall back to polling.
+
+        Example::
+
+            >>> for event, data in client.events(job["id"]):   # doctest: +SKIP
+            ...     if event == "end":
+            ...         break
+        """
+        request = urllib.request.Request(
+            f"{self.base_url}/v1/jobs/{job_id}/events",
+            method="GET",
+            headers=self._headers(Accept="text/event-stream"),
+        )
+        try:
+            response = urllib.request.urlopen(
+                request, timeout=self.timeout if timeout is None else timeout
+            )
+        except urllib.error.HTTPError as exc:
+            try:
+                body = json.loads(exc.read().decode("utf-8"))
+                message = body.get("error", str(exc))
+            except Exception:  # noqa: BLE001 - any unreadable body falls back
+                body, message = None, str(exc)
+            raise ServiceError(
+                f"GET /v1/jobs/{job_id}/events failed ({exc.code}): {message}",
+                status=exc.code, payload=body,
+            ) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach the scenario service at {self.base_url}: {exc.reason}"
+            ) from exc
+        with response:
+            event_name: str = "message"
+            data_lines: List[str] = []
+            while True:
+                try:
+                    raw = response.readline()
+                except OSError as exc:
+                    raise ServiceError(
+                        f"event stream for job {job_id} interrupted: {exc}"
+                    ) from exc
+                if not raw:
+                    return  # server closed the stream
+                line = raw.decode("utf-8").rstrip("\r\n")
+                if not line:  # blank line terminates one frame
+                    if data_lines:
+                        data = "\n".join(data_lines)
+                        try:
+                            payload: Any = json.loads(data)
+                        except json.JSONDecodeError:
+                            payload = data
+                        yield event_name, payload
+                    event_name, data_lines = "message", []
+                    continue
+                if line.startswith(":"):
+                    yield "heartbeat", None
+                    continue
+                field, _, value = line.partition(":")
+                if value.startswith(" "):
+                    value = value[1:]
+                if field == "event":
+                    event_name = value
+                elif field == "data":
+                    data_lines.append(value)
+
     def wait(
         self,
         job_id: str,
@@ -209,27 +319,48 @@ class ServiceClient:
         poll_interval: float = 0.2,
         max_poll_interval: float = 2.0,
         on_progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+        stream: bool = False,
     ) -> Dict[str, Any]:
-        """Poll until the job reaches a terminal state; returns its record.
+        """Wait until the job reaches a terminal state; returns its record.
 
         Raises :class:`ServiceError` when ``timeout`` elapses first.  The
         returned job may be ``done``, ``failed`` or ``cancelled`` -- the
         caller decides what failure means for it.
 
-        ``on_progress`` is called with the freshly polled record whenever
+        With ``stream=True`` the client follows the gateway's SSE progress
+        stream (:meth:`events`) instead of polling: each transition arrives
+        pushed, and the terminal record is fetched once at the end.  Against
+        a server without SSE support (404 on the events route) it falls back
+        to polling transparently.
+
+        ``on_progress`` is called with the freshly observed record whenever
         its observable state changes (job state, chunk progress, or the
-        first poll), which is how ``repro submit --wait`` renders a live
-        progress line.  The poll interval starts at ``poll_interval`` and
-        backs off by half its value per unchanged poll up to
-        ``max_poll_interval``, so short jobs return promptly while long
-        jobs do not hammer the service; any observed change resets the
+        first observation), which is how ``repro submit --wait`` renders a
+        live progress line.  When polling, the interval starts at
+        ``poll_interval`` and backs off by half its value per unchanged poll
+        up to ``max_poll_interval``, so short jobs return promptly while
+        long jobs do not hammer the service; any observed change resets the
         interval to ``poll_interval``.
+
+        A rate-limited service (429) never fails a ``wait``: the client
+        sleeps exactly the ``retry_after`` the server announced and retries,
+        within the same overall ``timeout``.
         """
+        if stream:
+            try:
+                return self._wait_streaming(
+                    job_id, timeout=timeout, on_progress=on_progress
+                )
+            except ServiceError as exc:
+                if exc.status != 404:
+                    raise
+                # No SSE route (threaded server) or the job is unknown: the
+                # polling path answers both correctly.
         deadline = time.monotonic() + timeout
         interval = poll_interval
         last_seen: Optional[tuple] = None
         while True:
-            record = self.job(job_id)
+            record = self._job_with_backoff(job_id, deadline)
             observed = (record["state"], record["progress"]["chunks_done"],
                         record["progress"]["chunks_total"])
             if observed != last_seen:
@@ -249,6 +380,77 @@ class ServiceClient:
             # Never sleep past the caller's deadline: a backed-off interval
             # must not stretch the effective timeout.
             time.sleep(min(interval, remaining))
+
+    def _job_with_backoff(self, job_id: str, deadline: float) -> Dict[str, Any]:
+        """``job()`` that sleeps out 429 throttling instead of failing."""
+        while True:
+            try:
+                return self.job(job_id)
+            except ServiceError as exc:
+                if exc.status != 429 or time.monotonic() >= deadline:
+                    raise
+                retry = float((exc.payload or {}).get("retry_after") or 0.1)
+                remaining = max(deadline - time.monotonic(), 0.01)
+                time.sleep(min(retry + 0.01, remaining))
+
+    def _wait_streaming(
+        self,
+        job_id: str,
+        *,
+        timeout: float,
+        on_progress: Optional[Callable[[Dict[str, Any]], None]],
+    ) -> Dict[str, Any]:
+        """SSE-driven wait: consume events until terminal, then fetch the record.
+
+        SSE frames carry a compact flat payload; it is reshaped into the
+        record form the polling path delivers (``progress`` sub-dict) so
+        ``on_progress`` callbacks work identically either way.  The deadline
+        is enforced at every event *and* heartbeat, so a stalled job cannot
+        outlive ``timeout`` by more than one heartbeat interval.  A 429 when
+        opening the stream is slept out (``retry_after``) and retried.
+        """
+        deadline = time.monotonic() + timeout
+        last_seen: Optional[tuple] = None
+        last_state = "unknown"
+        while True:
+            try:
+                for event, payload in self.events(job_id):
+                    if time.monotonic() > deadline:
+                        raise ServiceError(
+                            f"job {job_id} still {last_state!r} after {timeout:g}s"
+                        )
+                    if event == "heartbeat" or not isinstance(payload, dict):
+                        continue
+                    record_view = {
+                        "id": payload.get("id", job_id),
+                        "state": payload.get("state"),
+                        "error": payload.get("error"),
+                        "progress": {
+                            "chunks_done": payload.get("chunks_done", 0),
+                            "chunks_total": payload.get("chunks_total", 0),
+                        },
+                    }
+                    last_state = record_view["state"]
+                    observed = (record_view["state"],
+                                record_view["progress"]["chunks_done"],
+                                record_view["progress"]["chunks_total"])
+                    if observed != last_seen:
+                        if on_progress is not None:
+                            on_progress(record_view)
+                        last_seen = observed
+                    if event == "end" or last_state in ("done", "failed",
+                                                        "cancelled"):
+                        # The stream never carries result payloads (they can
+                        # be megabytes); one final fetch has the full record.
+                        return self._job_with_backoff(job_id, deadline)
+                raise ServiceError(
+                    f"event stream for job {job_id} ended before the job finished"
+                )
+            except ServiceError as exc:
+                if exc.status != 429 or time.monotonic() >= deadline:
+                    raise
+                retry = float((exc.payload or {}).get("retry_after") or 0.1)
+                time.sleep(min(retry + 0.01, max(deadline - time.monotonic(), 0.01)))
 
     # ------------------------------------------------------------------
     # Result reconstruction

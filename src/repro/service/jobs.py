@@ -33,6 +33,7 @@ Job states form a small machine::
 from __future__ import annotations
 
 import json
+import logging
 import os
 import sqlite3
 import threading
@@ -40,7 +41,7 @@ import time
 import uuid
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.obs import metrics as _metrics
 
@@ -137,6 +138,20 @@ class JobStore:
     One connection is shared across threads behind a lock: the store's
     operations are short transactions, and a single writer sidesteps
     sqlite's writer-starvation corner cases without WAL tuning.
+
+    Every mutation notifies listeners registered with :meth:`subscribe`
+    (the gateway's read snapshot and SSE hub are both fed this way), with
+    the fresh :class:`JobRecord`, on the mutating thread.
+
+    Example::
+
+        >>> store = JobStore()                  # JobStore("jobs.db") persists
+        >>> record = store.submit("campaign", {"scenario": {}})
+        >>> record.state
+        'queued'
+        >>> store.get(record.id).id == record.id
+        True
+        >>> store.close()
     """
 
     def __init__(self, path: Optional[os.PathLike] = None) -> None:
@@ -145,6 +160,7 @@ class JobStore:
             parent = os.path.dirname(os.path.abspath(self.path))
             os.makedirs(parent, exist_ok=True)
         self._lock = threading.RLock()
+        self._listeners: List[Callable[[JobRecord], None]] = []
         self._conn = sqlite3.connect(
             self.path if self.path is not None else ":memory:",
             check_same_thread=False,
@@ -175,6 +191,55 @@ class JobStore:
             ).observe(time.perf_counter() - start, op=op)
 
     # ------------------------------------------------------------------
+    # Change listeners
+    # ------------------------------------------------------------------
+
+    def subscribe(self, listener: Callable[[JobRecord], None]) -> None:
+        """Register a callback invoked with the fresh record after every change.
+
+        This is the seam the asyncio gateway's in-memory snapshot and its SSE
+        progress streams hang off: instead of polling sqlite, read models are
+        *pushed* every state transition (submit, claim, progress, finalize,
+        cancel, recovery).  Listeners run synchronously on whichever thread
+        performed the mutation -- they must be fast, must not raise, and must
+        never call back into the store (deadlock by re-entrancy).
+
+        Example::
+
+            >>> store = JobStore()
+            >>> seen = []
+            >>> store.subscribe(lambda record: seen.append(record.state))
+            >>> job = store.submit("campaign", {})
+            >>> store.claim_next() is not None
+            True
+            >>> seen
+            ['queued', 'running']
+        """
+        with self._lock:
+            self._listeners.append(listener)
+
+    def unsubscribe(self, listener: Callable[[JobRecord], None]) -> None:
+        """Remove a previously registered listener (no-op when unknown)."""
+        with self._lock:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+
+    def _notify(self, job_id: str) -> None:
+        """Push the current record for ``job_id`` to every listener."""
+        if not self._listeners:
+            return
+        record = self.get(job_id)
+        if record is None:  # pragma: no cover - row deleted underneath us
+            return
+        for listener in list(self._listeners):
+            try:
+                listener(record)
+            except Exception:  # noqa: BLE001 - a read model must not kill writers
+                logging.getLogger("repro.service.jobs").exception(
+                    "job-store listener failed for job %s", job_id
+                )
+
+    # ------------------------------------------------------------------
     # Submission and lookup
     # ------------------------------------------------------------------
 
@@ -194,6 +259,7 @@ class JobStore:
                 " VALUES (?, ?, ?, ?, 'queued', ?)",
                 (job_id, kind, json.dumps(spec), dedupe_key, now),
             )
+        self._notify(job_id)
         return self.get(job_id)
 
     def submit_or_reuse(
@@ -300,6 +366,7 @@ class JobStore:
             ).rowcount
             if not claimed:  # pragma: no cover - only under external writers
                 return None
+        self._notify(row["id"])
         return self.get(row["id"])
 
     def update_progress(self, job_id: str, done: int, total: int) -> None:
@@ -309,6 +376,7 @@ class JobStore:
                 "UPDATE jobs SET chunks_done = ?, chunks_total = ? WHERE id = ?",
                 (int(done), int(total), job_id),
             )
+        self._notify(job_id)
 
     def record_phases(self, job_id: str, phases: Dict[str, float]) -> None:
         """Persist a job's wall-time phase breakdown (seconds per phase).
@@ -322,6 +390,7 @@ class JobStore:
                 "UPDATE jobs SET phases = ? WHERE id = ?",
                 (json.dumps({k: float(v) for k, v in phases.items()}), job_id),
             )
+        self._notify(job_id)
 
     def finish(self, job_id: str, result: Dict[str, Any]) -> None:
         """Mark a job ``done`` with its result payload."""
@@ -355,6 +424,7 @@ class JobStore:
                     job_id,
                 ),
             )
+        self._notify(job_id)
 
     def request_cancel(self, job_id: str) -> Optional[JobRecord]:
         """Ask for a job to be cancelled; returns the updated record.
@@ -378,6 +448,7 @@ class JobStore:
                 self._conn.execute(
                     "UPDATE jobs SET cancel_requested = 1 WHERE id = ?", (job_id,)
                 )
+        self._notify(job_id)
         return self.get(job_id)
 
     def cancel_requested(self, job_id: str) -> bool:
@@ -397,10 +468,19 @@ class JobStore:
         recovered jobs.
         """
         with self._lock, self._conn:
-            return self._conn.execute(
+            interrupted = [
+                row["id"]
+                for row in self._conn.execute(
+                    "SELECT id FROM jobs WHERE state = 'running'"
+                ).fetchall()
+            ]
+            self._conn.execute(
                 "UPDATE jobs SET state = 'queued', started_at = NULL,"
                 " chunks_done = 0, chunks_total = 0 WHERE state = 'running'"
-            ).rowcount
+            )
+        for job_id in interrupted:
+            self._notify(job_id)
+        return len(interrupted)
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -118,6 +118,19 @@ class JobScheduler:
         describe the same scenario replay each other's entries.
     chunk_size:
         Default chunk size for campaign jobs (a job may override it).
+
+    Example::
+
+        >>> from repro.service import JobScheduler, JobStore
+        >>> scheduler = JobScheduler(JobStore(), num_workers=2)
+        >>> scheduler.start()
+        >>> record, reused = scheduler.submit_campaign(spec.to_dict())  # doctest: +SKIP
+        >>> scheduler.stop()
+
+    Submissions validate the spec before any row exists and deduplicate by
+    scenario content hash (``reused`` is True when an equivalent job --
+    queued, running or done -- already answered the submission).  Both HTTP
+    front ends are thin shells over this class.
     """
 
     #: Upper bound on a single chunk, in replications.  Running jobs cancel

@@ -1,0 +1,159 @@
+"""Rolling-window token-bucket rate limiting for the serving front end.
+
+The gateway admits requests through a :class:`TokenBucketLimiter`: every
+client key owns a bucket holding up to ``burst`` tokens that refills
+continuously at ``rate`` tokens per second (the rolling-window formulation --
+there is no discrete window edge to thunder against, capacity smears over
+time).  A request spends one token; a client that has drained its bucket is
+told exactly how long until the next token exists, which the HTTP layer
+surfaces as ``429 Too Many Requests`` plus a ``Retry-After`` header.
+
+The limiter is transport-agnostic and thread-safe: the asyncio gateway calls
+it from its event loop, tests drive it with a fake clock, and nothing in it
+knows about HTTP.
+
+Example::
+
+    >>> clock = iter([0.0, 0.0, 0.0, 10.0]).__next__
+    >>> limiter = TokenBucketLimiter(rate=1.0, burst=2, clock=clock)
+    >>> limiter.check("alice").allowed, limiter.check("alice").allowed
+    (True, True)
+    >>> blocked = limiter.check("alice")          # bucket empty at t=0
+    >>> (blocked.allowed, blocked.retry_after)
+    (False, 1.0)
+    >>> limiter.check("alice").allowed            # 10 s later: refilled
+    True
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+__all__ = ["RateLimitDecision", "TokenBucketLimiter"]
+
+
+@dataclass(frozen=True)
+class RateLimitDecision:
+    """The outcome of one admission check.
+
+    Attributes
+    ----------
+    allowed:
+        True when the request may proceed (a token was spent).
+    retry_after:
+        Seconds until the *next* token exists, rounded up to the limiter's
+        resolution; ``0.0`` when allowed.  This is exactly the value a
+        ``Retry-After`` header should carry.
+    remaining:
+        Whole tokens left in the bucket after this decision (a convenience
+        for ``X-RateLimit-Remaining``-style headers and tests).
+    """
+
+    allowed: bool
+    retry_after: float
+    remaining: int
+
+
+class _Bucket:
+    __slots__ = ("tokens", "updated")
+
+    def __init__(self, tokens: float, updated: float) -> None:
+        self.tokens = tokens
+        self.updated = updated
+
+
+class TokenBucketLimiter:
+    """Per-key token buckets refilled continuously (rolling window).
+
+    Parameters
+    ----------
+    rate:
+        Sustained admission rate in requests per second per key.
+    burst:
+        Bucket capacity: how many requests a key may issue back-to-back
+        after being idle.  Defaults to ``max(1, round(rate))`` -- one
+        second's worth of traffic.
+    clock:
+        Monotonic time source, injectable for tests (defaults to
+        :func:`time.monotonic`).
+    max_keys:
+        Soft cap on tracked buckets; when exceeded, buckets that have been
+        idle long enough to be full again are dropped (they are
+        indistinguishable from fresh ones, so forgetting them is lossless).
+
+    Example::
+
+        >>> limiter = TokenBucketLimiter(rate=100.0, burst=5)
+        >>> all(limiter.check("k").allowed for _ in range(5))
+        True
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: Optional[int] = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        max_keys: int = 10_000,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0 requests/second, got {rate}")
+        if burst is None:
+            burst = max(1, round(rate))
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = int(burst)
+        self._clock = clock
+        self._max_keys = max_keys
+        self._lock = threading.Lock()
+        self._buckets: Dict[str, _Bucket] = {}
+
+    def check(self, key: str, *, cost: float = 1.0) -> RateLimitDecision:
+        """Admit or reject one request for ``key``; spends ``cost`` tokens.
+
+        Refill happens lazily at check time: ``tokens += elapsed * rate``
+        capped at ``burst``.  Rejections do *not* consume tokens, so a
+        hammering client is never pushed further into debt than "wait for
+        one token".
+        """
+        now = self._clock()
+        with self._lock:
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                if len(self._buckets) >= self._max_keys:
+                    self._prune(now)
+                bucket = self._buckets[key] = _Bucket(float(self.burst), now)
+            else:
+                elapsed = max(now - bucket.updated, 0.0)
+                bucket.tokens = min(bucket.tokens + elapsed * self.rate, float(self.burst))
+                bucket.updated = now
+            if bucket.tokens >= cost:
+                bucket.tokens -= cost
+                return RateLimitDecision(True, 0.0, int(bucket.tokens))
+            retry_after = (cost - bucket.tokens) / self.rate
+            return RateLimitDecision(False, retry_after, 0)
+
+    def _prune(self, now: float) -> None:
+        """Drop buckets idle long enough to be full again (lossless)."""
+        full_after = self.burst / self.rate
+        for key in [
+            key
+            for key, bucket in self._buckets.items()
+            if now - bucket.updated >= full_after
+        ]:
+            del self._buckets[key]
+
+    def __len__(self) -> int:
+        """Number of keys currently tracked."""
+        with self._lock:
+            return len(self._buckets)
+
+    def __repr__(self) -> str:
+        return (
+            f"TokenBucketLimiter(rate={self.rate:g}/s, burst={self.burst}, "
+            f"keys={len(self)})"
+        )

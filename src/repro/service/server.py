@@ -49,9 +49,79 @@ from repro.runtime.backends import ENGINES
 from repro.runtime.scenario import ScenarioSpec, expand_scenarios
 from repro.service.queue import JobScheduler
 
-__all__ = ["ScenarioServer"]
+__all__ = ["ScenarioServer", "catalog_payload", "sweep_preview_payload"]
 
 _logger = get_logger("service.server")
+
+
+def catalog_payload() -> Dict[str, Any]:
+    """The ``GET /v1/scenarios`` response body.
+
+    Shared by both HTTP front ends; the catalog is static per process, so
+    the asyncio gateway caches its serialized form.
+    """
+    sweepable = sorted(
+        f.name for f in dataclasses.fields(ScenarioSpec) if f.name != "name"
+    )
+    return {
+        "experiments": experiment_descriptions(),
+        "engines": list(ENGINES),
+        "sweepable_fields": sweepable,
+        "preview": "POST {scenario, axes} to /v1/scenarios/preview to expand "
+                   "a sweep without running it",
+    }
+
+
+def sweep_preview_payload(body: Dict[str, Any]) -> Dict[str, Any]:
+    """Expand a ``{scenario, axes}`` preview request into its response payload.
+
+    Shared by both HTTP front ends (the threaded :class:`ScenarioServer` and
+    the asyncio gateway), so ``POST /v1/scenarios/preview`` behaves
+    identically whichever one answers.  Raises :exc:`ValueError` /
+    :exc:`TypeError` / :exc:`KeyError` for malformed requests (the HTTP
+    layer renders those as a 400).
+
+    Example::
+
+        >>> payload = sweep_preview_payload({
+        ...     "scenario": {"name": "s", "chain": {"n": 3, "seed": 1},
+        ...                  "failure": {"kind": "exponential", "mtbf": 10.0},
+        ...                  "strategies": ["optimal_dp"], "num_runs": 10},
+        ...     "axes": {"num_runs": [10, 20]},
+        ... })
+        >>> payload["count"]
+        2
+    """
+    base = ScenarioSpec.from_dict(body.get("scenario", {}))
+    axes = body.get("axes", {})
+    if not isinstance(axes, dict):
+        raise ValueError('"axes" must map field names to value lists')
+    if "failure" in axes:
+        axes = dict(axes)
+        axes["failure"] = [
+            spec if not isinstance(spec, dict) else base.failure.__class__(**spec)
+            for spec in axes["failure"]
+        ]
+    if "chain" in axes:
+        axes = dict(axes)
+        axes["chain"] = [
+            spec if not isinstance(spec, dict) else base.chain.__class__(**spec)
+            for spec in axes["chain"]
+        ]
+    expanded = expand_scenarios(base, **axes)
+    return {
+        "count": len(expanded),
+        "scenarios": [
+            {
+                "name": spec.name,
+                "cache_key": spec.cache_key(),
+                "num_runs": spec.num_runs,
+                "engine": spec.engine,
+                "scenario": spec.to_dict(),
+            }
+            for spec in expanded
+        ],
+    }
 
 #: Known route templates, used as the ``route`` metric label so per-job URLs
 #: (``/v1/jobs/<16-hex-id>``) cannot explode the label cardinality.
@@ -265,39 +335,11 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         if body is None:
             return
         try:
-            base = ScenarioSpec.from_dict(body.get("scenario", {}))
-            axes = body.get("axes", {})
-            if not isinstance(axes, dict):
-                raise ValueError('"axes" must map field names to value lists')
-            if "failure" in axes:
-                axes = dict(axes)
-                axes["failure"] = [
-                    spec if not isinstance(spec, dict) else base.failure.__class__(**spec)
-                    for spec in axes["failure"]
-                ]
-            if "chain" in axes:
-                axes = dict(axes)
-                axes["chain"] = [
-                    spec if not isinstance(spec, dict) else base.chain.__class__(**spec)
-                    for spec in axes["chain"]
-                ]
-            expanded = expand_scenarios(base, **axes)
+            payload = sweep_preview_payload(body)
         except (KeyError, TypeError, ValueError) as exc:
             self._send(400, {"error": str(exc)})
             return
-        self._send(200, {
-            "count": len(expanded),
-            "scenarios": [
-                {
-                    "name": spec.name,
-                    "cache_key": spec.cache_key(),
-                    "num_runs": spec.num_runs,
-                    "engine": spec.engine,
-                    "scenario": spec.to_dict(),
-                }
-                for spec in expanded
-            ],
-        })
+        self._send(200, payload)
 
     # ------------------------------------------------------------------
     # Plumbing
@@ -352,6 +394,21 @@ class ScenarioServer:
     Use :meth:`serve_forever` for a foreground server (the CLI) or
     :meth:`start` / :meth:`shutdown` for a background one (tests, notebooks).
     Starting the server also starts the scheduler's workers.
+
+    This is the simple, thread-per-connection fallback
+    (``repro serve --server threaded``); the default front end is the
+    asyncio :class:`~repro.service.gateway.GatewayServer`, which adds SSE
+    progress, rate limiting and the audit trail.  Both serve identical
+    payloads on the shared ``/v1`` routes.
+
+    Example::
+
+        >>> from repro.service import JobScheduler, JobStore, ScenarioServer
+        >>> server = ScenarioServer(JobScheduler(JobStore()), port=0)
+        >>> server.start()
+        >>> server.url                          # doctest: +ELLIPSIS
+        'http://127.0.0.1:...'
+        >>> server.shutdown()
     """
 
     def __init__(
@@ -415,16 +472,7 @@ class ScenarioServer:
         }
 
     def catalog(self) -> Dict[str, Any]:
-        sweepable = sorted(
-            f.name for f in dataclasses.fields(ScenarioSpec) if f.name != "name"
-        )
-        return {
-            "experiments": experiment_descriptions(),
-            "engines": list(ENGINES),
-            "sweepable_fields": sweepable,
-            "preview": "POST {scenario, axes} to /v1/scenarios/preview to expand "
-                       "a sweep without running it",
-        }
+        return catalog_payload()
 
     # ------------------------------------------------------------------
     # Lifecycle
