@@ -19,9 +19,40 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import os
 import platform
+import subprocess
 import time
 from typing import Any, Callable, Dict, Mapping, Optional, Sequence
+
+
+def _git_sha() -> Optional[str]:
+    """Current commit hash, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def append_history(path: str, record: Mapping[str, Any]) -> None:
+    """Append one perf record to the JSONL history file at ``path``.
+
+    The file is the bench suite's perf memory across runs: one flat JSON
+    object per line, so ``scripts/check_bench_regression.py`` (and plain
+    ``jq``) can compare the latest run against earlier ones.  Parent
+    directories are created; concurrent appenders rely on POSIX O_APPEND
+    line atomicity for these short lines.
+    """
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
 
 
 def _json_safe(value: Any) -> Any:
@@ -69,6 +100,11 @@ def run_cli(
         "--repeat", type=int, default=1, metavar="N",
         help="run the workload N times and report the fastest (default 1)",
     )
+    parser.add_argument(
+        "--history", metavar="PATH", default=None,
+        help="append a one-line perf record (bench, mode, seconds, git sha, "
+             "timestamp) to the JSONL history file at PATH",
+    )
     args = parser.parse_args(argv)
     params = dict(quick_params if args.quick else full_params)
 
@@ -101,4 +137,17 @@ def run_cli(
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
         print(f"[{name}] wrote {args.json}")
+
+    if args.history:
+        append_history(args.history, {
+            "bench": name,
+            "mode": mode,
+            "metric": "seconds",
+            "value": best_seconds,
+            "repeat": max(args.repeat, 1),
+            "ts": time.time(),
+            "git_sha": _git_sha(),
+            "python": platform.python_version(),
+        })
+        print(f"[{name}] appended perf record to {args.history}")
     return 0

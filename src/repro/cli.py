@@ -1,6 +1,6 @@
 """Command-line interface for the checkpoint-scheduling library.
 
-Seven sub-commands cover the everyday uses of the library without writing any
+Nine sub-commands cover the everyday uses of the library without writing any
 Python:
 
 * ``repro solve-chain``   -- optimal checkpoint placement for a chain stored
@@ -17,9 +17,12 @@ Python:
   registry experiment) to a running service, optionally waiting for the
   result;
 * ``repro jobs``          -- list, inspect or cancel service jobs
-  (``--stats`` adds the per-job queue/compute/cache timing breakdown);
+  (``--stats`` adds the per-job queue/compute/cache timing breakdown,
+  ``--trace`` renders the job's persisted span tree);
 * ``repro metrics``       -- snapshot a running service's metrics
-  (Prometheus text, or JSON with ``--json``).
+  (Prometheus text, or JSON with ``--json``);
+* ``repro debug``         -- operator debugging: ``repro debug flight``
+  dumps a running service's flight recorder (recent spans and errors).
 
 The simulation-heavy sub-commands (``simulate``, ``experiment``) accept
 ``--parallel N`` to fan replication chunks out over ``N`` worker processes,
@@ -220,9 +223,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--audit-log", default=None, metavar="PATH",
                        help="append-only JSONL audit trail of submissions and "
                             "cancellations (asyncio server only)")
+    serve.add_argument("--audit-max-bytes", type=int, default=None, metavar="N",
+                       help="roll the audit trail over to PATH.1 once it would "
+                            "exceed N bytes (default: never rotate)")
+    serve.add_argument("--audit-max-files", type=int, default=5, metavar="K",
+                       help="rotated audit files to retain before deleting the "
+                            "oldest (default: %(default)s)")
     serve.add_argument("--chunk-size", type=int, default=None, metavar="N",
                        help="server-wide default replications per chunk for campaign "
                        "jobs (validated at startup; a submission may still override it)")
+    serve.add_argument("--otlp-endpoint", default=None, metavar="URL",
+                       help="export finished spans to an OTLP/HTTP collector at URL "
+                       "(e.g. http://collector:4318/v1/traces); off by default")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request and span (DEBUG-level JSON events)")
 
@@ -260,6 +272,22 @@ def build_parser() -> argparse.ArgumentParser:
                       help="cancel the given job instead of inspecting it")
     jobs.add_argument("--stats", action="store_true",
                       help="show the per-job queue/compute/cache timing breakdown")
+    jobs.add_argument("--trace", action="store_true",
+                      help="render the given job's persisted span tree "
+                      "(durations, self time, attributes)")
+
+    debug = subparsers.add_parser(
+        "debug", help="operator debugging helpers against a running service"
+    )
+    debug.add_argument("what", choices=("flight",),
+                       help="'flight': dump the service's flight recorder "
+                       "(ring buffer of recent spans and errors)")
+    debug.add_argument("--url", default="http://127.0.0.1:8765",
+                       help="service address (default: %(default)s)")
+    debug.add_argument("--kind", default=None, choices=("span", "log", "error"),
+                       help="only show events of this kind")
+    debug.add_argument("--json", action="store_true",
+                       help="print the raw JSON dump instead of formatted lines")
 
     metrics = subparsers.add_parser(
         "metrics", help="snapshot a running scenario service's metrics"
@@ -415,7 +443,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             server = GatewayServer(
                 scheduler, host=args.host, port=args.port,
                 rate_limit=args.rate_limit, burst=args.burst,
-                audit=AuditTrail(args.audit_log) if args.audit_log else None,
+                audit=AuditTrail(
+                    args.audit_log,
+                    max_bytes=args.audit_max_bytes,
+                    max_files=args.audit_max_files,
+                ) if args.audit_log else None,
                 verbose=args.verbose,
             )
         else:
@@ -432,6 +464,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # exit with a clear message, not a traceback.
         store.close()
         raise SystemExit(f"error: {exc}")
+    exporter = None
+    if args.otlp_endpoint is not None:
+        from repro.obs.export import OtlpSpanExporter
+
+        exporter = OtlpSpanExporter(args.otlp_endpoint).start()
     where = args.db if args.db else "in-memory (lost on exit; use --db to persist)"
     print(f"scenario service listening on {server.url} ({args.server})")
     print(f"job store          : {where}")
@@ -443,17 +480,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"rate limit         : {args.rate_limit:g} req/s per client "
               f"(burst {burst})")
     if args.audit_log is not None:
-        print(f"audit trail        : {args.audit_log}")
+        rotate = (
+            f" (rotate at {args.audit_max_bytes} B, keep {args.audit_max_files})"
+            if args.audit_max_bytes is not None else ""
+        )
+        print(f"audit trail        : {args.audit_log}{rotate}")
+    if exporter is not None:
+        print(f"otlp export        : {exporter.endpoint} "
+              f"(instance {exporter.instance_id})")
     events = "GET /v1/jobs/{id}/events  " if args.server == "asyncio" else ""
-    print("endpoints          : POST /v1/jobs  GET /v1/jobs[/{id}]  "
+    print("endpoints          : POST /v1/jobs  GET /v1/jobs[/{id}[/trace]]  "
           f"DELETE /v1/jobs/{{id}}  {events}GET /v1/scenarios  "
-          "GET /v1/healthz  GET /v1/metrics")
+          "GET /v1/healthz  GET /v1/metrics  GET /v1/debug/flight")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("shutting down (interrupted jobs are re-queued on the next "
               "start when using --db)")
     finally:
+        if exporter is not None:
+            # Flushes queued spans to the collector before the process exits.
+            exporter.shutdown()
         # A worker abandoned mid-job may still be using the backend and the
         # store; closing either would block on (or crash) that job, defeating
         # the bounded shutdown.  Threads, pool children and the sqlite handle
@@ -553,6 +600,8 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
         if args.id is None:
             if args.cancel:
                 raise SystemExit("--cancel requires a job id")
+            if args.trace:
+                raise SystemExit("--trace requires a job id")
             records = client.jobs(state=args.state)
             if not records:
                 print("no jobs")
@@ -575,6 +624,16 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
             job = client.cancel(args.id)
             print(f"job {job['id']}: {job['state']}"
                   + (" (cancellation requested)" if job["state"] == "running" else ""))
+            return 0
+        if args.trace:
+            from repro.obs.tracing import render_span_tree
+
+            trace = client.job_trace(args.id)
+            print(f"job {args.id}: trace {trace['correlation_id']} "
+                  f"({len(trace['spans'])} spans"
+                  + (f", {trace['dropped']} dropped" if trace.get("dropped") else "")
+                  + ")")
+            print(render_span_tree(trace["spans"]))
             return 0
         job = client.job(args.id)
     except ServiceError as exc:
@@ -605,6 +664,38 @@ def _format_phases(phases: Optional[dict]) -> str:
             f"{phases.get('cache_s', 0.0):8.3f}")
 
 
+def _cmd_debug(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        flight = client.debug_flight(kind=args.kind)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(flight, indent=2, sort_keys=True))
+        return 0
+    print(f"flight recorder: {len(flight['events'])} of {flight['recorded_total']} "
+          f"events retained (capacity {flight['capacity']}, "
+          f"{flight['dropped']} overwritten)")
+    for event in flight["events"]:
+        kind = event["kind"]
+        if kind == "span":
+            detail = (f"{event.get('name', '?'):<24s} "
+                      f"{event.get('duration_s', 0.0):9.4f}s")
+            attrs = event.get("attrs") or {}
+            detail += "".join(f"  {k}={v}" for k, v in attrs.items())
+        else:
+            detail = f"{event.get('level', '?')}: {event.get('event', '?')}"
+            if event.get("error"):
+                detail += f"  {event['error']}"
+        correlation = event.get("correlation_id") or "-"
+        print(f"  [{event['seq']:>6d}] {event['ts']:.3f}  {kind:<5s}  "
+              f"{correlation:<16s}  {detail}")
+    return 0
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     from repro.service.client import ServiceClient, ServiceError
 
@@ -632,6 +723,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "serve": _cmd_serve,
         "submit": _cmd_submit,
         "jobs": _cmd_jobs,
+        "debug": _cmd_debug,
         "metrics": _cmd_metrics,
     }
     return handlers[args.command](args)

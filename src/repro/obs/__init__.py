@@ -1,18 +1,25 @@
 """Observability substrate: metrics, timing spans, structured logs.
 
-Stdlib-only and pay-for-what-you-use.  The three modules layer cleanly:
+Stdlib-only and pay-for-what-you-use.  The modules layer cleanly:
 
 * :mod:`repro.obs.metrics` -- thread-safe ``Counter`` / ``Gauge`` /
   ``Histogram`` in a ``MetricsRegistry`` with Prometheus text rendering;
 * :mod:`repro.obs.tracing` -- ``span()`` context managers feeding duration
-  histograms, plus correlation ids propagated request → job → chunk;
+  histograms, correlation ids propagated request → job → chunk, and a span
+  *sink* seam observers hang off;
 * :mod:`repro.obs.logging` -- one-JSON-object-per-line structured events on
-  the ``repro.*`` logger tree.
+  the ``repro.*`` logger tree;
+* :mod:`repro.obs.flight` -- always-on bounded ring buffer of recent
+  span/error events for post-mortem dumps (``GET /v1/debug/flight``);
+* :mod:`repro.obs.export` -- opt-in stdlib-only OTLP/HTTP JSON span
+  exporter (``repro serve --otlp-endpoint URL``).
 
 Instrumentation throughout the tree records into the process-global
 registry by default; tests swap in their own via ``use_registry``.
 """
 
+from repro.obs.export import OtlpSpanExporter, default_instance_id
+from repro.obs.flight import FlightRecorder, get_flight_recorder, set_flight_recorder
 from repro.obs.logging import JsonLineFormatter, configure_logging, get_logger, log_event
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
@@ -26,34 +33,51 @@ from repro.obs.metrics import (
 )
 from repro.obs.tracing import (
     Trace,
+    absorb_spans,
     activate,
+    add_span_sink,
     context_snapshot,
     current_correlation_id,
     current_trace,
     new_correlation_id,
+    remove_span_sink,
+    render_span_tree,
+    shipping_trace,
     span,
+    span_tree,
     start_trace,
 )
 
 __all__ = [
     "DEFAULT_BUCKETS",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "JsonLineFormatter",
     "MetricsRegistry",
+    "OtlpSpanExporter",
     "Trace",
+    "absorb_spans",
     "activate",
+    "add_span_sink",
     "configure_logging",
     "context_snapshot",
     "current_correlation_id",
     "current_trace",
+    "default_instance_id",
+    "get_flight_recorder",
     "get_logger",
     "get_registry",
     "log_event",
     "new_correlation_id",
+    "remove_span_sink",
+    "render_span_tree",
+    "set_flight_recorder",
     "set_registry",
+    "shipping_trace",
     "span",
+    "span_tree",
     "start_trace",
     "use_registry",
 ]

@@ -1,0 +1,334 @@
+"""Stdlib-only OTLP/HTTP span exporter (JSON encoding).
+
+Ships finished span records to an OpenTelemetry collector's
+``/v1/traces`` endpoint using nothing but :mod:`urllib` and a background
+thread -- the repo's no-new-dependencies rule applied to telemetry.  The
+exporter is **off by default** and opt-in per process
+(``repro serve --otlp-endpoint URL``); attaching it registers a span sink
+(:func:`repro.obs.tracing.add_span_sink`), so the instrumented code paths
+never know it exists.
+
+Design constraints, in order:
+
+* the span path must never block -- records go into a bounded queue; when
+  the queue is full the record is *dropped and counted*
+  (``repro_otlp_spans_dropped_total{reason="queue_full"}``), never waited
+  on;
+* the collector being down must cost nothing but counters -- batches are
+  retried with exponential backoff on 5xx/transport errors, then dropped
+  and counted (``reason="send_failed"``); 4xx responses are dropped
+  immediately (retrying a rejected payload cannot succeed);
+* shutdown flushes -- :meth:`OtlpSpanExporter.shutdown` drains the queue
+  into final batches before the thread exits, so short-lived CLI runs
+  export their spans too.
+
+The OTLP mapping is honest about what a correlation-id tracer has: the
+16-hex correlation id left-pads to the 32-hex ``traceId``, span ids are
+random, and the parent *name* (all this tracer records) rides as the
+``repro.parent`` attribute rather than a ``parentSpanId``.  ``resource``
+attributes carry ``service.name`` and a per-process
+``service.instance.id`` -- the label that will distinguish coordinator
+from workers once the campaign fabric shards across hosts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import socket
+import threading
+import time
+import urllib.error
+import urllib.request
+import uuid
+from typing import Any, Dict, List, Optional
+
+from repro.obs import metrics as _metrics
+from repro.obs import tracing as _tracing
+
+__all__ = ["OtlpSpanExporter", "default_instance_id"]
+
+
+def default_instance_id() -> str:
+    """``host:pid`` -- unique per process, stable for the process lifetime."""
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
+def _otlp_value(value: Any) -> Dict[str, Any]:
+    """One OTLP ``AnyValue`` (JSON encoding)."""
+    if isinstance(value, bool):
+        return {"boolValue": value}
+    if isinstance(value, int):
+        return {"intValue": str(value)}
+    if isinstance(value, float):
+        return {"doubleValue": value}
+    return {"stringValue": str(value)}
+
+
+def _otlp_attributes(mapping: Dict[str, Any]) -> List[Dict[str, Any]]:
+    return [{"key": key, "value": _otlp_value(value)} for key, value in mapping.items()]
+
+
+def _trace_id(correlation_id: Optional[str]) -> str:
+    """32-hex OTLP trace id from a 16-hex correlation id (random if absent)."""
+    if correlation_id:
+        try:
+            int(correlation_id, 16)
+        except ValueError:
+            pass
+        else:
+            return correlation_id.rjust(32, "0")[-32:]
+    return uuid.uuid4().hex
+
+
+class OtlpSpanExporter:
+    """Background OTLP/HTTP JSON exporter for finished span records.
+
+    Parameters
+    ----------
+    endpoint:
+        Collector URL, e.g. ``http://collector:4318/v1/traces``.
+    service_name, instance_id:
+        The ``resource`` identity every batch carries
+        (``service.instance.id`` defaults to ``host:pid``).
+    max_queue:
+        Bound on spans waiting to be batched; overflow is dropped+counted.
+    batch_size, flush_interval:
+        A batch is sent when it reaches ``batch_size`` spans or the oldest
+        queued span has waited ``flush_interval`` seconds.
+    max_retries, backoff_s:
+        Retries per batch on 5xx/transport failure, with exponential
+        backoff starting at ``backoff_s``.
+    timeout:
+        Per-POST socket timeout.
+
+    Example::
+
+        >>> exporter = OtlpSpanExporter("http://127.0.0.1:4318/v1/traces")
+        >>> exporter.start()            # doctest: +SKIP
+        >>> exporter.shutdown()         # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        endpoint: str,
+        *,
+        service_name: str = "repro-scenario-service",
+        instance_id: Optional[str] = None,
+        max_queue: int = 2048,
+        batch_size: int = 128,
+        flush_interval: float = 2.0,
+        max_retries: int = 3,
+        backoff_s: float = 0.25,
+        timeout: float = 10.0,
+    ) -> None:
+        self.endpoint = endpoint
+        self.service_name = service_name
+        self.instance_id = instance_id if instance_id is not None else default_instance_id()
+        self.batch_size = max(int(batch_size), 1)
+        self.flush_interval = float(flush_interval)
+        self.max_retries = max(int(max_retries), 0)
+        self.backoff_s = float(backoff_s)
+        self.timeout = float(timeout)
+        self._queue: "queue.Queue[Dict[str, Any]]" = queue.Queue(maxsize=max(int(max_queue), 1))
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+        # Local mirrors of the registry counters: tests and health payloads
+        # read them without depending on which registry was active.
+        self.exported = 0
+        self.dropped_queue_full = 0
+        self.dropped_send_failed = 0
+        self.batches_sent = 0
+        self.batches_failed = 0
+        # Test seam: monkeypatched to avoid real sleeps in backoff tests.
+        self._sleep = time.sleep
+
+    # ------------------------------------------------------------------
+    # Span-sink side (hot path: must never block)
+    # ------------------------------------------------------------------
+
+    def export(self, record: Dict[str, Any]) -> None:
+        """Enqueue one finished span record (the registered span sink)."""
+        try:
+            self._queue.put_nowait(record)
+        except queue.Full:
+            with self._lock:
+                self.dropped_queue_full += 1
+            self._drop_counter().inc(reason="queue_full")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "OtlpSpanExporter":
+        """Attach as a span sink and start the background sender (idempotent)."""
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-otlp-export", daemon=True
+        )
+        self._thread.start()
+        _tracing.add_span_sink(self.export)
+        return self
+
+    def shutdown(self, *, timeout: float = 10.0) -> None:
+        """Detach the sink, flush what is queued, stop the thread."""
+        _tracing.remove_span_sink(self.export)
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout)
+        self._thread = None
+
+    def __enter__(self) -> "OtlpSpanExporter":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for health payloads and tests."""
+        with self._lock:
+            return {
+                "exported": self.exported,
+                "dropped_queue_full": self.dropped_queue_full,
+                "dropped_send_failed": self.dropped_send_failed,
+                "batches_sent": self.batches_sent,
+                "batches_failed": self.batches_failed,
+                "queued": self._queue.qsize(),
+            }
+
+    # ------------------------------------------------------------------
+    # Background sender
+    # ------------------------------------------------------------------
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            batch = self._collect_batch()
+            if batch:
+                self._send_with_retry(batch)
+        # Shutdown flush: drain whatever the span path enqueued before the
+        # sink was detached.
+        while True:
+            batch = self._drain_nowait()
+            if not batch:
+                break
+            self._send_with_retry(batch)
+
+    def _collect_batch(self) -> List[Dict[str, Any]]:
+        """Block for the first span, then gather until size or interval."""
+        try:
+            first = self._queue.get(timeout=0.2)
+        except queue.Empty:
+            return []
+        batch = [first]
+        deadline = time.monotonic() + self.flush_interval
+        while len(batch) < self.batch_size and not self._stop.is_set():
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                batch.append(self._queue.get(timeout=min(remaining, 0.2)))
+            except queue.Empty:
+                continue
+        return batch
+
+    def _drain_nowait(self) -> List[Dict[str, Any]]:
+        batch: List[Dict[str, Any]] = []
+        while len(batch) < self.batch_size:
+            try:
+                batch.append(self._queue.get_nowait())
+            except queue.Empty:
+                break
+        return batch
+
+    def _send_with_retry(self, batch: List[Dict[str, Any]]) -> bool:
+        body = json.dumps(self.encode_batch(batch)).encode("utf-8")
+        request = urllib.request.Request(
+            self.endpoint,
+            data=body,
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        for attempt in range(self.max_retries + 1):
+            try:
+                with urllib.request.urlopen(request, timeout=self.timeout):
+                    pass
+            except urllib.error.HTTPError as exc:
+                if 400 <= exc.code < 500:
+                    # The collector rejected the payload; retrying cannot help.
+                    return self._count_failure(batch)
+            except (urllib.error.URLError, OSError, TimeoutError):
+                pass
+            else:
+                with self._lock:
+                    self.exported += len(batch)
+                    self.batches_sent += 1
+                _metrics.get_registry().counter(
+                    "repro_otlp_spans_exported_total",
+                    "Span records delivered to the OTLP collector.",
+                ).inc(len(batch))
+                return True
+            if attempt < self.max_retries:
+                self._sleep(self.backoff_s * (2 ** attempt))
+        return self._count_failure(batch)
+
+    def _count_failure(self, batch: List[Dict[str, Any]]) -> bool:
+        with self._lock:
+            self.dropped_send_failed += len(batch)
+            self.batches_failed += 1
+        self._drop_counter().inc(len(batch), reason="send_failed")
+        return False
+
+    def _drop_counter(self):
+        return _metrics.get_registry().counter(
+            "repro_otlp_spans_dropped_total",
+            "Span records the OTLP exporter had to drop, by reason.",
+            labelnames=("reason",),
+        )
+
+    # ------------------------------------------------------------------
+    # OTLP JSON encoding
+    # ------------------------------------------------------------------
+
+    def encode_batch(self, batch: List[Dict[str, Any]]) -> Dict[str, Any]:
+        """One ``ExportTraceServiceRequest`` (JSON) for a list of records."""
+        spans = []
+        for record in batch:
+            end_ts = record.get("ts") or time.time()
+            duration = float(record.get("duration_s", 0.0))
+            attrs = dict(record.get("attrs") or {})
+            if record.get("parent"):
+                attrs["repro.parent"] = record["parent"]
+            spans.append({
+                "traceId": _trace_id(record.get("correlation_id")),
+                "spanId": uuid.uuid4().hex[:16],
+                "name": record.get("name", "span"),
+                "kind": 1,  # SPAN_KIND_INTERNAL
+                "startTimeUnixNano": str(int((end_ts - duration) * 1e9)),
+                "endTimeUnixNano": str(int(end_ts * 1e9)),
+                "attributes": _otlp_attributes(attrs),
+            })
+        return {
+            "resourceSpans": [{
+                "resource": {
+                    "attributes": _otlp_attributes({
+                        "service.name": self.service_name,
+                        "service.instance.id": self.instance_id,
+                    })
+                },
+                "scopeSpans": [{
+                    "scope": {"name": "repro.obs"},
+                    "spans": spans,
+                }],
+            }]
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"OtlpSpanExporter(endpoint={self.endpoint!r}, "
+            f"instance_id={self.instance_id!r})"
+        )

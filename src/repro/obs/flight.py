@@ -1,0 +1,152 @@
+"""Flight recorder: an always-on ring buffer of recent observability events.
+
+When a gateway wedges or a job misbehaves in production, the operator's
+first question is "what happened in the last few seconds?" -- and the
+answer is usually gone: DEBUG logging was off, the span records left with
+their trace.  The flight recorder keeps that answer cheaply: a bounded
+:class:`collections.deque` of the most recent span completions and
+WARNING+ log events, always on (one lock + append per event), dumped on
+demand via ``GET /v1/debug/flight`` or ``repro debug flight`` without any
+prior configuration.  It is a post-mortem instrument, not a log: old
+events are silently overwritten, nothing is persisted.
+
+The default recorder registers itself as a span sink
+(:func:`repro.obs.tracing.add_span_sink`) when this module is imported --
+which :mod:`repro.obs` does -- and :func:`repro.obs.logging.log_event`
+feeds it WARNING+ events lazily.
+
+Example::
+
+    >>> recorder = FlightRecorder(capacity=4)
+    >>> recorder.record("span", name="job.run", duration_s=0.5)
+    >>> [e["kind"] for e in recorder.events()]
+    ['span']
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+from repro.obs.tracing import add_span_sink
+
+__all__ = ["FlightRecorder", "get_flight_recorder", "set_flight_recorder"]
+
+#: Default ring capacity: enough for minutes of service traffic (spans are
+#: coarse -- requests, jobs, chunks), small enough to never matter in RSS.
+DEFAULT_CAPACITY = 512
+
+
+class FlightRecorder:
+    """Thread-safe bounded ring of recent ``{"kind", "ts", ...}`` events.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum retained events; older ones are overwritten.
+
+    Events carry a monotonically increasing ``seq`` so a reader can tell
+    how much history the ring dropped between two dumps
+    (``recorded_total - len(events)`` events are gone).
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._events: "deque[Dict[str, Any]]" = deque(maxlen=self.capacity)
+        self._seq = 0
+
+    def record(self, kind: str, **fields: Any) -> None:
+        """Append one event (``kind`` plus arbitrary JSON-compatible fields)."""
+        event: Dict[str, Any] = {"kind": kind, "ts": fields.pop("ts", None) or time.time()}
+        event.update({k: v for k, v in fields.items() if v is not None})
+        with self._lock:
+            self._seq += 1
+            event["seq"] = self._seq
+            self._events.append(event)
+
+    def record_span(self, record: Dict[str, Any]) -> None:
+        """Span-sink adapter: keep the interesting fields of a finished span."""
+        self.record(
+            "span",
+            ts=record.get("ts"),
+            name=record.get("name"),
+            duration_s=record.get("duration_s"),
+            parent=record.get("parent"),
+            correlation_id=record.get("correlation_id"),
+            attrs=record.get("attrs"),
+        )
+
+    def record_log(self, level: str, event: str, fields: Dict[str, Any]) -> None:
+        """Log-feed adapter (WARNING+ events from :func:`log_event`)."""
+        self.record(
+            "error" if level in ("error", "critical") else "log",
+            level=level,
+            event=event,
+            correlation_id=fields.get("correlation_id"),
+            error=fields.get("error"),
+        )
+
+    def events(
+        self, *, kind: Optional[str] = None, limit: Optional[int] = None
+    ) -> List[Dict[str, Any]]:
+        """Retained events, oldest first, optionally filtered by kind."""
+        with self._lock:
+            events = list(self._events)
+        if kind is not None:
+            events = [event for event in events if event["kind"] == kind]
+        if limit is not None:
+            events = events[-int(limit):]
+        return events
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The dump payload of ``GET /v1/debug/flight``."""
+        with self._lock:
+            events = list(self._events)
+            total = self._seq
+        return {
+            "capacity": self.capacity,
+            "recorded_total": total,
+            "dropped": max(total - len(events), 0),
+            "events": events,
+        }
+
+    def clear(self) -> None:
+        """Drop every retained event (the sequence counter keeps counting)."""
+        with self._lock:
+            self._events.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def __repr__(self) -> str:
+        return f"FlightRecorder(capacity={self.capacity}, events={len(self)})"
+
+
+_default = FlightRecorder()
+
+
+def get_flight_recorder() -> FlightRecorder:
+    """The process-wide recorder the span sink and log feed write to."""
+    return _default
+
+
+def set_flight_recorder(recorder: FlightRecorder) -> FlightRecorder:
+    """Swap the process-wide recorder (tests); returns the previous one."""
+    global _default
+    previous, _default = _default, recorder
+    return previous
+
+
+def _span_sink(record: Dict[str, Any]) -> None:
+    _default.record_span(record)
+
+
+# Always on: importing repro.obs (which every instrumented module does)
+# installs the recorder.  One deque append per span -- spans are coarse.
+add_span_sink(_span_sink)

@@ -84,6 +84,15 @@ def log_event(
         correlation_id = current_correlation_id()
         if correlation_id is not None:
             fields["correlation_id"] = correlation_id
+    if level >= logging.WARNING:
+        # WARNING+ events also land in the always-on flight recorder, so a
+        # post-mortem dump shows recent errors even with handlers swallowed.
+        # Imported lazily: flight imports tracing which imports this module.
+        from repro.obs.flight import get_flight_recorder
+
+        get_flight_recorder().record_log(
+            logging.getLevelName(level).lower(), event, fields
+        )
     logger.log(level, event, exc_info=exc_info, extra={"repro_fields": fields})
 
 

@@ -8,10 +8,14 @@ which correlation id (the same id :mod:`repro.obs` threads through logs and
 spans, so an audit line can be joined against the request's log lines and
 the job's chunk spans).
 
-The trail is deliberately minimal: a flat JSONL file is greppable, rotates
-with standard tooling, appends atomically under the trail's lock, and needs
-no database.  Without a path the trail records in memory only -- enough for
-tests and ephemeral servers to assert on.
+The trail is deliberately minimal: a flat JSONL file is greppable, appends
+atomically under the trail's lock, and needs no database.  Without a path
+the trail records in memory only -- enough for tests and ephemeral servers
+to assert on.  Long-lived servers can bound disk usage with built-in
+size-based rotation (``max_bytes``/``max_files``): when the active file
+would grow past ``max_bytes`` it is rolled over to ``<path>.1`` (older
+rollovers shifting to ``.2``, ``.3``, ...) and the oldest file past
+``max_files`` is deleted.
 
 Example::
 
@@ -49,6 +53,14 @@ class AuditTrail:
         How many recent entries :meth:`entries`/:meth:`tail` can return
         without re-reading the file.  In-memory trails ignore the cap's
         file-backing aspect but still bound their retention.
+    max_bytes:
+        Size threshold for rotation.  When appending an entry would push the
+        active file past this many bytes, the file is first rolled over to
+        ``<path>.1`` (existing rollovers shift up by one).  ``None`` (the
+        default) disables rotation; ignored for in-memory trails.
+    max_files:
+        How many rotated files (``<path>.1`` ... ``<path>.N``) to retain;
+        the oldest is deleted on rollover.  The active file is not counted.
 
     Example::
 
@@ -62,17 +74,29 @@ class AuditTrail:
     """
 
     def __init__(
-        self, path: Optional[os.PathLike] = None, *, keep_in_memory: int = 1000
+        self,
+        path: Optional[os.PathLike] = None,
+        *,
+        keep_in_memory: int = 1000,
+        max_bytes: Optional[int] = None,
+        max_files: int = 5,
     ) -> None:
         self.path = None if path is None else os.fspath(path)
         self._keep = max(int(keep_in_memory), 1)
+        if max_bytes is not None and int(max_bytes) <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.max_bytes = None if max_bytes is None else int(max_bytes)
+        self.max_files = max(int(max_files), 1)
+        self.rotations = 0
         self._lock = threading.Lock()
         self._recent: List[Dict[str, Any]] = []
         self._handle = None
+        self._size = 0
         if self.path is not None:
             parent = os.path.dirname(os.path.abspath(self.path))
             os.makedirs(parent, exist_ok=True)
             self._handle = open(self.path, "a", encoding="utf-8")  # noqa: SIM115
+            self._size = os.path.getsize(self.path)
 
     def record(self, action: str, **fields: Any) -> Dict[str, Any]:
         """Append one entry; returns the entry as written.
@@ -84,11 +108,22 @@ class AuditTrail:
         """
         entry: Dict[str, Any] = {"ts": time.time(), "action": action}
         entry.update({key: value for key, value in fields.items() if value is not None})
-        line = json.dumps(entry, sort_keys=True)
+        line = json.dumps(entry, sort_keys=True) + "\n"
         with self._lock:
             if self._handle is not None:
-                self._handle.write(line + "\n")
+                encoded = len(line.encode("utf-8"))
+                # Rotate *before* the write that would cross the threshold,
+                # so the active file never exceeds max_bytes (a single entry
+                # larger than the cap still lands in a fresh file).
+                if (
+                    self.max_bytes is not None
+                    and self._size > 0
+                    and self._size + encoded > self.max_bytes
+                ):
+                    self._rotate_locked()
+                self._handle.write(line)
                 self._handle.flush()
+                self._size += encoded
             self._recent.append(entry)
             del self._recent[: -self._keep]
         _metrics.get_registry().counter(
@@ -97,6 +132,35 @@ class AuditTrail:
             labelnames=("action",),
         ).inc(action=action)
         return entry
+
+    def _rotate_locked(self) -> None:
+        """Roll the active file over to ``.1`` (caller holds the lock)."""
+        self._handle.close()
+        oldest = f"{self.path}.{self.max_files}"
+        if os.path.exists(oldest):
+            os.remove(oldest)
+        for index in range(self.max_files - 1, 0, -1):
+            src = f"{self.path}.{index}"
+            if os.path.exists(src):
+                os.replace(src, f"{self.path}.{index + 1}")
+        os.replace(self.path, f"{self.path}.1")
+        self._handle = open(self.path, "a", encoding="utf-8")  # noqa: SIM115
+        self._size = 0
+        self.rotations += 1
+        _metrics.get_registry().counter(
+            "repro_audit_rotations_total",
+            "Audit-trail size-based file rollovers.",
+        ).inc()
+
+    def rotated_paths(self) -> List[str]:
+        """Existing rotated files, newest (``.1``) first; empty in memory."""
+        if self.path is None:
+            return []
+        return [
+            path
+            for index in range(1, self.max_files + 1)
+            if os.path.exists(path := f"{self.path}.{index}")
+        ]
 
     def entries(self) -> List[Dict[str, Any]]:
         """The retained recent entries, oldest first."""

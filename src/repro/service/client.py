@@ -158,6 +158,27 @@ class ServiceClient:
         """
         return self.job(job_id)["timings"].get("phases")
 
+    def job_trace(self, job_id: str) -> Dict[str, Any]:
+        """``GET /v1/jobs/{id}/trace`` -- the job's persisted span-tree payload.
+
+        Returns ``{"correlation_id", "dropped", "spans": [...]}``.  Raises
+        :class:`ServiceError` with status 404 while the job has not executed
+        yet (or predates trace persistence).  Render the spans with
+        :func:`repro.obs.render_span_tree` -- that is what
+        ``repro jobs --trace ID`` does.
+        """
+        return self._request("GET", f"/v1/jobs/{job_id}/trace")["trace"]
+
+    def debug_flight(self, *, kind: Optional[str] = None) -> Dict[str, Any]:
+        """``GET /v1/debug/flight`` -- the server's flight-recorder dump.
+
+        Returns ``{"capacity", "recorded_total", "dropped", "events": [...]}``,
+        optionally filtered to one event ``kind`` (``span``, ``log``,
+        ``error``).
+        """
+        path = "/v1/debug/flight" + (f"?kind={kind}" if kind is not None else "")
+        return self._request("GET", path)["flight"]
+
     def scenarios(self) -> Dict[str, Any]:
         """``GET /v1/scenarios`` -- the experiment/engine catalog."""
         return self._request("GET", "/v1/scenarios")

@@ -93,10 +93,14 @@ _RATE_EXEMPT = ("/v1/healthz", "/v1/metrics")
 def _route_label(path: str) -> str:
     """Metric label for a path (templated, so ids cannot explode cardinality)."""
     if path in ("/v1/healthz", "/v1/metrics", "/v1/scenarios",
-                "/v1/scenarios/preview", "/v1/jobs"):
+                "/v1/scenarios/preview", "/v1/jobs", "/v1/debug/flight"):
         return path
     if path.startswith("/v1/jobs/"):
-        return "/v1/jobs/{id}/events" if path.endswith("/events") else "/v1/jobs/{id}"
+        if path.endswith("/events"):
+            return "/v1/jobs/{id}/events"
+        if path.endswith("/trace"):
+            return "/v1/jobs/{id}/trace"
+        return "/v1/jobs/{id}"
     return "other"
 
 
@@ -585,6 +589,15 @@ class GatewayServer:
     ) -> Tuple[int, bytes, str]:
         """Route one non-streaming request to (status, body bytes, content type)."""
         if method == "GET":
+            if path.startswith("/v1/jobs/") and path.endswith("/trace"):
+                # Traces are fetched on demand from sqlite (they are not part
+                # of the push-refreshed snapshot: span trees are post-mortem
+                # data, not hot status), so the read hops onto the pool.
+                return await self._run_write(
+                    self._do_trace, path[len("/v1/jobs/"):-len("/trace")]
+                )
+            if path == "/v1/debug/flight":
+                return self._serve_flight(query)
             if path.startswith("/v1/jobs/"):
                 job_bytes = self.snapshot.job_bytes(path[len("/v1/jobs/"):])
                 if job_bytes is None:
@@ -642,6 +655,24 @@ class GatewayServer:
             registry.render_prometheus().encode("utf-8"),
             "text/plain; version=0.0.4; charset=utf-8",
         )
+
+    def _serve_flight(self, query: Dict[str, list]) -> Tuple[int, bytes, str]:
+        from repro.obs.flight import get_flight_recorder
+
+        payload = get_flight_recorder().snapshot()
+        kind = query.get("kind", [None])[0]
+        if kind is not None:
+            payload["events"] = [e for e in payload["events"] if e["kind"] == kind]
+        return _json_response(200, {"flight": payload})
+
+    def _do_trace(self, job_id: str) -> Tuple[int, Dict[str, Any]]:
+        store = self.scheduler.store
+        if store.get(job_id) is None:
+            return 404, {"error": f"no such job: {job_id}"}
+        trace = store.get_trace(job_id)
+        if trace is None:
+            return 404, {"error": f"no trace recorded for job: {job_id}"}
+        return 200, {"job_id": job_id, "trace": trace}
 
     def _catalog(self) -> bytes:
         if self._catalog_bytes is None:

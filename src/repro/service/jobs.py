@@ -69,6 +69,11 @@ CREATE TABLE IF NOT EXISTS jobs (
 );
 CREATE INDEX IF NOT EXISTS jobs_state ON jobs (state, submitted_at);
 CREATE INDEX IF NOT EXISTS jobs_dedupe ON jobs (dedupe_key);
+CREATE TABLE IF NOT EXISTS traces (
+    job_id      TEXT PRIMARY KEY REFERENCES jobs (id),
+    trace       TEXT NOT NULL,
+    recorded_at REAL NOT NULL
+);
 """
 
 
@@ -391,6 +396,35 @@ class JobStore:
                 (json.dumps({k: float(v) for k, v in phases.items()}), job_id),
             )
         self._notify(job_id)
+
+    def record_trace(self, job_id: str, trace: Dict[str, Any]) -> None:
+        """Persist a job's finished span-record tree payload.
+
+        ``trace`` is the plain-dict form the scheduler builds from the job's
+        :class:`~repro.obs.tracing.Trace` -- ``{"correlation_id", "dropped",
+        "spans": [...]}`` -- stored as one JSON blob in the ``traces`` table
+        (created by ``_SCHEMA`` on every connect, the table analogue of the
+        ``phases`` column migration, so pre-trace databases upgrade in
+        place).  Re-recording replaces the previous trace (a recovered,
+        re-executed job keeps only its final attempt's tree).  Traces are not
+        pushed to listeners: the read models track job *state*, traces are
+        fetched on demand.
+        """
+        with self._timed_op("record_trace"), self._lock, self._conn:
+            self._conn.execute(
+                "INSERT INTO traces (job_id, trace, recorded_at) VALUES (?, ?, ?)"
+                " ON CONFLICT (job_id) DO UPDATE SET trace = excluded.trace,"
+                " recorded_at = excluded.recorded_at",
+                (job_id, json.dumps(trace), time.time()),
+            )
+
+    def get_trace(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """The persisted trace payload for ``job_id``, or None when absent."""
+        with self._timed_op("get_trace"), self._lock:
+            row = self._conn.execute(
+                "SELECT trace FROM traces WHERE job_id = ?", (job_id,)
+            ).fetchone()
+        return json.loads(row["trace"]) if row is not None else None
 
     def finish(self, job_id: str, result: Dict[str, Any]) -> None:
         """Mark a job ``done`` with its result payload."""

@@ -436,6 +436,16 @@ class JobScheduler:
             "compute_s": max(run_s - cache_s, 0.0),
             "cache_s": cache_s,
         })
+        # Persist the span tree whatever the outcome -- a failed job's trace
+        # is the one an operator most wants to read.  Chunk spans recorded in
+        # pool workers were absorbed into this trace during the merge, so the
+        # stored tree covers the whole execution.
+        if trace.spans or trace.dropped:
+            self.store.record_trace(job.id, {
+                "correlation_id": trace.correlation_id,
+                "dropped": trace.dropped,
+                "spans": trace.spans,
+            })
         if outcome == "cancelled":
             self.store.mark_cancelled(job.id)
             registry.counter(

@@ -16,8 +16,11 @@ POST     ``/v1/scenarios/preview``   expand a sweep without running it
 POST     ``/v1/jobs``                submit a campaign or experiment job
 GET      ``/v1/jobs``                list jobs (``?state=``, ``?kind=``, ``?limit=``)
 GET      ``/v1/jobs/{id}``           one job: state, progress, timings, result
+GET      ``/v1/jobs/{id}/trace``     the job's persisted span tree (404 until the
+                                     job has executed)
 DELETE   ``/v1/jobs/{id}``           cancel (immediate if queued, cooperative if
                                      running)
+GET      ``/v1/debug/flight``        flight-recorder dump: recent spans/errors
 =======  ==========================  ===============================================
 
 Responses are JSON; errors are ``{"error": message}`` with a 4xx status.
@@ -131,6 +134,7 @@ _ROUTES = (
     "/v1/scenarios",
     "/v1/scenarios/preview",
     "/v1/jobs",
+    "/v1/debug/flight",
 )
 
 
@@ -138,6 +142,8 @@ def _route_label(path: str) -> str:
     if path in _ROUTES:
         return path
     if path.startswith("/v1/jobs/"):
+        if path.endswith("/trace"):
+            return "/v1/jobs/{id}/trace"
         return "/v1/jobs/{id}"
     return "other"
 
@@ -173,6 +179,10 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             self._send(200, self.service.catalog())
         elif path == "/v1/jobs":
             self._list_jobs(query)
+        elif path == "/v1/debug/flight":
+            self._serve_flight(query)
+        elif path.startswith("/v1/jobs/") and path.endswith("/trace"):
+            self._get_trace(path[len("/v1/jobs/"):-len("/trace")])
         elif path.startswith("/v1/jobs/"):
             self._get_job(path[len("/v1/jobs/"):])
         else:
@@ -275,6 +285,30 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             self._send(404, {"error": f"no such job: {job_id}"})
         else:
             self._send(200, {"job": record.to_dict()})
+
+    def _get_trace(self, job_id: str) -> None:
+        store = self.service.scheduler.store
+        record = store.get(job_id)
+        if record is None:
+            self._send(404, {"error": f"no such job: {job_id}"})
+            return
+        trace = store.get_trace(job_id)
+        if trace is None:
+            # Distinct message from the unknown-job 404: the job exists, its
+            # trace does not (yet) -- it has not executed, or predates the
+            # trace pipeline.
+            self._send(404, {"error": f"no trace recorded for job: {job_id}"})
+            return
+        self._send(200, {"job_id": job_id, "trace": trace})
+
+    def _serve_flight(self, query: Dict[str, list]) -> None:
+        from repro.obs.flight import get_flight_recorder
+
+        payload = get_flight_recorder().snapshot()
+        kind = query.get("kind", [None])[0]
+        if kind is not None:
+            payload["events"] = [e for e in payload["events"] if e["kind"] == kind]
+        self._send(200, {"flight": payload})
 
     def _cancel_job(self, job_id: str) -> None:
         record = self.service.scheduler.store.get(job_id)

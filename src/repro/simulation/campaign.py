@@ -339,9 +339,13 @@ class CampaignRunner:
                     chunks.append(chunk)
                     progress(len(chunks), plan.num_chunks)
         merged: Dict[str, List[float]] = {name: [] for name in names}
-        for chunk in chunks:
+        for makespans_chunk, shipped in chunks:
+            # Chunk spans recorded in pool workers ride back beside the
+            # samples; folding them in here (job.run is still open) is what
+            # puts worker chunks into the job's persisted trace tree.
+            _tracing.absorb_spans(shipped)
             for name in names:
-                merged[name].extend(chunk[name])
+                merged[name].extend(makespans_chunk[name])
         if store is not None and key is not None:
             store.put(
                 key,
@@ -358,19 +362,25 @@ _CampaignTask = Tuple[
     np.random.SeedSequence, int, Optional[Dict[str, Any]],
 ]
 
+#: What a campaign chunk worker returns: the per-strategy makespans plus the
+#: span records to ship back to the submitting process (empty when the chunk
+#: ran inside the originating trace's own context).
+_CampaignChunkResult = Tuple[Dict[str, List[float]], List[Dict[str, Any]]]
 
-def _campaign_chunk(args: _CampaignTask) -> Dict[str, List[float]]:
+
+def _campaign_chunk(args: _CampaignTask) -> _CampaignChunkResult:
     """Run one chunk of paired rounds (runs in a worker process).
 
     Each round draws a fresh shared trace from the chunk's own RNG stream and
     replays every strategy against it, preserving the common-random-numbers
     pairing within the chunk and across backends.  The trailing ``obs``
     element re-activates the submitting context's correlation id around the
-    chunk's span and metrics.
+    chunk's span; the span records it collects travel back in the result (the
+    samples themselves are untouched, so bit-identity is preserved).
     """
     segments, law, horizon, num_processors, downtime, chunk_seed, count, obs = args
     start = time.perf_counter()
-    with _tracing.activate(obs):
+    with _tracing.shipping_trace(obs) as shipped:
         with _tracing.span("campaign.chunk", engine="scalar", runs=count):
             rng = np.random.default_rng(chunk_seed)
             makespans: Dict[str, List[float]] = {name: [] for name in segments}
@@ -383,10 +393,10 @@ def _campaign_chunk(args: _CampaignTask) -> Dict[str, List[float]]:
                     result = simulate_segments(segs, source, downtime, rng=rng)
                     makespans[name].append(result.makespan)
     observe_chunk("campaign", "scalar", count, time.perf_counter() - start)
-    return makespans
+    return makespans, shipped
 
 
-def _campaign_chunk_vectorized(args: _CampaignTask) -> Dict[str, List[float]]:
+def _campaign_chunk_vectorized(args: _CampaignTask) -> _CampaignChunkResult:
     """Run one chunk of paired rounds as a NumPy array program.
 
     Same work item as :func:`_campaign_chunk`, executed batch-wise: the
@@ -399,7 +409,7 @@ def _campaign_chunk_vectorized(args: _CampaignTask) -> Dict[str, List[float]]:
     """
     segments, law, horizon, num_processors, downtime, chunk_seed, count, obs = args
     start = time.perf_counter()
-    with _tracing.activate(obs):
+    with _tracing.shipping_trace(obs) as shipped:
         with _tracing.span("campaign.chunk", engine="vectorized", runs=count):
             rng = np.random.default_rng(chunk_seed)
             times = generate_trace_times_batch(law, horizon, num_processors, rng, count)
@@ -409,4 +419,4 @@ def _campaign_chunk_vectorized(args: _CampaignTask) -> Dict[str, List[float]]:
             )
             result = {name: stacked[index].tolist() for index, name in enumerate(names)}
     observe_chunk("campaign", "vectorized", count, time.perf_counter() - start)
-    return result
+    return result, shipped

@@ -415,6 +415,11 @@ class MonteCarloEstimator:
                 for chunk in executor.imap(_estimate_chunk, tasks):
                     chunks.append(chunk)
                     progress(len(chunks), plan.num_chunks)
+        # Chunk spans recorded in pool workers ride back as the 4th element;
+        # folding them in here (while the job's trace is still open) is what
+        # puts worker chunks into the persisted per-job trace tree.
+        for chunk in chunks:
+            _tracing.absorb_spans(chunk[3])
         makespans = np.concatenate([c[0] for c in chunks])
         num_failures = np.concatenate([c[1] for c in chunks])
         wasted_times = np.concatenate([c[2] for c in chunks])
@@ -435,7 +440,7 @@ def _estimate_chunk(
         "MonteCarloEstimator", np.random.SeedSequence, int, str, int,
         Optional[Dict[str, Any]],
     ],
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, List[Dict[str, Any]]]:
     """Simulate one chunk of replications (runs in a worker process).
 
     Module-level so process pools can pickle it; the estimator itself travels
@@ -443,15 +448,18 @@ def _estimate_chunk(
     picklable -- lambdas as ``failure_model_factory`` only work serially).
     The trailing ``obs`` element is the submitting context's trace snapshot
     (or None): the chunk's span and metrics carry the originating request's
-    correlation id even when executing in another thread or process.
+    correlation id even when executing in another thread or process, and the
+    span records it produces ride back as the result's 4th element (empty when
+    the chunk ran inside the originating trace's own context).  The sample
+    arrays are untouched by instrumentation, so bit-identity is preserved.
     """
     estimator, chunk_seed, count, engine, offset, obs = args
     start = time.perf_counter()
-    with _tracing.activate(obs):
+    with _tracing.shipping_trace(obs) as shipped:
         with _tracing.span("mc.chunk", engine=engine, runs=count, offset=offset):
             samples = _estimate_chunk_samples(estimator, chunk_seed, count, engine, offset)
     observe_chunk("monte_carlo", engine, count, time.perf_counter() - start)
-    return samples
+    return samples + (shipped,)
 
 
 def _estimate_chunk_samples(
