@@ -1,6 +1,6 @@
 """Command-line interface for the checkpoint-scheduling library.
 
-Nine sub-commands cover the everyday uses of the library without writing any
+Ten sub-commands cover the everyday uses of the library without writing any
 Python:
 
 * ``repro solve-chain``   -- optimal checkpoint placement for a chain stored
@@ -22,7 +22,9 @@ Python:
 * ``repro metrics``       -- snapshot a running service's metrics
   (Prometheus text, or JSON with ``--json``);
 * ``repro debug``         -- operator debugging: ``repro debug flight``
-  dumps a running service's flight recorder (recent spans and errors).
+  dumps a running service's flight recorder (recent spans and errors);
+* ``repro lint``          -- repo-native static analysis enforcing the
+  determinism and concurrency contracts (see :mod:`repro.devtools`).
 
 The simulation-heavy sub-commands (``simulate``, ``experiment``) accept
 ``--parallel N`` to fan replication chunks out over ``N`` worker processes,
@@ -296,6 +298,20 @@ def build_parser() -> argparse.ArgumentParser:
                          help="service address (default: %(default)s)")
     metrics.add_argument("--json", action="store_true",
                          help="print the JSON snapshot instead of Prometheus text")
+
+    lint = subparsers.add_parser(
+        "lint", help="repo-native static analysis (determinism & concurrency "
+        "contracts; stdlib-only, see docs/devtools.md)"
+    )
+    lint.add_argument("paths", nargs="*", default=["src", "tests", "benchmarks"],
+                      help="files or directories to lint "
+                      "(default: src tests benchmarks)")
+    lint.add_argument("--json", action="store_true",
+                      help="emit the machine-readable JSON report")
+    lint.add_argument("--select", default=None, metavar="CODES",
+                      help="comma-separated rule codes to run (default: all)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list the rule catalog and exit")
 
     return parser
 
@@ -711,6 +727,18 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Lazy import: the lint engine is developer tooling and the other
+    # sub-commands must not pay for it.
+    from repro.devtools.engine import run as run_lint
+
+    select = args.select.split(",") if args.select else None
+    return run_lint(
+        args.paths, json_output=args.json, select=select,
+        list_rules=args.list_rules,
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for the ``repro`` console script."""
     parser = build_parser()
@@ -725,6 +753,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "jobs": _cmd_jobs,
         "debug": _cmd_debug,
         "metrics": _cmd_metrics,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

@@ -126,7 +126,10 @@ def _linearize_cheapest_checkpoint_first(
 
 
 def _linearize_random(workflow: Workflow, rng: Optional[np.random.Generator]) -> List[str]:
-    generator = rng if rng is not None else np.random.default_rng()
+    # schedule_dag always threads a seeded generator through here; a direct
+    # call without one gets a fixed seed so the "random" linearisation is
+    # still replayable (determinism contract: no ad-hoc entropy in core/).
+    generator = rng if rng is not None else np.random.default_rng(0)
     jitter = {name: float(generator.uniform()) for name in workflow.task_names()}
     return _list_schedule(workflow, lambda name: jitter[name])
 

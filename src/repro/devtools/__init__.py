@@ -1,0 +1,60 @@
+"""Repo-native developer tooling: static contract lint + runtime lock checking.
+
+Two halves, one package:
+
+* a stdlib-only **static analysis engine** (``repro lint`` /
+  ``python -m repro.devtools``) whose rules encode the invariants this
+  reproduction actually depends on -- seeded RNG threading, wall-clock
+  isolation in engine code, lock discipline in the threaded modules,
+  hash-stable cache keys (:mod:`repro.devtools.engine`,
+  :mod:`repro.devtools.rules`);
+* a **runtime lock-order watchdog** that records cross-thread lock
+  acquisition orderings and fails the run on inversions
+  (:mod:`repro.devtools.lockwatch`).
+
+This ``__init__`` stays import-light on purpose: the threaded service and
+observability modules import :func:`tracked_lock` at startup, and must not
+drag the whole lint engine with them.  The lint API is loaded lazily on
+first attribute access.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.lockwatch import (
+    LockOrderError,
+    LockOrderWatchdog,
+    active_watchdog,
+    install_watchdog,
+    tracked_condition,
+    tracked_lock,
+)
+
+__all__ = [
+    "LockOrderError",
+    "LockOrderWatchdog",
+    "RULES",
+    "Violation",
+    "active_watchdog",
+    "install_watchdog",
+    "lint_paths",
+    "lint_source",
+    "main",
+    "run",
+    "tracked_condition",
+    "tracked_lock",
+]
+
+_LAZY_ENGINE = {"Violation", "lint_paths", "lint_source", "main", "run", "LintReport"}
+_LAZY_RULES = {"RULES", "FileContext", "Rule"}
+
+
+def __getattr__(name: str):
+    if name in _LAZY_ENGINE:
+        from repro.devtools import engine
+
+        return getattr(engine, name)
+    if name in _LAZY_RULES:
+        from repro.devtools import rules
+
+        return getattr(rules, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,10 @@
+"""``python -m repro.devtools`` -- run the repo-native lint engine."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.devtools.engine import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,330 @@
+"""The repo-native lint engine: file discovery, suppressions, reporting.
+
+Generic linters cannot check the contracts this reproduction actually lives
+by -- bit-identical replayability of every engine path, wall-clock isolation,
+lock discipline in the threaded service modules, hash-stable cache keys.
+This engine runs the repo-specific rules in :mod:`repro.devtools.rules` over
+Python sources using nothing but the standard library (``ast`` +
+``tokenize``), so it works in environments where no third-party linter can
+be installed.
+
+Entry points:
+
+* ``python -m repro.devtools [paths...]`` and ``repro lint [paths...]``;
+* :func:`lint_paths` / :func:`lint_source` for tests and tooling.
+
+Suppressions are spelled ``repro: noqa[code]`` (or ``noqa[code1,code2]``)
+inside a real comment on the flagged line, conventionally followed by a
+justification: ``x = {}  # <hash> repro: noqa[module-state] - guarded by _lock``.
+Comments are found with ``tokenize``, so the marker inside a string literal
+is inert.  A suppression that matches no violation (or names an unknown
+code) is itself reported as ``unused-noqa`` -- suppressions must not outlive
+the code they excuse.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import io
+import json
+import re
+import sys
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path, PurePosixPath
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.devtools.rules import RULES, FileContext
+
+__all__ = [
+    "LintReport",
+    "Violation",
+    "lint_paths",
+    "lint_source",
+    "main",
+    "run",
+]
+
+#: Matches one suppression group inside a comment token.
+_SUPPRESSION_RE = re.compile(r"repro:\s*noqa\[([A-Za-z0-9_\-, ]+)\]")
+
+#: Codes the engine itself can emit (on top of the registered rules).
+ENGINE_CODES = ("syntax-error", "unused-noqa")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: where, which contract, and what to do about it."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.code}] {self.message}"
+
+
+@dataclass
+class LintReport:
+    """Aggregate outcome of one lint run."""
+
+    violations: List[Violation]
+    files_checked: int
+    suppressed: int
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.violations else 0
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for violation in self.violations:
+            out[violation.code] = out.get(violation.code, 0) + 1
+        return dict(sorted(out.items()))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "version": 1,
+            "files_checked": self.files_checked,
+            "suppressed": self.suppressed,
+            "counts": self.counts(),
+            "violations": [violation.to_dict() for violation in self.violations],
+        }
+
+
+def module_for_path(path: str) -> str:
+    """Dotted module-ish identifier for ``path``, used for rule scoping.
+
+    ``src/repro/simulation/engine.py`` (relative or under any prefix) maps to
+    ``repro.simulation.engine``; paths outside a ``src`` layout fall back to
+    their dotted parts (``tests/test_cli.py`` -> ``tests.test_cli``), which
+    keeps the engine-package rules scoped to the package proper.
+    """
+    pure = PurePosixPath(str(path).replace("\\", "/"))
+    parts = [part for part in pure.parts if part not in (".", "/")]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if "src" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("src")
+        parts = parts[anchor + 1:]
+    elif "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _suppressions(source: str) -> Dict[int, List[str]]:
+    """Per-line suppression codes, from real comment tokens only."""
+    found: Dict[int, List[str]] = {}
+    reader = io.StringIO(source).readline
+    try:
+        tokens = list(tokenize.generate_tokens(reader))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return found
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        for match in _SUPPRESSION_RE.finditer(token.string):
+            codes = [code.strip() for code in match.group(1).split(",") if code.strip()]
+            found.setdefault(token.start[0], []).extend(codes)
+    return found
+
+
+def lint_source(
+    source: str,
+    path: str,
+    *,
+    select: Optional[Set[str]] = None,
+) -> Tuple[List[Violation], int]:
+    """Lint one source text as if it lived at ``path``.
+
+    Returns ``(violations, suppressed_count)``.  ``select`` restricts the
+    run to the given rule codes (``unused-noqa`` detection only runs on a
+    full pass, where every suppression had its chance to match).
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        violation = Violation(
+            path, exc.lineno or 1, (exc.offset or 1) - 1, "syntax-error",
+            f"cannot parse: {exc.msg}",
+        )
+        return [violation], 0
+
+    context = FileContext(path=path, module=module_for_path(path), tree=tree)
+    raw: List[Violation] = []
+    for rule in RULES.values():
+        if select is not None and rule.code not in select:
+            continue
+        if not rule.in_scope(context.module):
+            continue
+        for node, message in rule.check(context):
+            raw.append(
+                Violation(
+                    path, getattr(node, "lineno", 1),
+                    getattr(node, "col_offset", 0), rule.code, message,
+                )
+            )
+
+    suppressions = _suppressions(source)
+    used: Dict[int, Set[str]] = {}
+    final: List[Violation] = []
+    suppressed = 0
+    for violation in raw:
+        codes = suppressions.get(violation.line, [])
+        if violation.code in codes:
+            used.setdefault(violation.line, set()).add(violation.code)
+            suppressed += 1
+            continue
+        final.append(violation)
+
+    if select is None:
+        known = set(RULES) | set(ENGINE_CODES)
+        for line, codes in suppressions.items():
+            for code in dict.fromkeys(codes):
+                if code not in known:
+                    final.append(Violation(
+                        path, line, 0, "unused-noqa",
+                        f"unknown rule code {code!r} in suppression",
+                    ))
+                elif code not in used.get(line, set()):
+                    final.append(Violation(
+                        path, line, 0, "unused-noqa",
+                        f"suppression for {code!r} matches no violation on this "
+                        "line; remove it",
+                    ))
+    return final, suppressed
+
+
+def _discover(paths: Sequence[str]) -> List[Path]:
+    """Every ``.py`` file under ``paths``, skipping caches and hidden dirs."""
+    files: List[Path] = []
+    for entry in paths:
+        root = Path(entry)
+        if root.is_file():
+            files.append(root)
+        elif root.is_dir():
+            for candidate in sorted(root.rglob("*.py")):
+                parts = candidate.parts
+                if any(part == "__pycache__" or part.startswith(".") for part in parts):
+                    continue
+                files.append(candidate)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {entry!r}")
+    return files
+
+
+def lint_paths(
+    paths: Sequence[str],
+    *,
+    select: Optional[Iterable[str]] = None,
+) -> LintReport:
+    """Lint every Python file under ``paths`` and aggregate the findings."""
+    selected = {code.strip() for code in select} if select is not None else None
+    if selected is not None:
+        unknown = selected - set(RULES) - set(ENGINE_CODES)
+        if unknown:
+            raise ValueError(
+                f"unknown rule code(s) {sorted(unknown)}; "
+                f"known: {sorted(set(RULES) | set(ENGINE_CODES))}"
+            )
+    violations: List[Violation] = []
+    suppressed = 0
+    files = _discover(paths)
+    for file in files:
+        source = file.read_text(encoding="utf-8")
+        found, skipped = lint_source(source, file.as_posix(), select=selected)
+        violations.extend(found)
+        suppressed += skipped
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return LintReport(violations, files_checked=len(files), suppressed=suppressed)
+
+
+def _render_rule_listing() -> str:
+    lines = ["repo-native lint rules:"]
+    for code, rule in sorted(RULES.items()):
+        lines.append(f"  {code:<16s} {rule.summary}")
+        lines.append(f"  {'':<16s}   scope: {rule.scope_description()}")
+    lines.append(f"  {'syntax-error':<16s} a linted file failed to parse")
+    lines.append(
+        f"  {'unused-noqa':<16s} a `repro: noqa[...]` suppression matches no violation"
+    )
+    return "\n".join(lines)
+
+
+def run(
+    paths: Sequence[str],
+    *,
+    json_output: bool = False,
+    select: Optional[Iterable[str]] = None,
+    list_rules: bool = False,
+    stream=None,
+) -> int:
+    """Execute a lint run and print the report; returns the exit code."""
+    out = stream if stream is not None else sys.stdout
+    if list_rules:
+        print(_render_rule_listing(), file=out)
+        return 0
+    try:
+        report = lint_paths(paths, select=select)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if json_output:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True), file=out)
+        return report.exit_code
+    for violation in report.violations:
+        print(violation.render(), file=out)
+    summary = (
+        f"checked {report.files_checked} files: "
+        f"{len(report.violations)} violation(s), {report.suppressed} suppressed"
+    )
+    print(summary, file=out)
+    return report.exit_code
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools",
+        description="Repo-native static analysis enforcing the determinism "
+        "and concurrency contracts (stdlib-only).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "tests", "benchmarks"],
+        help="files or directories to lint (default: src tests benchmarks)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="json_output",
+        help="emit the machine-readable JSON report instead of text",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list the rule catalog and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    select = args.select.split(",") if args.select else None
+    return run(
+        args.paths, json_output=args.json_output, select=select,
+        list_rules=args.list_rules,
+    )

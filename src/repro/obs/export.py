@@ -44,6 +44,7 @@ import urllib.request
 import uuid
 from typing import Any, Dict, List, Optional
 
+from repro.devtools.lockwatch import tracked_lock
 from repro.obs import metrics as _metrics
 from repro.obs import tracing as _tracing
 
@@ -134,7 +135,7 @@ class OtlpSpanExporter:
         self._queue: "queue.Queue[Dict[str, Any]]" = queue.Queue(maxsize=max(int(max_queue), 1))
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
-        self._lock = threading.Lock()
+        self._lock = tracked_lock("obs.export")
         # Local mirrors of the registry counters: tests and health payloads
         # read them without depending on which registry was active.
         self.exported = 0

@@ -30,6 +30,7 @@ import time
 from collections import deque
 from typing import Any, Dict, List, Optional
 
+from repro.devtools.lockwatch import tracked_lock
 from repro.obs.tracing import add_span_sink
 
 __all__ = ["FlightRecorder", "get_flight_recorder", "set_flight_recorder"]
@@ -56,7 +57,7 @@ class FlightRecorder:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = int(capacity)
-        self._lock = threading.Lock()
+        self._lock = tracked_lock("obs.flight")
         self._events: "deque[Dict[str, Any]]" = deque(maxlen=self.capacity)
         self._seq = 0
 

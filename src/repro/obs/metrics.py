@@ -31,6 +31,8 @@ from __future__ import annotations
 import math
 import re
 import threading
+
+from repro.devtools.lockwatch import tracked_lock
 from bisect import bisect_left
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -91,7 +93,7 @@ class _Metric:
         for label in self.labelnames:
             if not _LABEL_RE.match(label):
                 raise ValueError(f"invalid label name {label!r} on metric {name!r}")
-        self._lock = threading.Lock()
+        self._lock = tracked_lock("obs.metrics.metric")
         self._children: Dict[Tuple[str, ...], Any] = {}
 
     def _key(self, labels: Dict[str, Any]) -> Tuple[str, ...]:
@@ -253,7 +255,7 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
-        self._lock = threading.RLock()
+        self._lock = tracked_lock("obs.metrics.registry", threading.RLock)
         self._metrics: Dict[str, _Metric] = {}
 
     # ------------------------------------------------------------------
@@ -383,7 +385,7 @@ class MetricsRegistry:
 # ----------------------------------------------------------------------
 
 _global_registry = MetricsRegistry()
-_global_lock = threading.Lock()
+_global_lock = tracked_lock("obs.metrics.global")
 
 
 def get_registry() -> MetricsRegistry:

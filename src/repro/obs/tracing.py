@@ -106,7 +106,7 @@ _ACTIVE: contextvars.ContextVar[Optional[Trace]] = contextvars.ContextVar(
 #: Process-wide observers of finished span records.  Sinks receive every
 #: record (traced or not) on the thread that closed the span; they must be
 #: fast and must never raise into the instrumented code path.
-_SPAN_SINKS: List[Any] = []
+_SPAN_SINKS: List[Any] = []  # repro: noqa[module-state] - append-only at process setup; the hot path iterates a list() snapshot
 
 
 def add_span_sink(sink) -> None:
@@ -132,7 +132,7 @@ def _emit_to_sinks(record: Dict[str, Any]) -> None:
     for sink in list(_SPAN_SINKS):
         try:
             sink(record)
-        except Exception:  # noqa: BLE001 - observers must not break the span path
+        except Exception:  # noqa: BLE001  # repro: noqa[broad-except] - observers must never raise into the instrumented path; a logging sink here could itself be the failing sink
             pass
 
 

@@ -36,6 +36,7 @@ import threading
 import time
 from typing import Any, Dict, List, Optional
 
+from repro.devtools.lockwatch import tracked_lock
 from repro.obs import metrics as _metrics
 
 __all__ = ["AuditTrail"]
@@ -88,7 +89,7 @@ class AuditTrail:
         self.max_bytes = None if max_bytes is None else int(max_bytes)
         self.max_files = max(int(max_files), 1)
         self.rotations = 0
-        self._lock = threading.Lock()
+        self._lock = tracked_lock("service.audit")
         self._recent: List[Dict[str, Any]] = []
         self._handle = None
         self._size = 0

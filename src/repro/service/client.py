@@ -110,7 +110,7 @@ class ServiceClient:
             try:
                 body = json.loads(exc.read().decode("utf-8"))
                 message = body.get("error", str(exc))
-            except Exception:  # noqa: BLE001 - any unreadable body falls back
+            except Exception:  # noqa: BLE001  # repro: noqa[broad-except] - unreadable error body falls back to str(exc); the enclosing handler raises ServiceError
                 body, message = None, str(exc)
             raise ServiceError(
                 f"{method} {path} failed ({exc.code}): {message}",
@@ -288,7 +288,7 @@ class ServiceClient:
             try:
                 body = json.loads(exc.read().decode("utf-8"))
                 message = body.get("error", str(exc))
-            except Exception:  # noqa: BLE001 - any unreadable body falls back
+            except Exception:  # noqa: BLE001  # repro: noqa[broad-except] - unreadable error body falls back to str(exc); the enclosing handler raises ServiceError
                 body, message = None, str(exc)
             raise ServiceError(
                 f"GET /v1/jobs/{job_id}/events failed ({exc.code}): {message}",

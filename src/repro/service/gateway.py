@@ -58,6 +58,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
+from repro.devtools.lockwatch import tracked_lock
 from repro.obs import metrics as _metrics
 from repro.obs import tracing as _tracing
 from repro.obs.logging import get_logger, log_event
@@ -72,7 +73,7 @@ __all__ = ["GatewayServer"]
 
 _logger = get_logger("service.gateway")
 
-_REASONS = {
+_REASONS = {  # repro: noqa[module-state] - read-only HTTP reason table, never mutated after import
     200: "OK",
     201: "Created",
     400: "Bad Request",
@@ -130,7 +131,7 @@ class _JobEventHub:
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = tracked_lock("service.gateway.event_hub")
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._queues: Dict[str, List[asyncio.Queue]] = {}
 
@@ -354,7 +355,7 @@ class GatewayServer:
     def _run_loop(self, ready: threading.Event) -> None:
         try:
             asyncio.run(self._amain(ready))
-        except BaseException as exc:  # noqa: BLE001 - surfaced to start()
+        except BaseException as exc:  # noqa: BLE001  # repro: noqa[broad-except] - stored as _startup_error and re-raised by start()
             self._startup_error = exc
         finally:
             ready.set()

@@ -43,6 +43,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
+from repro.devtools.lockwatch import tracked_lock
 from repro.obs import metrics as _metrics
 
 __all__ = ["JOB_STATES", "JobRecord", "JobStore"]
@@ -164,7 +165,7 @@ class JobStore:
         if self.path is not None:
             parent = os.path.dirname(os.path.abspath(self.path))
             os.makedirs(parent, exist_ok=True)
-        self._lock = threading.RLock()
+        self._lock = tracked_lock("service.jobs.store", threading.RLock)
         self._listeners: List[Callable[[JobRecord], None]] = []
         self._conn = sqlite3.connect(
             self.path if self.path is not None else ":memory:",

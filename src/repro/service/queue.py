@@ -34,6 +34,7 @@ import time
 from typing import Any, Dict, Optional, Tuple
 
 from repro.core.expected_time import ANALYTIC_NUMERICS
+from repro.devtools.lockwatch import tracked_condition
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.obs import metrics as _metrics
 from repro.obs import tracing as _tracing
@@ -165,7 +166,7 @@ class JobScheduler:
         self.chunk_size = self._validated_chunk_size(chunk_size)
         self._threads: list = []
         self._stop = threading.Event()
-        self._wake = threading.Condition()
+        self._wake = tracked_condition("service.queue.wake")
         self._abandoned_workers = False
         self.recovered = store.recover_interrupted()
 
@@ -423,7 +424,7 @@ class JobScheduler:
                         raise ValueError(f"unknown job kind {job.kind!r}")
             except JobCancelled:
                 outcome = "cancelled"
-            except Exception as exc:  # noqa: BLE001 - a job failure must not kill the worker
+            except Exception as exc:  # noqa: BLE001  # repro: noqa[broad-except] - the failure is persisted on the job record just below, not swallowed
                 outcome = "failed"
                 error = exc
         run_s = time.perf_counter() - start

@@ -28,6 +28,8 @@ Example::
 from __future__ import annotations
 
 import threading
+
+from repro.devtools.lockwatch import tracked_lock
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
@@ -109,7 +111,7 @@ class TokenBucketLimiter:
         self.burst = int(burst)
         self._clock = clock
         self._max_keys = max_keys
-        self._lock = threading.Lock()
+        self._lock = tracked_lock("service.ratelimit")
         self._buckets: Dict[str, _Bucket] = {}
 
     def check(self, key: str, *, cost: float = 1.0) -> RateLimitDecision:

@@ -36,6 +36,7 @@ import json
 import threading
 from typing import Any, Dict, List, Optional
 
+from repro.devtools.lockwatch import tracked_lock
 from repro.obs import metrics as _metrics
 from repro.service.jobs import JOB_STATES, JobRecord, JobStore
 
@@ -72,7 +73,7 @@ class ServiceSnapshot:
 
     def __init__(self, store: JobStore) -> None:
         self._store = store
-        self._lock = threading.Lock()
+        self._lock = tracked_lock("service.snapshot")
         self._records: Dict[str, JobRecord] = {}
         self._body_cache: Dict[str, bytes] = {}
         self._attached = False

@@ -72,9 +72,18 @@ class PoissonFailureSource(FailureSource):
     when a failure strikes.
     """
 
-    def __init__(self, rate: float, rng: Optional[np.random.Generator] = None) -> None:
+    def __init__(
+        self,
+        rate: float,
+        rng: Optional[np.random.Generator] = None,
+        *,
+        seed: Optional[Union[int, np.random.SeedSequence]] = None,
+    ) -> None:
         self.rate = check_positive("rate", rate)
-        self._rng = rng if rng is not None else np.random.default_rng()
+        # The RNG is threaded, never created ad hoc: pass the caller's
+        # generator, or a seed to derive one (seed=None keeps the historical
+        # fresh-entropy behaviour, but as an explicit caller choice).
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
         self._pending: Optional[float] = None
 
     def time_to_next_failure(self, now: float) -> float:
@@ -115,12 +124,15 @@ class RenewalPlatformFailureSource(FailureSource):
         rng: Optional[np.random.Generator] = None,
         *,
         rejuvenate_all_on_failure: Optional[bool] = None,
+        seed: Optional[Union[int, np.random.SeedSequence]] = None,
     ) -> None:
         self.platform = platform
         if rejuvenate_all_on_failure is None:
             rejuvenate_all_on_failure = platform.rejuvenate_all_on_failure
         self.rejuvenate_all_on_failure = rejuvenate_all_on_failure
-        self._rng = rng if rng is not None else np.random.default_rng()
+        # Threaded RNG, same contract as PoissonFailureSource: an explicit
+        # generator wins, otherwise one is derived from the explicit seed.
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
         self._next_failures: List[float] = []
         self.reset()
 

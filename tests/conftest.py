@@ -6,6 +6,39 @@ import numpy as np
 import pytest
 
 from repro import LinearChain, Task, Workflow
+from repro.devtools.lockwatch import LockOrderWatchdog, install_watchdog
+
+#: Test modules that exercise the threaded service/observability stack; the
+#: lock-order watchdog runs under them so any inversion in lock nesting
+#: introduced by a change fails the suite instead of deadlocking production.
+_WATCHDOG_SUITES = ("test_service", "test_gateway", "test_obs")
+
+
+@pytest.fixture(autouse=True)
+def _lock_order_watchdog(request):
+    """Install a per-test LockOrderWatchdog around the service suites.
+
+    Locks built through ``repro.devtools.lockwatch.tracked_lock`` while a
+    test in one of the threaded suites runs are wrapped and their nesting
+    order checked across threads; a recorded inversion fails the test with
+    the full cycle report.  All other suites pay nothing (the fixture
+    yields immediately and ``tracked_lock`` returns raw locks).
+    """
+    module = getattr(request, "module", None)
+    name = getattr(module, "__name__", "") or ""
+    if name.rpartition(".")[2] not in _WATCHDOG_SUITES:
+        yield
+        return
+    watchdog = LockOrderWatchdog()
+    previous = install_watchdog(watchdog)
+    try:
+        yield
+    finally:
+        install_watchdog(previous)
+    if watchdog.inversions():
+        pytest.fail(
+            "lock-order inversions recorded:\n" + watchdog.format_report()
+        )
 
 
 @pytest.fixture

@@ -1,0 +1,670 @@
+"""Tests for the repo-native lint engine (repro.devtools).
+
+Every rule gets at least one failing and one passing snippet, linted through
+:func:`lint_source` against a virtual path that puts it in the rule's scope.
+The suppression machinery, JSON report shape, CLI entry points and the
+"whole repo lints clean" acceptance check are covered at the end.
+
+The snippets live inside string literals, which is safe on both sides: the
+linter only parses *comment tokens* for suppressions, and the rules walk the
+snippet's AST, not this file's.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.engine import (
+    LintReport,
+    Violation,
+    lint_paths,
+    lint_source,
+    module_for_path,
+    run,
+)
+from repro.devtools.rules import RULES
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Virtual paths that put a snippet inside each rule's scope.
+ENGINE_PATH = "src/repro/simulation/snippet.py"
+SERVICE_PATH = "src/repro/service/snippet.py"
+THREADED_PATH = "src/repro/service/gateway.py"
+RUNTIME_PATH = "src/repro/runtime/snippet.py"
+
+
+def check(source: str, path: str, code: str):
+    """Lint a snippet and return the violations carrying ``code``."""
+    violations, _ = lint_source(textwrap.dedent(source), path)
+    return [v for v in violations if v.code == code]
+
+
+# ----------------------------------------------------------------------
+# Scoping plumbing
+# ----------------------------------------------------------------------
+
+
+class TestModuleForPath:
+    def test_src_layout(self):
+        assert module_for_path("src/repro/simulation/engine.py") == (
+            "repro.simulation.engine"
+        )
+
+    def test_absolute_prefix(self):
+        assert module_for_path("/root/repo/src/repro/core/chain.py") == (
+            "repro.core.chain"
+        )
+
+    def test_package_init_maps_to_package(self):
+        assert module_for_path("src/repro/obs/__init__.py") == "repro.obs"
+
+    def test_outside_src_falls_back_to_parts(self):
+        assert module_for_path("tests/test_cli.py") == "tests.test_cli"
+
+    def test_windows_separators(self):
+        assert module_for_path("src\\repro\\failures\\platform.py") == (
+            "repro.failures.platform"
+        )
+
+
+# ----------------------------------------------------------------------
+# Determinism rules
+# ----------------------------------------------------------------------
+
+
+class TestWallClockRule:
+    BAD = """
+        import time
+        def stamp():
+            return time.time()
+    """
+
+    def test_flags_time_time_in_engine_code(self):
+        (violation,) = check(self.BAD, ENGINE_PATH, "wall-clock")
+        assert "time.time()" in violation.message
+
+    def test_flags_datetime_now(self):
+        src = """
+            from datetime import datetime
+            def stamp():
+                return datetime.now()
+        """
+        assert check(src, ENGINE_PATH, "wall-clock")
+
+    def test_perf_counter_is_allowed(self):
+        src = """
+            import time
+            def tick():
+                return time.perf_counter()
+        """
+        assert not check(src, ENGINE_PATH, "wall-clock")
+
+    def test_out_of_scope_module_is_clean(self):
+        assert not check(self.BAD, "src/repro/obs/snippet.py", "wall-clock")
+
+
+class TestUnseededRngRule:
+    def test_flags_zero_arg_default_rng(self):
+        src = """
+            import numpy as np
+            def draw():
+                return np.random.default_rng().random()
+        """
+        (violation,) = check(src, ENGINE_PATH, "unseeded-rng")
+        assert "seed" in violation.message
+
+    def test_seeded_default_rng_is_allowed(self):
+        src = """
+            import numpy as np
+            def draw(seed):
+                return np.random.default_rng(seed).random()
+        """
+        assert not check(src, ENGINE_PATH, "unseeded-rng")
+
+    def test_flags_legacy_global_state_numpy(self):
+        src = """
+            import numpy as np
+            def draw():
+                np.random.seed(0)
+                return np.random.rand(3)
+        """
+        assert len(check(src, SERVICE_PATH, "unseeded-rng")) == 2
+
+    def test_resolves_import_aliases(self):
+        src = """
+            from numpy.random import default_rng
+            def draw():
+                return default_rng().random()
+        """
+        assert check(src, ENGINE_PATH, "unseeded-rng")
+
+
+class TestStdlibRandomRule:
+    BAD = "import random\n"
+
+    def test_flags_import_in_engine_code(self):
+        (violation,) = check(self.BAD, ENGINE_PATH, "stdlib-random")
+        assert "global state" in violation.message
+
+    def test_flags_from_import(self):
+        assert check("from random import choice\n", ENGINE_PATH, "stdlib-random")
+
+    def test_service_code_is_out_of_scope(self):
+        assert not check(self.BAD, SERVICE_PATH, "stdlib-random")
+
+    def test_other_modules_named_randomly_are_fine(self):
+        assert not check("import secrets\n", ENGINE_PATH, "stdlib-random")
+
+
+# ----------------------------------------------------------------------
+# Concurrency rules
+# ----------------------------------------------------------------------
+
+
+class TestLockAcquireRule:
+    def test_flags_bare_acquire(self):
+        src = """
+            import threading
+            guard = threading.Lock()
+            def update():
+                guard.acquire()
+                work()
+                guard.release()
+        """
+        (violation,) = check(src, SERVICE_PATH, "lock-acquire")
+        assert "with" in violation.message
+
+    def test_with_block_is_allowed(self):
+        src = """
+            import threading
+            guard = threading.Lock()
+            def update():
+                with guard:
+                    work()
+        """
+        assert not check(src, SERVICE_PATH, "lock-acquire")
+
+    def test_acquire_followed_by_try_finally_is_allowed(self):
+        src = """
+            import threading
+            guard = threading.Lock()
+            def update():
+                guard.acquire()
+                try:
+                    work()
+                finally:
+                    guard.release()
+        """
+        assert not check(src, SERVICE_PATH, "lock-acquire")
+
+    def test_name_hints_cover_attributes(self):
+        src = """
+            class Store:
+                def update(self):
+                    self._lock.acquire()
+                    self.data += 1
+                    self._lock.release()
+        """
+        assert check(src, SERVICE_PATH, "lock-acquire")
+
+    def test_applies_everywhere_even_outside_repro(self):
+        src = """
+            import threading
+            guard = threading.Lock()
+            def update():
+                guard.acquire()
+        """
+        assert check(src, "benchmarks/bench_snippet.py", "lock-acquire")
+
+
+class TestEphemeralLockRule:
+    def test_flags_lock_created_per_call(self):
+        src = """
+            import threading
+            def update(store):
+                guard = threading.Lock()
+                with guard:
+                    store.bump()
+        """
+        (violation,) = check(src, SERVICE_PATH, "ephemeral-lock")
+        assert "synchronises nothing" in violation.message
+
+    def test_returned_lock_escapes(self):
+        src = """
+            import threading
+            def make_lock():
+                guard = threading.Lock()
+                return guard
+        """
+        assert not check(src, SERVICE_PATH, "ephemeral-lock")
+
+    def test_lock_passed_to_call_escapes(self):
+        src = """
+            import threading
+            def make_condition():
+                guard = threading.RLock()
+                return threading.Condition(guard)
+        """
+        assert not check(src, SERVICE_PATH, "ephemeral-lock")
+
+    def test_module_level_lock_is_fine(self):
+        src = """
+            import threading
+            guard = threading.Lock()
+            def update():
+                with guard:
+                    pass
+        """
+        assert not check(src, SERVICE_PATH, "ephemeral-lock")
+
+
+class TestModuleStateRule:
+    def test_flags_module_level_dict_in_threaded_module(self):
+        src = "_CACHE = {}\n"
+        (violation,) = check(src, THREADED_PATH, "module-state")
+        assert "threaded module" in violation.message
+
+    def test_flags_mutable_factory_calls(self):
+        src = """
+            import collections
+            _PENDING = collections.deque()
+        """
+        assert check(src, THREADED_PATH, "module-state")
+
+    def test_dunder_all_is_exempt(self):
+        assert not check('__all__ = ["a", "b"]\n', THREADED_PATH, "module-state")
+
+    def test_immutable_constants_are_fine(self):
+        assert not check("_LIMITS = (1, 2, 3)\n", THREADED_PATH, "module-state")
+
+    def test_non_threaded_module_is_out_of_scope(self):
+        assert not check("_CACHE = {}\n", ENGINE_PATH, "module-state")
+
+
+# ----------------------------------------------------------------------
+# Robustness rules
+# ----------------------------------------------------------------------
+
+
+class TestBareExceptRule:
+    def test_flags_bare_except(self):
+        src = """
+            def load():
+                try:
+                    parse()
+                except:
+                    pass
+        """
+        (violation,) = check(src, "benchmarks/bench_snippet.py", "bare-except")
+        assert "KeyboardInterrupt" in violation.message
+
+    def test_typed_except_is_fine(self):
+        src = """
+            def load():
+                try:
+                    parse()
+                except ValueError:
+                    pass
+        """
+        assert not check(src, SERVICE_PATH, "bare-except")
+
+
+class TestBroadExceptRule:
+    SILENT = """
+        def load():
+            try:
+                parse()
+            except Exception:
+                pass
+    """
+
+    def test_flags_silent_broad_except(self):
+        (violation,) = check(self.SILENT, RUNTIME_PATH, "broad-except")
+        assert "silence" in violation.message
+
+    def test_reraise_is_allowed(self):
+        src = """
+            def load():
+                try:
+                    parse()
+                except Exception as exc:
+                    raise RuntimeError("load failed") from exc
+        """
+        assert not check(src, RUNTIME_PATH, "broad-except")
+
+    def test_logging_is_allowed(self):
+        src = """
+            import logging
+            logger = logging.getLogger(__name__)
+            def load():
+                try:
+                    parse()
+                except Exception:
+                    logger.warning("load failed", exc_info=True)
+        """
+        assert not check(src, RUNTIME_PATH, "broad-except")
+
+    def test_tuple_containing_exception_is_broad(self):
+        src = """
+            def load():
+                try:
+                    parse()
+                except (ValueError, Exception):
+                    pass
+        """
+        assert check(src, RUNTIME_PATH, "broad-except")
+
+    def test_outside_repro_is_out_of_scope(self):
+        assert not check(self.SILENT, "tests/snippet.py", "broad-except")
+
+
+# ----------------------------------------------------------------------
+# Cache-key hygiene
+# ----------------------------------------------------------------------
+
+
+class TestCacheKeyRule:
+    def test_flags_builtin_hash(self):
+        src = """
+            def key_for(spec):
+                return hash(spec)
+        """
+        (violation,) = check(src, RUNTIME_PATH, "cache-key")
+        assert "PYTHONHASHSEED" in violation.message
+
+    def test_flags_ad_hoc_hashlib(self):
+        src = """
+            import hashlib
+            def key_for(payload):
+                return hashlib.sha256(payload).hexdigest()
+        """
+        assert check(src, SERVICE_PATH, "cache-key")
+
+    def test_hashing_module_is_exempt(self):
+        src = """
+            import hashlib
+            def stable_hash(payload):
+                return hashlib.sha256(payload).hexdigest()
+        """
+        assert not check(src, "src/repro/runtime/hashing.py", "cache-key")
+
+    def test_method_named_hash_is_fine(self):
+        src = """
+            def key_for(spec):
+                return spec.hash()
+        """
+        assert not check(src, RUNTIME_PATH, "cache-key")
+
+    def test_out_of_scope_package_is_clean(self):
+        src = """
+            def key_for(spec):
+                return hash(spec)
+        """
+        assert not check(src, "src/repro/analysis/snippet.py", "cache-key")
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+
+
+class TestSuppressions:
+    def test_suppression_silences_matching_violation(self):
+        src = textwrap.dedent("""
+            import time
+            def stamp():
+                return time.time()  # repro: noqa[wall-clock] - test fixture
+        """)
+        violations, suppressed = lint_source(src, ENGINE_PATH)
+        assert violations == []
+        assert suppressed == 1
+
+    def test_suppression_for_other_code_does_not_silence(self):
+        src = textwrap.dedent("""
+            import time
+            def stamp():
+                return time.time()  # repro: noqa[cache-key]
+        """)
+        violations, _ = lint_source(src, ENGINE_PATH)
+        codes = {v.code for v in violations}
+        assert "wall-clock" in codes
+        assert "unused-noqa" in codes
+
+    def test_multiple_codes_in_one_marker(self):
+        src = textwrap.dedent("""
+            import time
+            def stamp():
+                return time.time()  # repro: noqa[wall-clock, cache-key]
+        """)
+        violations, suppressed = lint_source(src, ENGINE_PATH)
+        assert suppressed == 1
+        # The cache-key half matched nothing and is reported unused.
+        assert [v.code for v in violations] == ["unused-noqa"]
+
+    def test_unused_suppression_is_reported(self):
+        src = "x = 1  # repro: noqa[wall-clock]\n"
+        violations, _ = lint_source(src, ENGINE_PATH)
+        (violation,) = violations
+        assert violation.code == "unused-noqa"
+        assert "matches no violation" in violation.message
+
+    def test_unknown_code_in_suppression_is_reported(self):
+        src = "x = 1  # repro: noqa[made-up-rule]\n"
+        violations, _ = lint_source(src, ENGINE_PATH)
+        (violation,) = violations
+        assert violation.code == "unused-noqa"
+        assert "unknown rule code" in violation.message
+
+    def test_marker_inside_string_literal_is_inert(self):
+        src = textwrap.dedent("""
+            import time
+            MARKER = "time.time()  # repro: noqa[wall-clock]"
+            def stamp():
+                return time.time()
+        """)
+        violations, suppressed = lint_source(src, ENGINE_PATH)
+        assert suppressed == 0
+        assert [v.code for v in violations] == ["wall-clock"]
+
+    def test_unused_noqa_skipped_under_select(self):
+        src = "x = 1  # repro: noqa[wall-clock]\n"
+        violations, _ = lint_source(src, ENGINE_PATH, select={"cache-key"})
+        assert violations == []
+
+
+# ----------------------------------------------------------------------
+# Engine mechanics: syntax errors, reports, discovery
+# ----------------------------------------------------------------------
+
+
+class TestEngine:
+    def test_syntax_error_is_a_violation(self):
+        violations, _ = lint_source("def broken(:\n", ENGINE_PATH)
+        (violation,) = violations
+        assert violation.code == "syntax-error"
+        assert violation.line == 1
+
+    def test_report_shape(self, tmp_path):
+        (tmp_path / "bad.py").write_text(
+            "import time\nSTAMP = time.time()\n", encoding="utf-8"
+        )
+        report = lint_paths([str(tmp_path / "bad.py")])
+        assert isinstance(report, LintReport)
+        # tmp files live outside src/, so the engine-scoped rule does not
+        # apply; the report still counts the file.
+        assert report.files_checked == 1
+        payload = report.to_dict()
+        assert payload["version"] == 1
+        assert set(payload) == {
+            "version", "files_checked", "suppressed", "counts", "violations",
+        }
+
+    def test_violations_sorted_and_serializable(self, tmp_path):
+        src_dir = tmp_path / "src" / "repro" / "simulation"
+        src_dir.mkdir(parents=True)
+        (src_dir / "b.py").write_text("import random\n", encoding="utf-8")
+        (src_dir / "a.py").write_text(
+            "import time\nSTAMP = time.time()\nimport random\n",
+            encoding="utf-8",
+        )
+        report = lint_paths([str(tmp_path)])
+        assert report.exit_code == 1
+        paths = [v.path for v in report.violations]
+        assert paths == sorted(paths)
+        counts = report.counts()
+        assert counts["stdlib-random"] == 2
+        assert counts["wall-clock"] == 1
+        round_trip = json.loads(json.dumps(report.to_dict()))
+        assert round_trip["counts"] == counts
+
+    def test_discovery_skips_pycache(self, tmp_path):
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "junk.py").write_text("import time\n", encoding="utf-8")
+        (tmp_path / "ok.py").write_text("x = 1\n", encoding="utf-8")
+        report = lint_paths([str(tmp_path)])
+        assert report.files_checked == 1
+
+    def test_select_restricts_rules(self, tmp_path):
+        src_dir = tmp_path / "src" / "repro" / "simulation"
+        src_dir.mkdir(parents=True)
+        (src_dir / "m.py").write_text(
+            "import random\nimport time\nSTAMP = time.time()\n",
+            encoding="utf-8",
+        )
+        report = lint_paths([str(tmp_path)], select=["stdlib-random"])
+        assert set(report.counts()) == {"stdlib-random"}
+
+    def test_unknown_select_code_raises(self):
+        with pytest.raises(ValueError, match="unknown rule code"):
+            lint_paths(["src"], select=["made-up"])
+
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            lint_paths(["no/such/dir"])
+
+    def test_violation_render(self):
+        violation = Violation("a.py", 3, 7, "wall-clock", "no clocks")
+        assert violation.render() == "a.py:3:7: [wall-clock] no clocks"
+
+
+# ----------------------------------------------------------------------
+# run() / CLI entry points
+# ----------------------------------------------------------------------
+
+
+def _seeded_fixture(tmp_path, code: str) -> str:
+    """Write one file seeded with a violation of ``code``; return its path."""
+    snippets = {
+        "wall-clock": ("src/repro/simulation/m.py",
+                       "import time\nSTAMP = time.time()\n"),
+        "unseeded-rng": ("src/repro/core/m.py",
+                         "import numpy as np\nRNG = np.random.default_rng()\n"),
+        "stdlib-random": ("src/repro/failures/m.py", "import random\n"),
+        "lock-acquire": (
+            "src/repro/service/m.py",
+            "import threading\nguard = threading.Lock()\n"
+            "def f():\n    guard.acquire()\n",
+        ),
+        "ephemeral-lock": (
+            "src/repro/service/m.py",
+            "import threading\ndef f():\n"
+            "    guard = threading.Lock()\n    with guard:\n        pass\n",
+        ),
+        "module-state": ("src/repro/service/gateway.py", "_CACHE = {}\n"),
+        "bare-except": (
+            "src/repro/runtime/m.py",
+            "def f():\n    try:\n        pass\n    except:\n        pass\n",
+        ),
+        "broad-except": (
+            "src/repro/runtime/m.py",
+            "def f():\n    try:\n        pass\n"
+            "    except Exception:\n        pass\n",
+        ),
+        "cache-key": ("src/repro/runtime/m.py",
+                      "def key(spec):\n    return hash(spec)\n"),
+    }
+    rel, body = snippets[code]
+    target = tmp_path / rel
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(body, encoding="utf-8")
+    return str(target)
+
+
+class TestRun:
+    @pytest.mark.parametrize("code", sorted(set(RULES)))
+    def test_each_rule_fixture_exits_nonzero(self, tmp_path, code):
+        path = _seeded_fixture(tmp_path, code)
+        out = io.StringIO()
+        assert run([path], stream=out) == 1
+        assert f"[{code}]" in out.getvalue()
+
+    def test_clean_file_exits_zero(self, tmp_path):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n", encoding="utf-8")
+        out = io.StringIO()
+        assert run([str(target)], stream=out) == 0
+        assert "0 violation(s)" in out.getvalue()
+
+    def test_json_output_shape(self, tmp_path):
+        path = _seeded_fixture(tmp_path, "wall-clock")
+        out = io.StringIO()
+        assert run([path], json_output=True, stream=out) == 1
+        payload = json.loads(out.getvalue())
+        assert payload["counts"] == {"wall-clock": 1}
+        (violation,) = payload["violations"]
+        assert violation["code"] == "wall-clock"
+        assert violation["line"] == 2
+
+    def test_list_rules(self):
+        out = io.StringIO()
+        assert run([], list_rules=True, stream=out) == 0
+        listing = out.getvalue()
+        for code in RULES:
+            assert code in listing
+        assert "unused-noqa" in listing
+
+    def test_bad_path_exits_two(self):
+        assert run(["no/such/dir"], stream=io.StringIO()) == 2
+
+    def test_bad_select_exits_two(self):
+        assert run(["src"], select=["made-up"], stream=io.StringIO()) == 2
+
+    def test_module_main(self, tmp_path):
+        from repro.devtools.engine import main
+
+        path = _seeded_fixture(tmp_path, "stdlib-random")
+        assert main([path, "--select", "stdlib-random"]) == 1
+
+    def test_cli_lint_subcommand(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        path = _seeded_fixture(tmp_path, "cache-key")
+        assert cli_main(["lint", path]) == 1
+        assert "[cache-key]" in capsys.readouterr().out
+
+    def test_cli_lint_json(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        path = _seeded_fixture(tmp_path, "bare-except")
+        assert cli_main(["lint", path, "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"] == {"bare-except": 1}
+
+
+class TestWholeRepo:
+    def test_repo_lints_clean(self):
+        """The acceptance gate: src/tests/benchmarks carry zero violations."""
+        report = lint_paths([
+            str(REPO_ROOT / "src"),
+            str(REPO_ROOT / "tests"),
+            str(REPO_ROOT / "benchmarks"),
+        ])
+        assert report.violations == [], "\n".join(
+            v.render() for v in report.violations
+        )

@@ -1,0 +1,286 @@
+"""Tests for the runtime lock-order watchdog (repro.devtools.lockwatch).
+
+The inversion tests provoke a *real* ordering inversion -- two threads
+nesting the same pair of locks in opposite orders -- but sequence the
+threads with joins so the test itself can never deadlock: the second
+nesting starts only after the first thread has released everything.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.devtools.lockwatch import (
+    ENV_VAR,
+    LockOrderError,
+    LockOrderWatchdog,
+    active_watchdog,
+    install_watchdog,
+    tracked_condition,
+    tracked_lock,
+)
+
+
+def _run_thread(fn, name):
+    worker = threading.Thread(target=fn, name=name)
+    worker.start()
+    worker.join(timeout=10.0)
+    assert not worker.is_alive(), f"thread {name} did not finish"
+
+
+@pytest.fixture
+def isolated_global_watchdog():
+    """Clear the process-global watchdog for the test, restoring it after."""
+    previous = install_watchdog(None)
+    try:
+        yield
+    finally:
+        install_watchdog(previous)
+
+
+class TestOrderTracking:
+    def test_consistent_nesting_is_clean(self):
+        watchdog = LockOrderWatchdog()
+        outer = watchdog.wrap(threading.Lock(), "A")
+        inner = watchdog.wrap(threading.Lock(), "B")
+
+        def nest():
+            with outer:
+                with inner:
+                    pass
+
+        _run_thread(nest, "order-t1")
+        _run_thread(nest, "order-t2")
+        assert watchdog.inversions() == []
+        assert watchdog.edges() == {"A": {"B"}}
+        assert watchdog.format_report() == "no lock-order inversions recorded"
+        watchdog.assert_clean()
+
+    def test_inversion_between_two_threads_is_recorded(self):
+        watchdog = LockOrderWatchdog()
+        a = watchdog.wrap(threading.Lock(), "A")
+        b = watchdog.wrap(threading.Lock(), "B")
+
+        def forward():
+            with a:
+                with b:
+                    pass
+
+        def backward():
+            with b:
+                with a:
+                    pass
+
+        _run_thread(forward, "inv-forward")
+        _run_thread(backward, "inv-backward")
+
+        (inversion,) = watchdog.inversions()
+        assert inversion["held"] == "B"
+        assert inversion["acquiring"] == "A"
+        assert inversion["thread"] == "inv-backward"
+        assert inversion["reverse_thread"] == "inv-forward"
+        assert set(inversion["cycle"]) == {"A", "B"}
+        with pytest.raises(LockOrderError, match="A"):
+            watchdog.assert_clean()
+        assert "inv-backward" in watchdog.format_report()
+
+    def test_inversion_reported_once_per_pair(self):
+        watchdog = LockOrderWatchdog()
+        a = watchdog.wrap(threading.Lock(), "A")
+        b = watchdog.wrap(threading.Lock(), "B")
+
+        def forward():
+            with a:
+                with b:
+                    pass
+
+        def backward():
+            with b:
+                with a:
+                    pass
+
+        _run_thread(forward, "dedup-forward")
+        for attempt in range(3):
+            _run_thread(backward, f"dedup-backward-{attempt}")
+        assert len(watchdog.inversions()) == 1
+
+    def test_transitive_cycle_is_detected(self):
+        watchdog = LockOrderWatchdog()
+        a = watchdog.wrap(threading.Lock(), "A")
+        b = watchdog.wrap(threading.Lock(), "B")
+        c = watchdog.wrap(threading.Lock(), "C")
+
+        def a_then_b():
+            with a:
+                with b:
+                    pass
+
+        def b_then_c():
+            with b:
+                with c:
+                    pass
+
+        def c_then_a():
+            with c:
+                with a:
+                    pass
+
+        _run_thread(a_then_b, "cycle-t1")
+        _run_thread(b_then_c, "cycle-t2")
+        _run_thread(c_then_a, "cycle-t3")
+        (inversion,) = watchdog.inversions()
+        assert inversion["held"] == "C"
+        assert inversion["acquiring"] == "A"
+        assert inversion["cycle"] == ["C", "A", "B"]
+
+    def test_raise_on_inversion(self):
+        watchdog = LockOrderWatchdog(raise_on_inversion=True)
+        a = watchdog.wrap(threading.Lock(), "A")
+        b = watchdog.wrap(threading.Lock(), "B")
+        with a:
+            with b:
+                pass
+        # Same thread re-nesting in the opposite order is just as much of
+        # an inversion: the graph is cross-thread but cycles are cycles.
+        with pytest.raises(LockOrderError, match="closing"):
+            with b:
+                with a:
+                    pass
+
+    def test_reentrant_rlock_records_no_self_edge(self):
+        watchdog = LockOrderWatchdog()
+        guard = watchdog.wrap(threading.RLock(), "R")
+        with guard:
+            with guard:
+                pass
+        assert watchdog.edges() == {}
+        assert watchdog.inversions() == []
+
+    def test_nonblocking_acquire_failure_records_nothing(self):
+        watchdog = LockOrderWatchdog()
+        guard = watchdog.wrap(threading.Lock(), "G")
+        held = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            with guard:
+                held.set()
+                assert release.wait(timeout=10.0)
+
+        worker = threading.Thread(target=holder, name="nb-holder")
+        worker.start()
+        assert held.wait(timeout=10.0)
+        assert guard.acquire(False) is False
+        assert guard.locked()
+        release.set()
+        worker.join(timeout=10.0)
+        assert not guard.locked()
+
+
+class TestTrackedLockSeam:
+    def test_raw_lock_when_no_watchdog(self, isolated_global_watchdog):
+        guard = tracked_lock("seam.raw")
+        assert type(guard) is type(threading.Lock())
+        condition = tracked_condition("seam.raw-cond")
+        assert isinstance(condition, threading.Condition)
+
+    def test_wrapped_when_installed(self, isolated_global_watchdog):
+        watchdog = LockOrderWatchdog()
+        install_watchdog(watchdog)
+        guard = tracked_lock("seam.wrapped")
+        assert guard.name == "seam.wrapped"
+        with guard:
+            pass
+        rlock = tracked_lock("seam.rlock", threading.RLock)
+        with rlock:
+            with rlock:
+                pass
+        assert watchdog.inversions() == []
+
+    def test_install_returns_previous(self, isolated_global_watchdog):
+        first = LockOrderWatchdog()
+        second = LockOrderWatchdog()
+        assert install_watchdog(first) is None
+        assert install_watchdog(second) is first
+        assert install_watchdog(None) is second
+
+    def test_env_var_activation(self, isolated_global_watchdog, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "1")
+        watchdog = active_watchdog()
+        assert watchdog is not None
+        guard = tracked_lock("seam.env")
+        assert guard.name == "seam.env"
+        # The lazily created watchdog is sticky until explicitly replaced.
+        assert active_watchdog() is watchdog
+
+    def test_env_var_zero_means_off(self, isolated_global_watchdog, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "0")
+        assert active_watchdog() is None
+
+    def test_watchdog_is_bound_at_construction(self, isolated_global_watchdog):
+        first = LockOrderWatchdog()
+        install_watchdog(first)
+        guard = tracked_lock("seam.bound")
+        second = LockOrderWatchdog()
+        install_watchdog(second)
+        a = second.wrap(threading.Lock(), "A2")
+        with guard:
+            with a:
+                pass
+        # The nesting spans watchdogs, so neither sees a full edge pair;
+        # what matters is the early lock kept reporting to `first`.
+        assert "seam.bound" not in second.edges()
+
+
+class TestTrackedCondition:
+    def test_wait_notify_roundtrip(self, isolated_global_watchdog):
+        watchdog = LockOrderWatchdog()
+        install_watchdog(watchdog)
+        condition = tracked_condition("cond.roundtrip")
+        ready: list = []
+
+        def producer():
+            with condition:
+                ready.append("item")
+                condition.notify_all()
+
+        def consumer():
+            with condition:
+                while not ready:
+                    assert condition.wait(timeout=10.0)
+
+        consumer_thread = threading.Thread(target=consumer, name="cond-consumer")
+        consumer_thread.start()
+        producer_thread = threading.Thread(target=producer, name="cond-producer")
+        producer_thread.start()
+        consumer_thread.join(timeout=10.0)
+        producer_thread.join(timeout=10.0)
+        assert not consumer_thread.is_alive()
+        assert ready == ["item"]
+        assert watchdog.inversions() == []
+
+    def test_wait_releases_all_recursion_levels(self, isolated_global_watchdog):
+        watchdog = LockOrderWatchdog()
+        install_watchdog(watchdog)
+        condition = tracked_condition("cond.reentrant")
+        other = tracked_lock("cond.other")
+        done = threading.Event()
+
+        def waiter():
+            with condition:
+                with condition:
+                    # Waiting drops every recursion level; on wake the
+                    # watchdog's per-thread stack must be restored, so the
+                    # subsequent nested acquisition records a normal edge
+                    # and no phantom ordering survives from before wait().
+                    condition.wait(timeout=0.05)
+                    with other:
+                        pass
+            done.set()
+
+        _run_thread(waiter, "cond-waiter")
+        assert done.is_set()
+        assert watchdog.inversions() == []
+        assert watchdog.edges() == {"cond.reentrant": {"cond.other"}}
