@@ -14,7 +14,43 @@ Shape expected:
 
 import pytest
 
+from repro.core.dag_scheduling import place_checkpoints_on_order
 from repro.experiments.registry import experiment_e10_dag_frontier
+from repro.models.checkpoint import FrontierCheckpointCost
+from repro.workflows.generators import fork_join, montage_like
+
+
+def run_e10_with_kernel_check(*, seed: int = 7):
+    """E10 plus an in-bench identity gate for the precomputed frontier kernel.
+
+    The experiment itself exercises the frontier model through the heuristic
+    scheduler; this wrapper additionally pins the optimisation under it --
+    the vectorized placement's precomputed liveness intervals
+    (``_FrontierCostTables``) must reproduce the per-cell reference DP
+    bit-for-bit on the same wide-fan-out DAGs the experiment uses.
+    """
+    table = experiment_e10_dag_frontier(seed=seed)
+    for workflow in (
+        fork_join(6, branch_work=4.0, checkpoint_cost=0.5, seed=seed),
+        montage_like(4, checkpoint_cost=0.5),
+    ):
+        order = workflow.topological_order()
+        model = FrontierCheckpointCost(workflow)
+        for rate in (0.01, 0.1):
+            reference = place_checkpoints_on_order(
+                workflow, order, 0.2, rate,
+                checkpoint_model=model, method="reference",
+            )
+            vectorized = place_checkpoints_on_order(
+                workflow, order, 0.2, rate,
+                checkpoint_model=model, method="vectorized",
+            )
+            if reference != vectorized:
+                raise AssertionError(
+                    "frontier placement: vectorized kernel diverges from the "
+                    f"reference at rate={rate}"
+                )
+    return table
 
 
 @pytest.mark.experiment("E10")
@@ -46,6 +82,6 @@ if __name__ == "__main__":  # pragma: no cover - exercised by the CI bench-smoke
     from harness import run_cli
 
     raise SystemExit(run_cli(
-        "bench_e10_dag_frontier", experiment_e10_dag_frontier,
+        "bench_e10_dag_frontier", run_e10_with_kernel_check,
         quick_params=QUICK_PARAMS, full_params=FULL_PARAMS,
     ))

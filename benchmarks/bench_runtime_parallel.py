@@ -273,6 +273,70 @@ def measure(num_runs: int = 600, num_workers: int | None = None,
         check="bit-identical to lock-step" if kernels_identical else "MISMATCH",
     )
 
+    # Moderate failures (PR 10 tentpole): ~1.5 failures per replication on a
+    # 2048-segment chain.  The pre-fusion veteran loop fell back to per-lane
+    # rounds as soon as any lane was recovering, so this regime ran at
+    # lock-step speed; the fused round resolves recoveries in a pre-pass and
+    # lets every healthy lane jump through one shared threshold gather.  The
+    # shape is fixed (independent of --quick) so CI gates the same
+    # measurement as a full run, and the kernels must stay bit-identical.
+    mod_count = 240
+    mod_chain = ChainSpec(
+        n=2048, work_range=(5.0, 15.0), checkpoint_range=(1.0, 2.0), seed=7
+    ).build()
+    mod_segments = Schedule.for_chain(mod_chain, range(mod_chain.n)).segments()
+    mod_length = sum(s.work + s.checkpoint_cost for s in mod_segments)
+    mod_rate = 1.5 / mod_length
+
+    def _moderate_kernel(kernel):
+        plan = PlannedExponentialDelays(
+            np.random.default_rng(3), 1.0 / mod_rate, mod_count,
+            first_rounds=len(mod_segments) + 4,
+        )
+        return kernel(
+            mod_segments, mod_rate, 1.0, None, mod_count, plan=plan
+        )
+
+    # Best-of >= 3 keeps the asserted gate out of scheduler-noise range.
+    mod_repeats = max(repeats, 3)
+    mod_lock, mod_lock_seconds = _best_of(
+        mod_repeats, lambda: _moderate_kernel(simulate_poisson_batch_lockstep)
+    )
+    mod_jump, mod_jump_seconds = _best_of(
+        mod_repeats, lambda: _moderate_kernel(simulate_poisson_batch)
+    )
+    mod_identical = all(
+        bool(np.array_equal(a, b))
+        for a, b in (
+            (mod_jump.makespans, mod_lock.makespans),
+            (mod_jump.num_failures, mod_lock.num_failures),
+            (mod_jump.wasted_times, mod_lock.wasted_times),
+            (mod_jump.recovery_attempts, mod_lock.recovery_attempts),
+        )
+    )
+    if not mod_identical:
+        raise AssertionError(
+            "fused moderate-failure kernel diverges from lock-step"
+        )
+    mod_speedup = mod_lock_seconds / mod_jump_seconds
+    if mod_speedup < 2.0:
+        raise AssertionError(
+            f"fused moderate-failure kernel speedup {mod_speedup:.2f}x is "
+            f"below the 2.0x gate"
+        )
+    mod_label = f"{mod_count} reps x {len(mod_segments)} segs, ~1.5 fails/rep"
+    table.add_row(
+        mode=f"poisson moderate-failure lock-step kernel ({mod_label})",
+        seconds=mod_lock_seconds, speedup_vs_scalar_serial=None,
+        check="pre-fusion behaviour of this regime",
+    )
+    table.add_row(
+        mode=f"poisson moderate-failure fused jump kernel ({mod_label})",
+        seconds=mod_jump_seconds,
+        speedup_vs_scalar_serial=mod_speedup,
+        check="bit-identical to lock-step",
+    )
+
     # The same regime end to end: estimate() with the scalar event loop vs
     # the vectorized engine (which auto-selects the jump kernel here).
     long_estimator = MonteCarloEstimator(long_segments, jump_rate, 1.0)

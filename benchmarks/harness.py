@@ -40,6 +40,32 @@ def _git_sha() -> Optional[str]:
     return sha if out.returncode == 0 and sha else None
 
 
+def _numpy_version() -> Optional[str]:
+    """NumPy version string, or None when the workload is stdlib-only."""
+    try:
+        import numpy
+    except ImportError:
+        return None
+    return numpy.__version__
+
+
+def provenance() -> Dict[str, Any]:
+    """Environment stamp attached to every JSON artifact and history record.
+
+    A timing is only comparable to another timing from the same code and
+    platform, so each record carries the commit, interpreter, NumPy build and
+    core count it was measured under -- enough for
+    ``scripts/plot_perf_history.py`` and ``scripts/check_bench_regression.py``
+    to group like with like instead of averaging across machines.
+    """
+    return {
+        "git_sha": _git_sha(),
+        "python": platform.python_version(),
+        "numpy": _numpy_version(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
 def append_history(path: str, record: Mapping[str, Any]) -> None:
     """Append one perf record to the JSONL history file at ``path``.
 
@@ -129,7 +155,7 @@ def run_cli(
             "seconds": best_seconds,
             "repeat": max(args.repeat, 1),
             "params": _json_safe(params),
-            "python": platform.python_version(),
+            **provenance(),
         }
         rows = getattr(result, "rows", None)
         if rows is not None:
@@ -146,8 +172,7 @@ def run_cli(
             "value": best_seconds,
             "repeat": max(args.repeat, 1),
             "ts": time.time(),
-            "git_sha": _git_sha(),
-            "python": platform.python_version(),
+            **provenance(),
         })
         print(f"[{name}] appended perf record to {args.history}")
     return 0

@@ -1,0 +1,25 @@
+#!/usr/bin/env python3
+"""Render the bench perf-history JSONL as a per-benchmark trend table.
+
+Thin wrapper over :mod:`repro.perf_history` (stdlib-only) so the table is
+available without installing the package::
+
+    python scripts/plot_perf_history.py bench-results/bench-history.jsonl
+    python scripts/plot_perf_history.py --bench analytic --mode quick history.jsonl
+
+The same renderer is wired into the CLI as ``repro bench-history``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "src")
+)
+
+from repro.perf_history import main  # noqa: E402  (path bootstrap above)
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,6 @@
 """Command-line interface for the checkpoint-scheduling library.
 
-Ten sub-commands cover the everyday uses of the library without writing any
+The sub-commands cover the everyday uses of the library without writing any
 Python:
 
 * ``repro solve-chain``   -- optimal checkpoint placement for a chain stored
@@ -23,6 +23,8 @@ Python:
   (Prometheus text, or JSON with ``--json``);
 * ``repro debug``         -- operator debugging: ``repro debug flight``
   dumps a running service's flight recorder (recent spans and errors);
+* ``repro bench-history`` -- per-benchmark trend table from the JSONL perf
+  history the bench harness appends (see :mod:`repro.perf_history`);
 * ``repro lint``          -- repo-native static analysis enforcing the
   determinism and concurrency contracts (see :mod:`repro.devtools`).
 
@@ -298,6 +300,26 @@ def build_parser() -> argparse.ArgumentParser:
                          help="service address (default: %(default)s)")
     metrics.add_argument("--json", action="store_true",
                          help="print the JSON snapshot instead of Prometheus text")
+
+    bench_history = subparsers.add_parser(
+        "bench-history", help="render the bench perf-history JSONL as a "
+        "per-benchmark trend table (see benchmarks/harness.py --history)"
+    )
+    bench_history.add_argument(
+        "history", help="path to the JSONL history file"
+    )
+    bench_history.add_argument(
+        "--bench", default=None, metavar="SUBSTRING",
+        help="only series whose benchmark name contains SUBSTRING",
+    )
+    bench_history.add_argument(
+        "--mode", default=None, choices=("quick", "full"),
+        help="only series recorded in this mode",
+    )
+    bench_history.add_argument(
+        "--last", type=int, default=20, metavar="N",
+        help="sparkline length: the N most recent values (default 20)",
+    )
 
     lint = subparsers.add_parser(
         "lint", help="repo-native static analysis (determinism & concurrency "
@@ -727,6 +749,19 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_history(args: argparse.Namespace) -> int:
+    # Lazy import: developer tooling, like `repro lint`.
+    from repro.perf_history import load_history, render_trends
+
+    try:
+        records = load_history(args.history)
+    except OSError as error:
+        print(f"cannot read {args.history}: {error}", file=sys.stderr)
+        return 1
+    print(render_trends(records, bench=args.bench, mode=args.mode, last=args.last))
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     # Lazy import: the lint engine is developer tooling and the other
     # sub-commands must not pay for it.
@@ -753,6 +788,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "jobs": _cmd_jobs,
         "debug": _cmd_debug,
         "metrics": _cmd_metrics,
+        "bench-history": _cmd_bench_history,
         "lint": _cmd_lint,
     }
     return handlers[args.command](args)

@@ -167,6 +167,93 @@ def linearize(
 # ----------------------------------------------------------------------
 
 
+class _FrontierCostTables:
+    """Precomputed frontier index arrays for one linearisation.
+
+    :class:`~repro.models.checkpoint.FrontierCheckpointCost` makes the cost of
+    a checkpoint after position ``j`` depend on the *live* tasks in the window
+    ``(prev_ckpt, j]``.  Evaluated through the model that is one Python call
+    per ``(row, j)`` cell -- each call re-validating the order and rebuilding
+    the frontier set -- which dominated the DAG placement profile.  This class
+    exploits the interval structure of liveness instead: a task at position
+    ``p`` belongs to ``frontier_after(order, j)`` exactly for
+    ``p <= j < live_end[p]``, where ``live_end[p]`` is the position of the
+    task's last successor in the order (``n`` for exit tasks).  One sweep
+    builds, for every ``j``, the name-sorted live members as padded
+    ``(position, cost)`` index arrays; each DP row's whole checkpoint-cost
+    vector then comes out of one masked NumPy pass.
+
+    Bit-identity with the per-call model is preserved by construction:
+
+    * ``combine=sum``: the model computes a left-to-right Python ``sum`` over
+      the name-sorted live costs.  The masked row kernel zeroes the excluded
+      entries and takes a ``cumsum`` along the same name order -- and
+      ``v + 0.0 == v`` holds bitwise for every non-negative IEEE-754 value,
+      so interleaving masked zeros reproduces the exact addition chain.
+    * ``combine=max``: order-independent, so a masked ``max`` (fill
+      ``-inf``) returns the identical float.
+
+    Any other ``combine`` callable falls back to the per-call path.
+    """
+
+    __slots__ = ("n", "pos_pad", "cost_pad", "recoveries", "is_sum")
+
+    #: ``combine`` callables with a bit-identical masked NumPy reduction.
+    SUPPORTED_COMBINES = (sum, max)
+
+    def __init__(
+        self,
+        workflow: Workflow,
+        names: Sequence[str],
+        model: FrontierCheckpointCost,
+    ) -> None:
+        n = len(names)
+        self.n = n
+        self.is_sum = model.combine is sum
+        position = {name: p for p, name in enumerate(names)}
+        ckpt_costs = [workflow.task(name).checkpoint_cost for name in names]
+        rec_costs = [workflow.task(name).recovery_cost for name in names]
+        # live_end[p]: exclusive end of the interval of positions j at which
+        # the task at position p is live (has an unexecuted successor, or is
+        # an exit task whose output is the application result).
+        live_end = [n] * n
+        for p, name in enumerate(names):
+            succs = workflow.successors(name)
+            if succs:
+                live_end[p] = max(position[s] for s in succs)
+        by_name = sorted(range(n), key=names.__getitem__)
+        members: List[List[int]] = [
+            [p for p in by_name if p <= j < live_end[p]] for j in range(n)
+        ]
+        max_k = max((len(m) for m in members), default=0)
+        # Padded (j, k) arrays in name order; absent slots carry position -1
+        # (filtered out by every ``pos >= x`` window mask) and cost 0.
+        self.pos_pad = np.full((n, max_k), -1, dtype=np.int32)
+        self.cost_pad = np.zeros((n, max_k))
+        for j, mem in enumerate(members):
+            self.pos_pad[j, : len(mem)] = mem
+            self.cost_pad[j, : len(mem)] = [ckpt_costs[p] for p in mem]
+        # Recovery depends on the full frontier only -- n scalar combines,
+        # evaluated exactly as the model does (name-sorted Python reduce).
+        self.recoveries = [
+            float(model.combine([rec_costs[p] for p in mem])) if mem else 0.0
+            for mem in members
+        ]
+
+    def cost_row(self, x: int) -> np.ndarray:
+        """Checkpoint costs ``cost(x - 1, j)`` for every ``j in [x, n)``.
+
+        One masked pass over the padded member arrays; see the class
+        docstring for why the result is bit-identical to the per-call model.
+        """
+        mask = self.pos_pad[x:] >= x
+        if self.is_sum:
+            masked = np.where(mask, self.cost_pad[x:], 0.0)
+            return np.cumsum(masked, axis=1)[:, -1]
+        masked = np.where(mask, self.cost_pad[x:], -np.inf)
+        return np.max(masked, axis=1)
+
+
 @dataclass(frozen=True)
 class DagScheduleResult:
     """Result of DAG checkpoint scheduling.
@@ -239,10 +326,13 @@ def place_checkpoints_on_order(
     ``method`` selects the execution path (``"auto"``/``"vectorized"``/
     ``"reference"``, as in :func:`~repro.core.chain_dp.optimal_chain_checkpoints`):
     the vectorized path evaluates every linearisation through the same row
-    kernel as the chain DP.  With a :class:`FrontierCheckpointCost` the
-    per-row checkpoint-cost vector still comes from the model (its live-set
-    aggregation is inherently per-window), but the transition math is
-    vectorized; both paths are bit-identical either way.
+    kernel as the chain DP.  With a :class:`FrontierCheckpointCost` whose
+    ``combine`` is ``sum`` or ``max``, the vectorized path additionally
+    precomputes the order's live-frontier intervals once
+    (:class:`_FrontierCostTables`) so each row's whole checkpoint-cost vector
+    is one masked NumPy pass instead of per-cell Python model calls; custom
+    ``combine`` callables keep the per-call path.  All paths are
+    bit-identical.
 
     Returns the optimal checkpoint positions and the associated expected
     makespan.
@@ -269,15 +359,31 @@ def place_checkpoints_on_order(
         return workflow.task(names[prev_ckpt]).recovery_cost
 
     if resolve_dp_method(method, n) == "vectorized":
+        frontier_tables = None
+        recovery_fn = recovery_cost
+        if checkpoint_model is not None and any(
+            checkpoint_model.combine is c for c in _FrontierCostTables.SUPPORTED_COMBINES
+        ):
+            frontier_tables = _FrontierCostTables(workflow, names, checkpoint_model)
+            # The tables' recoveries replay the model's name-sorted combine
+            # exactly, but without re-validating the order n times.
+            tables = frontier_tables
+
+            def recovery_fn(prev_ckpt: int) -> float:
+                if prev_ckpt < 0:
+                    return initial_recovery
+                return tables.recoveries[prev_ckpt]
+
         best, choice = _vectorized_order_tables(
             np.array(prefix),
             names,
             workflow,
-            recovery_cost,
+            recovery_fn,
             checkpoint_model,
             downtime,
             rate,
             final_checkpoint,
+            frontier_tables=frontier_tables,
         )
     else:
         best, choice = _reference_order_tables(
@@ -342,6 +448,7 @@ def _vectorized_order_tables(
     downtime: float,
     rate: float,
     final_checkpoint: bool,
+    frontier_tables: Optional[_FrontierCostTables] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Vectorized DP tables over a fixed order, sharing the chain row kernel."""
     n = len(names)
@@ -360,8 +467,9 @@ def _vectorized_order_tables(
             final_checkpoint=final_checkpoint,
         )
     # Frontier model: the checkpoint cost of ending a segment depends on the
-    # window (prev_ckpt, j], so each row's cost vector is built through the
-    # model; the transition math is still one vector expression per row.
+    # window (prev_ckpt, j].  With precomputed frontier tables each row's
+    # whole cost vector is one masked NumPy pass; the per-call fallback
+    # remains for custom ``combine`` callables.
     best = np.empty(n + 1)
     best[n] = 0.0
     choice = np.empty(n, dtype=np.int64)
@@ -374,14 +482,19 @@ def _vectorized_order_tables(
             choice[x] = n - 1
             continue
         factor = float(np.exp(rec_exponent)) * inv_plus_downtime
-        ckpt_row = np.array(
-            [
-                0.0
-                if (j == n - 1 and not final_checkpoint)
-                else checkpoint_model.cost(names, prev_ckpt, j)
-                for j in range(x, n)
-            ]
-        )
+        if frontier_tables is not None:
+            ckpt_row = frontier_tables.cost_row(x)
+            if not final_checkpoint:
+                ckpt_row[-1] = 0.0
+        else:
+            ckpt_row = np.array(
+                [
+                    0.0
+                    if (j == n - 1 and not final_checkpoint)
+                    else checkpoint_model.cost(names, prev_ckpt, j)  # repro: noqa[perf-python-callback] -- per-call fallback for custom combine
+                    for j in range(x, n)
+                ]
+            )
         exponents = rate * ((prefix[x + 1 :] - prefix[x]) + ckpt_row)
         values = row_transition_values(factor, exponents, best[x + 1 :])
         j = int(np.argmin(values))

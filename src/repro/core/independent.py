@@ -408,6 +408,8 @@ def _local_search_vectorized(
     rate: float,
     initial_recovery: Optional[float],
     max_iterations: int,
+    *,
+    use_cache: bool = True,
 ) -> Tuple[List[List[int]], float]:
     """First-improvement local search with incremental delta scoring.
 
@@ -419,6 +421,17 @@ def _local_search_vectorized(
     costs -- no ``O(m)`` re-summation per candidate.  Accepted moves are
     re-evaluated in full (like the reference) so rounding never accumulates.
 
+    With ``use_cache=True`` (the default) the per-group cost columns persist
+    across rounds: an accepted move or swap only changes two groups, so only
+    those two groups' move columns (and the swap-pair blocks touching them)
+    are recomputed next round; every other group's columns are reused
+    verbatim.  The group count never changes during the search (moves are
+    forbidden from emptying a group and swaps preserve sizes), so group
+    indices are stable cache keys.  All cached values are produced by the
+    same elementwise expressions as a from-scratch round, so cached and
+    uncached searches are bit-identical; ``use_cache=False`` simply marks
+    every group dirty each round, which property tests use to pin that.
+
     One deliberate divergence from the reference: a candidate whose group
     exponent overflows is scored ``+inf`` (never accepted) instead of raising
     ``OverflowError`` out of the search like
@@ -426,21 +439,32 @@ def _local_search_vectorized(
     reference evaluates such a candidate in full.
     """
 
-    def evaluate(candidate: List[List[int]]) -> float:
-        cleaned = [g for g in candidate if g]
-        return grouping_expected_time(
-            cleaned,
-            works,
-            checkpoint_cost,
-            recovery_cost,
-            downtime,
-            rate,
-            initial_recovery=initial_recovery,
-        )
-
     works_arr = np.asarray(works, dtype=float)
+    works_list = list(works)
     first_recovery = recovery_cost if initial_recovery is None else initial_recovery
     inv_plus_downtime = 1.0 / rate + downtime
+
+    def evaluate(candidate: List[List[int]]) -> float:
+        """Full re-evaluation of an accepted candidate, reference bits.
+
+        Same accumulation loop as :func:`grouping_expected_time` (Python
+        left-to-right sum of per-group :func:`expected_completion_time`
+        values) minus the partition validation -- the search only produces
+        valid partitions, and the instance parameters were validated by the
+        initial :func:`grouping_expected_time` call below.
+        """
+        total = 0.0
+        position = 0
+        for group in candidate:
+            if not group:
+                continue
+            group_work = sum(works_list[i] for i in group)
+            recovery = first_recovery if position == 0 else recovery_cost
+            total += expected_completion_time(
+                group_work, checkpoint_cost, downtime, recovery, rate
+            )
+            position += 1
+        return total
 
     def recovery_factor(recovery: float) -> float:
         # When lambda * R overflows the very first full evaluation below
@@ -466,23 +490,72 @@ def _local_search_vectorized(
         return costs
 
     current = [list(g) for g in groups]
-    current_value = evaluate(current)
+    # The initial evaluation goes through the validating entry point so bad
+    # instance parameters raise exactly as the reference search would.
+    current_value = grouping_expected_time(
+        [g for g in current if g],
+        works,
+        checkpoint_cost,
+        recovery_cost,
+        downtime,
+        rate,
+        initial_recovery=initial_recovery,
+    )
+    n = works_arr.size
+    m = len(current)
+    factors = np.full(m, factor_rest)
+    factors[0] = factor_first
+
+    # Per-group cache (group indices are stable: the group count never
+    # changes mid-search).  ``dirty`` holds the groups whose columns must be
+    # (re)built this round -- initially all of them.
+    dirty = set(range(m))
+    group_works = np.empty(m)
+    e_cur = np.empty(m)
+    # minus_blocks[g][k]: cost of group g without its k-th task.
+    minus_blocks: List[np.ndarray] = [np.empty(0)] * m
+    # plus_blocks[g][k, d]: cost of group d with group g's k-th task added.
+    plus_blocks: List[np.ndarray] = [np.empty((0, m))] * m
+    # swap_blocks[(src, dst)]: the (e_src, e_dst) matrices of the swap batch.
+    swap_blocks: dict = {}
+
     for _ in range(max_iterations):
-        m = len(current)
-        group_of = np.empty(len(works_arr), dtype=np.int64)
-        task_order: List[int] = []
-        for g_index, group in enumerate(current):
-            for task in group:
-                group_of[task] = g_index
-            task_order.extend(group)
-        tasks = np.array(task_order, dtype=np.int64)
-        w_t = works_arr[tasks]
-        g_t = group_of[tasks]
+        if not use_cache:
+            dirty = set(range(m))
+            swap_blocks.clear()
+        refresh = sorted(dirty)
+        if refresh:
+            for g in refresh:
+                group_works[g] = sum(works_arr[i] for i in current[g])
+            e_cur[refresh] = group_costs(group_works[refresh], factors[refresh])
+            for g in refresh:
+                w_g = works_arr[current[g]]
+                minus_blocks[g] = group_costs(
+                    group_works[g] - w_g, np.full(w_g.size, factors[g])
+                )
+                plus_blocks[g] = group_costs(
+                    group_works[None, :] + w_g[:, None],
+                    np.broadcast_to(factors, (w_g.size, m)),
+                )
+            clean = [g for g in range(m) if g not in dirty]
+            if clean and len(refresh) < m:
+                # Clean groups keep their rows; only the dirty destination
+                # columns moved.  One batched call over every clean task --
+                # elementwise, so identical to per-group recomputation.
+                w_cat = np.concatenate([works_arr[current[g]] for g in clean])
+                cols = group_costs(
+                    group_works[refresh][None, :] + w_cat[:, None],
+                    np.broadcast_to(factors[refresh], (w_cat.size, len(refresh))),
+                )
+                offset = 0
+                for g in clean:
+                    size = len(current[g])
+                    plus_blocks[g][:, refresh] = cols[offset : offset + size]
+                    offset += size
+            dirty = set()
+
         sizes = np.array([len(g) for g in current], dtype=np.int64)
-        group_works = np.array([sum(works_arr[i] for i in g) for g in current])
-        factors = np.full(m, factor_rest)
-        factors[0] = factor_first
-        e_cur = group_costs(group_works, factors)
+        g_t = np.repeat(np.arange(m), sizes)
 
         improved = False
         if m > 1:
@@ -490,12 +563,10 @@ def _local_search_vectorized(
             # the reference's (src, position) order) into group d (columns).
             # Row-major flattening therefore reproduces the reference's exact
             # candidate order, so "first improving" picks the same move.
-            e_src_minus = group_costs((group_works[g_t] - w_t), factors[g_t])
-            e_dst_plus = group_costs(
-                group_works[None, :] + w_t[:, None], np.broadcast_to(factors, (tasks.size, m))
-            )
+            e_src_minus = np.concatenate(minus_blocks)
+            e_dst_plus = np.vstack(plus_blocks)
             delta = (e_src_minus - e_cur[g_t])[:, None] + (e_dst_plus - e_cur[None, :])
-            delta[np.arange(tasks.size), g_t] = np.inf  # dst == src
+            delta[np.arange(n), g_t] = np.inf  # dst == src
             delta[sizes[g_t] == 1, :] = np.inf  # the reference never empties a group
             improving = delta < -1e-15
             if improving.any():
@@ -510,6 +581,12 @@ def _local_search_vectorized(
                 candidate[dst].append(task)
                 current_value = evaluate(candidate)
                 current = [sorted(g) for g in candidate if g]
+                dirty = {src, dst}
+                swap_blocks = {
+                    pair: blocks
+                    for pair, blocks in swap_blocks.items()
+                    if src not in pair and dst not in pair
+                }
                 improved = True
         if improved:
             continue
@@ -518,12 +595,17 @@ def _local_search_vectorized(
         # (src, dst) order; within a pair the (i, j) delta matrix flattens
         # row-major to the reference's inner order.
         for src, dst in itertools.combinations(range(m), 2):
-            wi = works_arr[current[src]]
-            wj = works_arr[current[dst]]
-            src_new = (group_works[src] - wi)[:, None] + wj[None, :]
-            dst_new = (group_works[dst] - wj)[None, :] + wi[:, None]
-            e_src = group_costs(src_new, np.full(src_new.shape, factors[src]))
-            e_dst = group_costs(dst_new, np.full(dst_new.shape, factors[dst]))
+            cached = swap_blocks.get((src, dst))
+            if cached is None:
+                wi = works_arr[current[src]]
+                wj = works_arr[current[dst]]
+                src_new = (group_works[src] - wi)[:, None] + wj[None, :]
+                dst_new = (group_works[dst] - wj)[None, :] + wi[:, None]
+                e_src = group_costs(src_new, np.full(src_new.shape, factors[src]))
+                e_dst = group_costs(dst_new, np.full(dst_new.shape, factors[dst]))
+                swap_blocks[(src, dst)] = (e_src, e_dst)
+            else:
+                e_src, e_dst = cached
             delta = (e_src - e_cur[src]) + (e_dst - e_cur[dst])
             improving = delta < -1e-15
             if improving.any():
@@ -535,6 +617,12 @@ def _local_search_vectorized(
                 )
                 current_value = evaluate(candidate)
                 current = [sorted(g) for g in candidate]
+                dirty = {src, dst}
+                swap_blocks = {
+                    pair: blocks
+                    for pair, blocks in swap_blocks.items()
+                    if src not in pair and dst not in pair
+                }
                 improved = True
                 break
         if not improved:

@@ -558,3 +558,55 @@ class CacheKeyRule(Rule):
                     "encoding, class tagging) or logically equal requests "
                     "will miss each other"
                 )
+
+
+# ----------------------------------------------------------------------
+# Performance
+# ----------------------------------------------------------------------
+
+
+@register
+class PerfPythonCallbackRule(Rule):
+    """Per-cell Python model callbacks undo the kernels' vectorization.
+
+    The PR 10 burn-down replaced every per-row ``model.cost(...)`` /
+    ``model.recovery(...)`` call in the DP kernels with precomputed tables
+    (``_FrontierCostTables``); a callback re-introduced inside a loop or
+    comprehension turns an O(1)-pass kernel back into O(cells) interpreter
+    round-trips.  Intentional per-call fallbacks (custom ``combine``
+    callables the tables cannot replay) carry an explicit
+    ``repro: noqa[perf-python-callback]`` suppression.
+    """
+
+    code = "perf-python-callback"
+    summary = "no per-row model callbacks (.cost/.recovery) in core kernel loops"
+    packages = ("repro.core",)
+
+    CALLBACKS = ("cost", "recovery")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        seen: Set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.While)):
+                scope: Iterable[ast.stmt] = [*node.body, *node.orelse]
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                scope = [node]  # type: ignore[list-item]
+            else:
+                continue
+            for stmt in scope:
+                for call in ast.walk(stmt):
+                    if (
+                        isinstance(call, ast.Call)
+                        and isinstance(call.func, ast.Attribute)
+                        and call.func.attr in self.CALLBACKS
+                        and id(call) not in seen
+                    ):
+                        seen.add(id(call))
+                        yield call, (
+                            f"Python model callback .{call.func.attr}(...) "
+                            "inside a kernel loop runs once per row/DP cell; "
+                            "precompute a cost table (see _FrontierCostTables) "
+                            "or hoist the call out of the loop"
+                        )

@@ -232,13 +232,17 @@ def _segment_durations(segments: Sequence[Segment]) -> Tuple[np.ndarray, np.ndar
 #: of this many doubles (~16 MB each) however long the chain is.
 _MAX_WINDOW_ELEMENTS = 1 << 21
 
-#: Expected failures per replication (sum of the per-segment failure
-#: probabilities) above which :func:`simulate_poisson_batch` automatically
-#: delegates to the lock-step kernel: when most replications fail early and
-#: often, windows are mostly waste and one-attempt-per-round lock-step is the
-#: better array program.  Jumping targets the opposite regime -- long chains
-#: whose replications complete whole runs of segments between rare failures.
-_JUMP_MAX_EXPECTED_FAILURES = 0.5
+#: Typical run of consecutive segment completions between failures
+#: (``num_segments / (expected_failures + 1)``) below which
+#: :func:`simulate_poisson_batch` automatically delegates to the lock-step
+#: kernel: when a window jumps only a handful of segments, its gathers and
+#: per-row prefix sums cost more than lock-step's one-attempt rounds.  The
+#: crossover was measured at roughly 4 segments per run across chain lengths
+#: 8..4096 (see docs/performance.md); the fused veteran round keeps the jump
+#: kernel ahead everywhere above it -- in particular through the whole
+#: moderate-failure regime (1-3 failures per replication), which the
+#: pre-fusion kernel delegated to lock-step via an expected-failures cap.
+_JUMP_MIN_RUN_SEGMENTS = 4.0
 
 
 def _auto_window(num_segments: int, expected_failures: float) -> int:
@@ -285,9 +289,13 @@ def simulate_poisson_batch(
     number of segments: a thousand-segment chain with rare failures completes
     in a handful of rounds instead of a thousand lock-step rounds.
 
-    Dense-failure batches (expected failures per replication above
-    ``_JUMP_MAX_EXPECTED_FAILURES``) are automatically delegated to the
-    lock-step kernel, which is the better array program when windows would
+    The veteran rounds are *fused*: a recovery-resolution pre-pass settles
+    every pending recovery with one gathered draw, after which a single
+    shared threshold window drives one masked pass combining the
+    failure-position compare, the segment advance and the rework
+    accumulation.  Only batches whose typical failure-to-failure run is
+    shorter than ``_JUMP_MIN_RUN_SEGMENTS`` segments (very dense failures on
+    short chains) are delegated to the lock-step kernel, where windows would
     mostly be waste; both kernels are bit-identical on every input, so the
     dispatch is purely a performance decision.
 
@@ -315,9 +323,9 @@ def simulate_poisson_batch(
         re-associated, so results are bit-identical for every window.
         Exposed for tests; implies ``method="jump"``.
     method:
-        ``None`` (the default) picks the kernel by expected failure density;
-        ``"jump"`` or ``"lockstep"`` force one.  Results are bit-identical
-        either way.
+        ``None`` (the default) picks the kernel by the typical
+        failure-to-failure run length; ``"jump"`` or ``"lockstep"`` force
+        one.  Results are bit-identical either way.
     """
     if method not in (None, "jump", "lockstep"):
         raise ValueError(
@@ -350,7 +358,7 @@ def simulate_poisson_batch(
     if method == "lockstep" or (
         method is None
         and window is None
-        and expected_failures > _JUMP_MAX_EXPECTED_FAILURES
+        and num_segments / (expected_failures + 1.0) < _JUMP_MIN_RUN_SEGMENTS
     ):
         return simulate_poisson_batch_lockstep(
             segments, rate, downtime, rng, count, plan=plan
@@ -446,81 +454,101 @@ def simulate_poisson_batch(
                     v_seg += span
                     v_cursor += span
 
-        # --- Veteran round: one window comparison per failure generation.
-        # Every row's window resolves its pending recovery (when one is
-        # owed), jumps the run of consecutive segment completions after it,
-        # and absorbs the next failure, all in lock-step across the whole
-        # veteran set with plain full-array operations.
+        # --- Veteran round, fused compare+advance: a cheap recovery
+        # resolution pre-pass first settles every pending recovery (one
+        # gathered draw against the recovery cost), after which *every*
+        # surviving row is mid-chain with no recovery owed -- so the segment
+        # sweep needs just one shared threshold gather and one masked pass
+        # that fuses the failure-position compare, the segment advance and
+        # the rework accumulation.  Splitting the recovery out of the window
+        # changes only the round boundaries, never a row's sequence of
+        # (threshold, draw) comparisons or its addition chains, so the fused
+        # round stays bit-identical to the lock-step reference.
         n_vet = now.size
         if n_vet:
-            rem = num_segments - seg  # >= 1: finished rows are squeezed out
-            # Upcoming attempts a row can complete: its pending recovery
-            # (if any) plus its remaining segments.
-            valid = rem + recovering
-            span = int(valid.max())
-            span = min(span, span_cap, max(_MAX_WINDOW_ELEMENTS // n_vet, 1))
-            span = max(span, 2)
-            flat = plan.rows(int(cursor.max()) + span)
-            draw_win = np.lib.stride_tricks.sliding_window_view(flat, span, axis=0)[
-                cursor, out_index
-            ]
-            # Per-row threshold windows: the j-th upcoming attempt of a row
-            # at segment s must outlast thr[j] -- the recovery cost first
-            # when a recovery is pending, then the consecutive attempt
-            # durations, padded with -inf past the end of the chain (no
-            # delay is below -inf, so completed rows simply run out of
-            # failures).  The sliding windows over the padded durations are
-            # zero-copy views; only the n_vet needed rows are materialised.
-            att_pad = np.concatenate([attempt_dur, np.full(span - 1, -np.inf)])
-            att_win = np.lib.stride_tricks.sliding_window_view(att_pad, span)
-            thr = np.empty((n_vet, span))
-            fresh = ~recovering
-            if fresh.any():
-                thr[fresh] = att_win[seg[fresh]]
             if recovering.any():
-                seg_rec = seg[recovering]
-                thr[recovering, 0] = recovery_dur[seg_rec]
-                thr[recovering, 1:] = np.lib.stride_tricks.sliding_window_view(
-                    att_pad, span - 1
-                )[seg_rec]
-            fail_win = draw_win < thr
-            lanes = np.arange(n_vet)
-            # argmax doubles as the any-reduction: a row with no failure
-            # reports offset 0, where fail_win is False.
-            first_fail = fail_win.argmax(axis=1)
-            has_fail = fail_win[lanes, first_fail]
-            # Successful attempts this round: up to the first short delay,
-            # the end of the chain, or the window edge.
-            successes = np.where(has_fail, first_fail, span)
-            successes = np.minimum(successes, valid)
-            # A pending recovery is an attempt too: it is counted when it
-            # starts, commits its cost into the wasted time when it
-            # completes, and leaves the row recovering when it does not.
-            rec_att += recovering
-            rec_done = recovering & (successes > 0)
-            wasted += np.where(rec_done, recovery_dur[seg], 0.0)
-            # Seeded prefix sums: row r's column k is
-            # (((now + thr_0) + thr_1) + ... + thr_{k-1}) evaluated strictly
-            # left to right (np.cumsum is a sequential fold), i.e. the exact
-            # clock the scalar loop holds after k consecutive completions.
-            clocks = np.empty((n_vet, span + 1))
-            clocks[:, 0] = now
-            clocks[:, 1:] = thr
-            np.cumsum(clocks, axis=1, out=clocks)
-            now = clocks[lanes, successes]
-            seg += successes - rec_done
-            cursor += successes
-            recovering &= ~rec_done
-            hit = np.flatnonzero(has_fail)
-            if hit.size:
-                lost = draw_win[hit, successes[hit]]
-                fails[hit] += 1
-                now[hit] += lost
-                wasted[hit] += lost
-                now[hit] += downtime
-                wasted[hit] += downtime
-                cursor[hit] += 1  # the failed attempt consumed its draw
-                recovering[hit] = True
+                r_idx = np.flatnonzero(recovering)
+                flat = plan.rows(int(cursor[r_idx].max()) + 1)
+                draw0 = flat[cursor[r_idx], out_index[r_idx]]
+                rec_cost = recovery_dur[seg[r_idx]]
+                # A recovery attempt is counted when it starts, exactly like
+                # the scalar executor.
+                rec_att[r_idx] += 1
+                cursor[r_idx] += 1  # the attempt consumes its draw either way
+                rec_fail = draw0 < rec_cost
+                struck_r = r_idx[rec_fail]
+                if struck_r.size:
+                    lost = draw0[rec_fail]
+                    fails[struck_r] += 1
+                    now[struck_r] += lost
+                    wasted[struck_r] += lost
+                    now[struck_r] += downtime
+                    wasted[struck_r] += downtime
+                    # Still recovering: the next round's pre-pass retries.
+                done_r = r_idx[~rec_fail]
+                if done_r.size:
+                    committed = rec_cost[~rec_fail]
+                    wasted[done_r] += committed
+                    now[done_r] += committed
+                    recovering[done_r] = False
+
+            # Rows eligible for the segment sweep this round (a row whose
+            # recovery just failed absorbed its failure above and sits the
+            # sweep out, exactly as it would have in a combined window).
+            act = np.flatnonzero(~recovering)
+            if act.size:
+                rem_act = num_segments - seg[act]  # >= 1: finished rows are gone
+                span = int(rem_act.max())
+                span = min(span, span_cap, max(_MAX_WINDOW_ELEMENTS // act.size, 1))
+                span = max(span, 1)
+                cur_act = cursor[act]
+                flat = plan.rows(int(cur_act.max()) + span)
+                draw_win = np.lib.stride_tricks.sliding_window_view(
+                    flat, span, axis=0
+                )[cur_act, out_index[act]]
+                # One shared threshold window per segment position: the j-th
+                # upcoming attempt of a row at segment s must outlast
+                # ``attempt_dur[s + j]``, padded with -inf past the end of
+                # the chain (no delay is below -inf, so completed rows simply
+                # run out of failures).  The sliding windows over the padded
+                # durations are zero-copy views; no per-row assembly at all.
+                att_pad = np.concatenate([attempt_dur, np.full(span - 1, -np.inf)])
+                thr = np.lib.stride_tricks.sliding_window_view(att_pad, span)[
+                    seg[act]
+                ]
+                fail_win = draw_win < thr
+                lanes = np.arange(act.size)
+                # argmax doubles as the any-reduction: a row with no failure
+                # reports offset 0, where fail_win is False.
+                first_fail = fail_win.argmax(axis=1)
+                has_fail = fail_win[lanes, first_fail]
+                # Successful attempts this round: up to the first short
+                # delay, the end of the chain, or the window edge.
+                successes = np.where(has_fail, first_fail, span)
+                successes = np.minimum(successes, rem_act)
+                # Seeded prefix sums: row r's column k is
+                # (((now + thr_0) + thr_1) + ... + thr_{k-1}) evaluated
+                # strictly left to right (np.cumsum is a sequential fold),
+                # i.e. the exact clock the scalar loop holds after k
+                # consecutive completions.
+                clocks = np.empty((act.size, span + 1))
+                clocks[:, 0] = now[act]
+                clocks[:, 1:] = thr
+                np.cumsum(clocks, axis=1, out=clocks)
+                now[act] = clocks[lanes, successes]
+                seg[act] += successes
+                cursor[act] = cur_act + successes
+                hit_rel = np.flatnonzero(has_fail)
+                if hit_rel.size:
+                    hit = act[hit_rel]
+                    lost = draw_win[hit_rel, successes[hit_rel]]
+                    fails[hit] += 1
+                    now[hit] += lost
+                    wasted[hit] += lost
+                    now[hit] += downtime
+                    wasted[hit] += downtime
+                    cursor[hit] += 1  # the failed attempt consumed its draw
+                    recovering[hit] = True
 
             finished = seg >= num_segments
             if finished.any():

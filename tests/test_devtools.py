@@ -408,6 +408,74 @@ class TestCacheKeyRule:
         assert not check(src, "src/repro/analysis/snippet.py", "cache-key")
 
 
+CORE_PATH = "src/repro/core/snippet.py"
+
+
+class TestPerfPythonCallbackRule:
+    def test_flags_cost_callback_in_for_loop(self):
+        src = """
+            def fill(model, names, row):
+                out = []
+                for j in range(len(names)):
+                    out.append(model.cost(names, row, j))
+                return out
+        """
+        (violation,) = check(src, CORE_PATH, "perf-python-callback")
+        assert ".cost(" in violation.message
+
+    def test_flags_recovery_callback_in_comprehension(self):
+        src = """
+            def recoveries(model, names, rows):
+                return [model.recovery(names, p) for p in rows]
+        """
+        assert check(src, CORE_PATH, "perf-python-callback")
+
+    def test_flags_callback_in_while_loop(self):
+        src = """
+            def drain(model, names):
+                j = 0
+                while j < len(names):
+                    model.cost(names, -1, j)
+                    j += 1
+        """
+        assert check(src, CORE_PATH, "perf-python-callback")
+
+    def test_hoisted_call_is_fine(self):
+        src = """
+            def fill(model, names, row, n):
+                base = model.cost(names, row, 0)
+                return [base] * n
+        """
+        assert not check(src, CORE_PATH, "perf-python-callback")
+
+    def test_other_attribute_calls_are_fine(self):
+        src = """
+            def fill(rows):
+                out = []
+                for row in rows:
+                    out.append(row.strip())
+                return out
+        """
+        assert not check(src, CORE_PATH, "perf-python-callback")
+
+    def test_out_of_scope_package_is_clean(self):
+        src = """
+            def fill(model, names, rows):
+                return [model.cost(names, -1, j) for j in rows]
+        """
+        assert not check(src, "src/repro/service/snippet.py", "perf-python-callback")
+
+    def test_suppression_is_honoured(self):
+        src = """
+            def fill(model, names, rows):
+                return [
+                    model.cost(names, -1, j)  # repro: noqa[perf-python-callback] -- custom combine fallback
+                    for j in rows
+                ]
+        """
+        assert not check(src, CORE_PATH, "perf-python-callback")
+
+
 # ----------------------------------------------------------------------
 # Suppressions
 # ----------------------------------------------------------------------
@@ -588,6 +656,11 @@ def _seeded_fixture(tmp_path, code: str) -> str:
         ),
         "cache-key": ("src/repro/runtime/m.py",
                       "def key(spec):\n    return hash(spec)\n"),
+        "perf-python-callback": (
+            "src/repro/core/m.py",
+            "def fill(model, names, rows):\n"
+            "    return [model.cost(names, -1, j) for j in rows]\n",
+        ),
     }
     rel, body = snippets[code]
     target = tmp_path / rel
